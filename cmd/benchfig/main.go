@@ -1,0 +1,30 @@
+// Command benchfig regenerates the paper's experimental figures
+// (Fig. 3 and every plot of Fig. 4) plus the ablation studies, printing
+// the series each plot graphs as a table and checking the paper's
+// shape-level claims against the measured data.
+//
+// Usage:
+//
+//	benchfig -fig all                 # everything, modeled, quick scale
+//	benchfig -fig 3                   # Fig. 3 only
+//	benchfig -fig 4                   # all Fig. 4 plots
+//	benchfig -fig fig4-torus-random   # one plot by id
+//	benchfig -list                    # list experiment ids
+//	benchfig -fig 3 -scale 1048576    # paper-scale input (n = 1M)
+//	benchfig -fig 3 -mode wallclock   # real timing (multi-core hosts)
+//	benchfig -csv                     # machine-readable output
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"spantree/internal/cli"
+)
+
+func main() {
+	if err := cli.RunBenchFig(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+}

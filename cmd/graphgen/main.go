@@ -1,0 +1,25 @@
+// Command graphgen generates any of the paper's workload graphs and
+// writes it to a file in the library's binary format or as a plain-text
+// edge list.
+//
+// Examples:
+//
+//	graphgen -kind torus2d -n 1048576 -out torus.bin
+//	graphgen -kind geohier -n 65536 -format text -out geo.txt
+//	graphgen -kind random -n 100000 -m 150000 -seed 7 -randlabel -out r.bin
+//	graphgen -kind ad3 -n 4096 -stats            # print stats, write nothing
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"spantree/internal/cli"
+)
+
+func main() {
+	if err := cli.RunGraphGen(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,26 @@
+// Command spantree generates or loads a graph, runs a chosen
+// spanning-tree algorithm on it, verifies the result, and reports
+// timing, statistics and (optionally) Helman-JáJá modeled cost.
+//
+// Examples:
+//
+//	spantree -gen random -n 1048576 -m 1572864 -algo workstealing -p 8
+//	spantree -gen torus2d -n 1048576 -algo sv -p 4 -randlabel
+//	spantree -in graph.bin -algo seqbfs
+//	spantree -gen chain -n 100000 -algo workstealing -p 8 -fallback 4 -model
+//	spantree -gen ad3 -n 65536 -out ad3.bin   # generate only
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"spantree/internal/cli"
+)
+
+func main() {
+	if err := cli.RunSpanTree(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "spantree: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,105 @@
+// Internetmap: spanning trees over geographic wide-area-network
+// topologies — the paper's Internet-modeling workload ("research on
+// properties of wide-area networks model the structure of the Internet
+// as a geographic graph").
+//
+// A spanning tree of a network map is a broadcast tree: it reaches every
+// router exactly once. This example builds flat and hierarchical
+// geographic graphs, computes broadcast trees rooted by the algorithm,
+// and reports tree quality metrics a network engineer would look at
+// (depth ~ broadcast latency, fan-out ~ replication load).
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"spantree"
+)
+
+func main() {
+	const n = 1 << 17
+	p := runtime.GOMAXPROCS(0)
+
+	for _, g := range []*spantree.Graph{
+		spantree.NewGeoFlat(n, 2026),
+		spantree.NewGeoHier(n, 2026),
+	} {
+		fmt.Printf("== %v (avg degree %.2f) ==\n", g, g.AvgDegree())
+
+		res, err := spantree.Find(g, spantree.Options{
+			Algorithm: spantree.AlgWorkStealing,
+			NumProcs:  p,
+			Seed:      7,
+			Verify:    true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  broadcast forest: %d edges, %d components, computed in %v\n",
+			res.TreeEdges, res.Roots, res.Elapsed)
+
+		depth, maxFanout, leaves := treeShape(res.Parent)
+		fmt.Printf("  max depth %d (broadcast hops), max fan-out %d, %d leaves\n",
+			depth, maxFanout, leaves)
+
+		// Compare against the PRAM baseline the paper measures.
+		sv, err := spantree.Find(g, spantree.Options{
+			Algorithm: spantree.AlgSV, NumProcs: p, Verify: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  Shiloach-Vishkin took %v (%d graft iterations) for the same forest\n",
+			sv.Elapsed, sv.SV.Iterations)
+	}
+}
+
+// treeShape computes the maximum depth, the maximum fan-out, and the
+// leaf count of a parent-array forest in two O(n) passes.
+func treeShape(parent []spantree.VID) (maxDepth, maxFanout, leaves int) {
+	n := len(parent)
+	children := make([]int, n)
+	for _, pv := range parent {
+		if pv != spantree.None {
+			children[pv]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if children[v] == 0 {
+			leaves++
+		}
+		if children[v] > maxFanout {
+			maxFanout = children[v]
+		}
+	}
+	// Depth via memoized parent walks.
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	var path []spantree.VID
+	for v := 0; v < n; v++ {
+		path = path[:0]
+		cur := spantree.VID(v)
+		for depth[cur] < 0 && parent[cur] != spantree.None {
+			path = append(path, cur)
+			cur = parent[cur]
+		}
+		base := int32(0)
+		if depth[cur] >= 0 {
+			base = depth[cur]
+		} else {
+			depth[cur] = 0
+		}
+		for i := len(path) - 1; i >= 0; i-- {
+			base++
+			depth[path[i]] = base
+		}
+		if int(base) > maxDepth {
+			maxDepth = int(base)
+		}
+	}
+	return maxDepth, maxFanout, leaves
+}

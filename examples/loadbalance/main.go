@@ -1,0 +1,87 @@
+// Loadbalance: the pathological shapes from the paper's Section 2 —
+// the load-imbalance scenario of Fig. 2 and the low-connectivity
+// degenerate chain — and the two mechanisms the paper adds for them:
+// work stealing and the idle-detection fallback to Shiloach-Vishkin.
+//
+// The example prints per-processor work distributions so the effect of
+// each mechanism is directly visible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spantree"
+)
+
+func main() {
+	const n = 1 << 18
+	const p = 8
+
+	// A star is the extreme of Fig. 2: after the center is processed,
+	// every leaf is reachable only through one queue. Work stealing
+	// spreads the leaves; without it one processor colors almost
+	// everything.
+	star := spantree.NewStar(n)
+	fmt.Printf("== %v ==\n", star)
+	res, err := spantree.Find(star, spantree.Options{
+		Algorithm: spantree.AlgWorkStealing, NumProcs: p, Seed: 3, Verify: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(res)
+
+	// The degenerate chain is the paper's stated pathological case: the
+	// frontier never holds more than a couple of vertices, so stealing
+	// cannot help and idle processors starve.
+	chain := spantree.NewChain(n)
+	fmt.Printf("\n== %v (plain) ==\n", chain)
+	res, err = spantree.Find(chain, spantree.Options{
+		Algorithm: spantree.AlgWorkStealing, NumProcs: p, Seed: 3, Verify: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(res)
+
+	// The paper's remedy #1: the detection mechanism. Sleeping
+	// processors past the threshold abandon the traversal and finish
+	// with a Shiloach-Vishkin pass over the contracted graph.
+	fmt.Printf("\n== %v (idle detection + SV fallback) ==\n", chain)
+	res, err = spantree.Find(chain, spantree.Options{
+		Algorithm: spantree.AlgWorkStealing, NumProcs: p, Seed: 3,
+		FallbackThreshold: p / 2, Verify: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(res)
+
+	// The paper's remedy #2: degree-2 elimination preprocessing, which
+	// collapses the chain before the traversal even starts.
+	fmt.Printf("\n== %v (degree-2 elimination) ==\n", chain)
+	res, err = spantree.Find(chain, spantree.Options{
+		Algorithm: spantree.AlgWorkStealing, NumProcs: p, Seed: 3,
+		Deg2Eliminate: true, Verify: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(res)
+}
+
+func report(res *spantree.Result) {
+	ws := res.WorkStealing
+	fmt.Printf("time %v, %d tree edges, verified\n", res.Elapsed, res.TreeEdges)
+	fmt.Printf("vertices claimed per processor: %v\n", ws.VerticesPerProc)
+	fmt.Printf("imbalance %.2f, steals %d (moved %d vertices), claim races %d\n",
+		ws.MaxLoadImbalance(), ws.Steals, ws.StolenVertices, ws.FailedClaims)
+	if ws.FallbackTriggered {
+		fmt.Printf("fallback: triggered; SV finished the tree with %d grafts in %d iterations\n",
+			ws.SVStats.Grafts, ws.SVStats.Iterations)
+	}
+	if ws.Deg2Eliminated > 0 {
+		fmt.Printf("preprocessing eliminated %d degree-2 vertices\n", ws.Deg2Eliminated)
+	}
+}

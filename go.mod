@@ -1,0 +1,3 @@
+module spantree
+
+go 1.22

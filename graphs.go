@@ -1,0 +1,89 @@
+package spantree
+
+import (
+	"io"
+
+	"spantree/internal/gen"
+	"spantree/internal/graph"
+)
+
+// Graph construction and workload generators re-exported from the
+// internal packages, so downstream users need only this package. Each
+// generator corresponds to one of the paper's experimental input
+// classes (Section 4, "Experimental Data").
+
+// NewGraph builds a graph with n vertices from an edge list; self-loops
+// are dropped and duplicate edges removed.
+func NewGraph(n int, edges []Edge) (*Graph, error) {
+	return graph.FromEdges(n, edges)
+}
+
+// NewTorus2D returns the rows x cols torus with row-major labeling.
+func NewTorus2D(rows, cols int) *Graph { return gen.Torus2D(rows, cols) }
+
+// NewGrid2D returns the rows x cols grid (no wraparound).
+func NewGrid2D(rows, cols int) *Graph { return gen.Grid2D(rows, cols) }
+
+// NewMesh2D60 returns a side x side mesh with each lattice edge present
+// with probability 60% (the paper's 2D60 inputs).
+func NewMesh2D60(side int, seed uint64) *Graph { return gen.Mesh2D(side, side, 0.60, seed) }
+
+// NewMesh3D40 returns a side^3 mesh with each lattice edge present with
+// probability 40% (the paper's 3D40 inputs).
+func NewMesh3D40(side int, seed uint64) *Graph { return gen.Mesh3D(side, side, side, 0.40, seed) }
+
+// NewRandomGraph returns a G(n,m) random graph: m unique edges placed
+// uniformly at random.
+func NewRandomGraph(n, m int, seed uint64) *Graph { return gen.Random(n, m, seed) }
+
+// NewConnectedRandomGraph returns a connected random graph with n
+// vertices and max(m, n-1) edges.
+func NewConnectedRandomGraph(n, m int, seed uint64) *Graph { return gen.RandomConnected(n, m, seed) }
+
+// NewGeometricGraph returns the k-nearest-neighbor geometric graph of n
+// uniform points in the unit square.
+func NewGeometricGraph(n, k int, seed uint64) *Graph { return gen.Geometric(n, k, seed) }
+
+// NewAD3 returns the k = 3 geometric graph (the paper's AD3 inputs).
+func NewAD3(n int, seed uint64) *Graph { return gen.AD3(n, seed) }
+
+// NewGeoFlat returns a flat-mode geographic (Waxman-style wide-area
+// network) graph.
+func NewGeoFlat(n int, seed uint64) *Graph { return gen.GeoFlat(n, gen.DefaultGeoFlatParams(), seed) }
+
+// NewGeoHier returns a hierarchical-mode geographic graph
+// (backbone / domains / subdomains).
+func NewGeoHier(n int, seed uint64) *Graph { return gen.GeoHier(n, gen.DefaultGeoHierParams(), seed) }
+
+// NewChain returns the degenerate chain graph, the paper's pathological
+// low-connectivity input.
+func NewChain(n int) *Graph { return gen.Chain(n) }
+
+// NewStar returns the star graph with center 0.
+func NewStar(n int) *Graph { return gen.Star(n) }
+
+// RandomRelabel returns an isomorphic copy of g under a random vertex
+// permutation — the paper's "random labeling" input variants, which
+// expose the labeling sensitivity of Shiloach-Vishkin.
+func RandomRelabel(g *Graph, seed uint64) *Graph { return graph.RandomRelabel(g, seed) }
+
+// EliminateDegree2 exposes the degree-2 preprocessing step: it returns
+// the reduced graph plus the bookkeeping needed to lift a reduced forest
+// back to the original graph.
+func EliminateDegree2(g *Graph) *Deg2Reduction { return graph.EliminateDegree2(g) }
+
+// Deg2Reduction is the result of EliminateDegree2.
+type Deg2Reduction = graph.Deg2Reduction
+
+// WriteGraph writes g in the library's binary format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// ReadGraph reads a graph written by WriteGraph.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// WriteGraphText writes g as a plain-text edge list with a "# n m"
+// header.
+func WriteGraphText(w io.Writer, g *Graph) error { return graph.WriteText(w, g) }
+
+// ReadGraphText reads the text format written by WriteGraphText.
+func ReadGraphText(r io.Reader) (*Graph, error) { return graph.ReadText(r) }

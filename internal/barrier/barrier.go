@@ -1,0 +1,129 @@
+// Package barrier provides software barriers for teams of goroutines,
+// the synchronization substrate of the SMP algorithms. The paper's
+// implementation used the software barriers of the SIMPLE methodology
+// (Bader & JáJá); this package provides the two classic designs from
+// that line of work: a centralized sense-reversing barrier and a
+// dissemination barrier.
+package barrier
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Barrier is the interface both implementations satisfy: Wait blocks the
+// calling participant until all p participants of the current episode
+// have arrived.
+type Barrier interface {
+	// Wait synchronizes participant tid with the other p-1 participants.
+	Wait(tid int)
+	// NumProcs returns the number of participants.
+	NumProcs() int
+}
+
+// Sense is a centralized sense-reversing barrier. Arrivals decrement a
+// shared counter; the last arriver resets the counter and flips the
+// global sense, releasing the waiters. Waiters block on a condition
+// variable rather than spinning, which keeps the barrier correct and
+// fair when the host has fewer cores than participants.
+type Sense struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	p       int
+	waiting int
+	sense   bool
+	// Episodes counts completed barrier episodes, for instrumentation.
+	episodes atomic.Int64
+}
+
+// NewSense returns a sense-reversing barrier for p participants.
+func NewSense(p int) *Sense {
+	if p < 1 {
+		panic(fmt.Sprintf("barrier: NewSense(%d) needs p >= 1", p))
+	}
+	b := &Sense{p: p}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// NumProcs returns the participant count.
+func (b *Sense) NumProcs() int { return b.p }
+
+// Episodes returns how many barrier episodes have completed.
+func (b *Sense) Episodes() int64 { return b.episodes.Load() }
+
+// Wait blocks until all participants arrive. The tid argument is unused
+// by this implementation but kept for interface symmetry.
+func (b *Sense) Wait(int) {
+	b.mu.Lock()
+	mySense := b.sense
+	b.waiting++
+	if b.waiting == b.p {
+		b.waiting = 0
+		b.sense = !b.sense
+		b.episodes.Add(1)
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for b.sense == mySense {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Dissemination is a dissemination barrier: ceil(log2 p) rounds in which
+// participant i signals participant (i + 2^k) mod p and waits for a
+// signal from (i - 2^k) mod p. Signals travel over single-slot channels,
+// whose FIFO ordering makes consecutive episodes safe without explicit
+// sense reversal.
+type Dissemination struct {
+	p      int
+	rounds int
+	// slots[k][i] carries round-k signals addressed to participant i.
+	slots    [][]chan struct{}
+	episodes atomic.Int64
+}
+
+// NewDissemination returns a dissemination barrier for p participants.
+func NewDissemination(p int) *Dissemination {
+	if p < 1 {
+		panic(fmt.Sprintf("barrier: NewDissemination(%d) needs p >= 1", p))
+	}
+	rounds := 0
+	for 1<<rounds < p {
+		rounds++
+	}
+	b := &Dissemination{p: p, rounds: rounds}
+	b.slots = make([][]chan struct{}, rounds)
+	for k := range b.slots {
+		b.slots[k] = make([]chan struct{}, p)
+		for i := range b.slots[k] {
+			b.slots[k][i] = make(chan struct{}, 1)
+		}
+	}
+	return b
+}
+
+// NumProcs returns the participant count.
+func (b *Dissemination) NumProcs() int { return b.p }
+
+// Episodes returns how many barrier episodes participant 0 has
+// completed; with correct usage all participants agree.
+func (b *Dissemination) Episodes() int64 { return b.episodes.Load() }
+
+// Wait blocks participant tid until all p participants arrive.
+func (b *Dissemination) Wait(tid int) {
+	if tid < 0 || tid >= b.p {
+		panic(fmt.Sprintf("barrier: Wait(%d) out of range [0,%d)", tid, b.p))
+	}
+	for k := 0; k < b.rounds; k++ {
+		to := (tid + 1<<k) % b.p
+		b.slots[k][to] <- struct{}{}
+		<-b.slots[k][tid]
+	}
+	if tid == 0 {
+		b.episodes.Add(1)
+	}
+}

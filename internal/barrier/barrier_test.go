@@ -1,0 +1,133 @@
+package barrier
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// exercise checks the fundamental barrier property: no participant may
+// enter episode k+1 before every participant has finished episode k.
+func exercise(t *testing.T, name string, mk func(p int) Barrier, p, episodes int) {
+	t.Helper()
+	b := mk(p)
+	if b.NumProcs() != p {
+		t.Fatalf("%s: NumProcs = %d, want %d", name, b.NumProcs(), p)
+	}
+	var phase atomic.Int64 // sum of per-participant episode counters
+	counts := make([]int64, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	errs := make(chan string, p*episodes)
+	for tid := 0; tid < p; tid++ {
+		go func(tid int) {
+			defer wg.Done()
+			for e := 0; e < episodes; e++ {
+				counts[tid]++
+				phase.Add(1)
+				b.Wait(tid)
+				// After the barrier, every participant must have bumped
+				// its counter for this episode: total >= (e+1)*p.
+				if got := phase.Load(); got < int64((e+1)*p) {
+					errs <- name + ": barrier released early"
+					return
+				}
+				b.Wait(tid) // second barrier so the check itself is safe
+			}
+		}(tid)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	for tid, c := range counts {
+		if c != int64(episodes) {
+			t.Fatalf("%s: participant %d completed %d episodes, want %d", name, tid, c, episodes)
+		}
+	}
+}
+
+func TestSenseBarrier(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 8, 13} {
+		exercise(t, "sense", func(p int) Barrier { return NewSense(p) }, p, 50)
+	}
+}
+
+func TestDisseminationBarrier(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 8, 13} {
+		exercise(t, "dissemination", func(p int) Barrier { return NewDissemination(p) }, p, 50)
+	}
+}
+
+func TestEpisodeCounters(t *testing.T) {
+	s := NewSense(2)
+	var wg sync.WaitGroup
+	for tid := 0; tid < 2; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				s.Wait(tid)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if s.Episodes() != 10 {
+		t.Fatalf("sense episodes = %d, want 10", s.Episodes())
+	}
+
+	d := NewDissemination(3)
+	for tid := 0; tid < 3; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 7; i++ {
+				d.Wait(tid)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if d.Episodes() != 7 {
+		t.Fatalf("dissemination episodes = %d, want 7", d.Episodes())
+	}
+}
+
+func TestConstructorsPanicOnBadP(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewSense(0) },
+		func() { NewDissemination(0) },
+		func() { NewSense(-3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad p accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDisseminationWaitRangeCheck(t *testing.T) {
+	b := NewDissemination(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range tid accepted")
+		}
+	}()
+	b.Wait(5)
+}
+
+func TestSingleParticipantNeverBlocks(t *testing.T) {
+	s := NewSense(1)
+	d := NewDissemination(1)
+	for i := 0; i < 1000; i++ {
+		s.Wait(0)
+		d.Wait(0)
+	}
+	if s.Episodes() != 1000 || d.Episodes() != 1000 {
+		t.Fatal("single-participant episode counting wrong")
+	}
+}

@@ -1,0 +1,173 @@
+// Package bicc computes biconnected components, articulation points and
+// bridges of an undirected graph — the application the paper's very
+// first sentence motivates spanning trees with ("finding a spanning tree
+// of a graph is an important building block for many graph algorithms,
+// for example, biconnected components and ear decomposition").
+//
+// The implementation is the classic Hopcroft-Tarjan low-link algorithm
+// run over a DFS spanning tree, written iteratively (explicit stacks) so
+// it handles the library's degenerate chain inputs without overflowing
+// the goroutine stack. The spanning-forest connection is direct: the DFS
+// tree is a spanning tree of each component, low-links are computed
+// against it, and every non-tree edge is a back edge.
+package bicc
+
+import (
+	"sort"
+
+	"spantree/internal/graph"
+)
+
+// Result holds the biconnected decomposition of a graph.
+type Result struct {
+	// CompOfEdge maps each undirected edge (in g.Edges() order) to its
+	// biconnected component id in [0, NumComponents).
+	CompOfEdge []int32
+	// NumComponents is the number of biconnected components.
+	NumComponents int
+	// ArticulationPoints lists the cut vertices in increasing order.
+	ArticulationPoints []graph.VID
+	// Bridges lists the cut edges (canonical U < V), sorted.
+	Bridges []graph.Edge
+	// edgeIndex maps a canonical edge to its index in g.Edges() order.
+	edgeIndex map[graph.Edge]int
+}
+
+// EdgeComponent returns the biconnected component id of edge {u,v}, or
+// -1 if the edge does not exist.
+func (r *Result) EdgeComponent(u, v graph.VID) int32 {
+	i, ok := r.edgeIndex[graph.Edge{U: u, V: v}.Canon()]
+	if !ok {
+		return -1
+	}
+	return r.CompOfEdge[i]
+}
+
+// IsArticulation reports whether v is a cut vertex.
+func (r *Result) IsArticulation(v graph.VID) bool {
+	i := sort.Search(len(r.ArticulationPoints), func(i int) bool {
+		return r.ArticulationPoints[i] >= v
+	})
+	return i < len(r.ArticulationPoints) && r.ArticulationPoints[i] == v
+}
+
+// Compute returns the biconnected decomposition of g.
+func Compute(g *graph.Graph) *Result {
+	n := g.NumVertices()
+	edges := g.Edges()
+	edgeIndex := make(map[graph.Edge]int, len(edges))
+	for i, e := range edges {
+		edgeIndex[e] = i
+	}
+
+	res := &Result{
+		CompOfEdge: make([]int32, len(edges)),
+		edgeIndex:  edgeIndex,
+	}
+	for i := range res.CompOfEdge {
+		res.CompOfEdge[i] = -1
+	}
+
+	disc := make([]int32, n) // discovery time, 0 = unvisited
+	low := make([]int32, n)  // low-link
+	parent := make([]graph.VID, n)
+	childCount := make([]int32, n) // DFS children of each vertex
+	isArt := make([]bool, n)
+	for i := range parent {
+		parent[i] = graph.None
+	}
+
+	// Explicit DFS stack: frame = (vertex, index into its neighbor list).
+	type frame struct {
+		v  graph.VID
+		ni int
+	}
+	var stack []frame
+	// Edge stack for component extraction.
+	var estack []graph.Edge
+	time := int32(0)
+	comp := int32(0)
+
+	popComponent := func(until graph.Edge) {
+		for len(estack) > 0 {
+			e := estack[len(estack)-1]
+			estack = estack[:len(estack)-1]
+			res.CompOfEdge[edgeIndex[e]] = comp
+			if e == until {
+				break
+			}
+		}
+		comp++
+	}
+
+	for s := 0; s < n; s++ {
+		if disc[s] != 0 {
+			continue
+		}
+		time++
+		disc[s] = time
+		low[s] = time
+		stack = append(stack[:0], frame{graph.VID(s), 0})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			v := f.v
+			nb := g.Neighbors(v)
+			if f.ni < len(nb) {
+				w := nb[f.ni]
+				f.ni++
+				switch {
+				case disc[w] == 0:
+					// Tree edge: descend.
+					parent[w] = v
+					childCount[v]++
+					time++
+					disc[w] = time
+					low[w] = time
+					estack = append(estack, graph.Edge{U: v, V: w}.Canon())
+					stack = append(stack, frame{w, 0})
+				case w != parent[v] && disc[w] < disc[v]:
+					// Back edge (visited ancestor): push once, update low.
+					estack = append(estack, graph.Edge{U: v, V: w}.Canon())
+					if disc[w] < low[v] {
+						low[v] = disc[w]
+					}
+				}
+				continue
+			}
+			// Done with v: propagate low-link into the parent and close
+			// components at articulation boundaries.
+			stack = stack[:len(stack)-1]
+			p := parent[v]
+			if p == graph.None {
+				continue
+			}
+			if low[v] < low[p] {
+				low[p] = low[v]
+			}
+			if low[v] >= disc[p] {
+				// p separates v's subtree: everything pushed since the
+				// tree edge {p,v} forms one biconnected component.
+				popComponent(graph.Edge{U: p, V: v}.Canon())
+				if parent[p] != graph.None || childCount[p] > 1 {
+					isArt[p] = true
+				}
+			}
+			if low[v] > disc[p] {
+				res.Bridges = append(res.Bridges, graph.Edge{U: p, V: v}.Canon())
+			}
+		}
+	}
+	res.NumComponents = int(comp)
+	for v := 0; v < n; v++ {
+		if isArt[v] {
+			res.ArticulationPoints = append(res.ArticulationPoints, graph.VID(v))
+		}
+	}
+	sort.Slice(res.Bridges, func(i, j int) bool {
+		if res.Bridges[i].U != res.Bridges[j].U {
+			return res.Bridges[i].U < res.Bridges[j].U
+		}
+		return res.Bridges[i].V < res.Bridges[j].V
+	})
+	return res
+}

@@ -1,0 +1,255 @@
+package bicc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spantree/internal/gen"
+	"spantree/internal/graph"
+	"spantree/internal/xrand"
+)
+
+// bruteComponents counts components of g with the vertices in removed
+// deleted.
+func bruteComponents(g *graph.Graph, removedV graph.VID, removedE *graph.Edge) int {
+	n := g.NumVertices()
+	uf := graph.NewUnionFind(n)
+	alive := n
+	if removedV >= 0 {
+		alive--
+	}
+	for _, e := range g.Edges() {
+		if removedV >= 0 && (e.U == removedV || e.V == removedV) {
+			continue
+		}
+		if removedE != nil && e == *removedE {
+			continue
+		}
+		uf.Union(e.U, e.V)
+	}
+	// Count sets among alive vertices.
+	seen := map[graph.VID]bool{}
+	for v := 0; v < n; v++ {
+		if removedV >= 0 && graph.VID(v) == removedV {
+			continue
+		}
+		seen[uf.Find(graph.VID(v))] = true
+	}
+	_ = alive
+	return len(seen)
+}
+
+func randomSparse(seed uint64, n, m int) *graph.Graph {
+	r := xrand.New(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m && n > 1; i++ {
+		b.AddEdge(r.Int31n(int32(n)), r.Int31n(int32(n)))
+	}
+	return b.Build()
+}
+
+func TestArticulationPointsMatchBruteForce(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%40) + 2
+		g := randomSparse(seed, n, int(mRaw%80))
+		res := Compute(g)
+		base := bruteComponents(g, -1, nil)
+		for v := 0; v < n; v++ {
+			want := false
+			if g.Degree(graph.VID(v)) > 0 {
+				want = bruteComponents(g, graph.VID(v), nil) > base
+			}
+			if res.IsArticulation(graph.VID(v)) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBridgesMatchBruteForce(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%40) + 2
+		g := randomSparse(seed, n, int(mRaw%80))
+		res := Compute(g)
+		base := bruteComponents(g, -1, nil)
+		bridges := map[graph.Edge]bool{}
+		for _, e := range res.Bridges {
+			bridges[e] = true
+		}
+		for _, e := range g.Edges() {
+			e := e
+			want := bruteComponents(g, -1, &e) > base
+			if bridges[e] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlocksPartitionEdges(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%60) + 1
+		g := randomSparse(seed, n, int(mRaw%120))
+		res := Compute(g)
+		if len(res.CompOfEdge) != g.NumEdges() {
+			return false
+		}
+		seenComp := map[int32]bool{}
+		for _, c := range res.CompOfEdge {
+			if c < 0 || int(c) >= res.NumComponents {
+				return false // every edge belongs to exactly one block
+			}
+			seenComp[c] = true
+		}
+		return len(seenComp) == res.NumComponents
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlocksAreBiconnectedAndMeetInOneVertex(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomSparse(seed, 30, 50)
+		res := Compute(g)
+		// Gather each block's edges and vertices.
+		blockEdges := make([][]graph.Edge, res.NumComponents)
+		blockVerts := make([]map[graph.VID]bool, res.NumComponents)
+		for i := range blockVerts {
+			blockVerts[i] = map[graph.VID]bool{}
+		}
+		for i, e := range g.Edges() {
+			c := res.CompOfEdge[i]
+			blockEdges[c] = append(blockEdges[c], e)
+			blockVerts[c][e.U] = true
+			blockVerts[c][e.V] = true
+		}
+		// Two distinct blocks share at most one vertex (block maximality).
+		for a := 0; a < res.NumComponents; a++ {
+			for b := a + 1; b < res.NumComponents; b++ {
+				shared := 0
+				for v := range blockVerts[a] {
+					if blockVerts[b][v] {
+						shared++
+					}
+				}
+				if shared > 1 {
+					return false
+				}
+			}
+		}
+		// A block with >= 2 edges has no internal cut vertex: removing any
+		// one vertex leaves the block's remaining edges connected.
+		for c := 0; c < res.NumComponents; c++ {
+			es := blockEdges[c]
+			if len(es) < 2 {
+				continue
+			}
+			for cut := range blockVerts[c] {
+				uf := graph.NewUnionFind(g.NumVertices())
+				var rep graph.VID = -1
+				vertsLeft := map[graph.VID]bool{}
+				for _, e := range es {
+					if e.U == cut || e.V == cut {
+						vertsLeft[e.U] = true
+						vertsLeft[e.V] = true
+						continue
+					}
+					uf.Union(e.U, e.V)
+					rep = e.U
+					vertsLeft[e.U] = true
+					vertsLeft[e.V] = true
+				}
+				delete(vertsLeft, cut)
+				if rep < 0 {
+					continue // all edges touch cut: trivially fine
+				}
+				for v := range vertsLeft {
+					if !uf.Same(v, rep) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKnownShapes(t *testing.T) {
+	// Chain: every edge is its own block and a bridge; every interior
+	// vertex is an articulation point.
+	chain := gen.Chain(10)
+	res := Compute(chain)
+	if res.NumComponents != 9 || len(res.Bridges) != 9 {
+		t.Fatalf("chain: %d blocks, %d bridges", res.NumComponents, len(res.Bridges))
+	}
+	if len(res.ArticulationPoints) != 8 {
+		t.Fatalf("chain: %d articulation points, want 8", len(res.ArticulationPoints))
+	}
+
+	// Cycle: one block, no bridges, no articulation points.
+	cyc := gen.Cycle(10)
+	res = Compute(cyc)
+	if res.NumComponents != 1 || len(res.Bridges) != 0 || len(res.ArticulationPoints) != 0 {
+		t.Fatalf("cycle: %d blocks, %d bridges, %d arts",
+			res.NumComponents, len(res.Bridges), len(res.ArticulationPoints))
+	}
+
+	// Two triangles sharing a vertex ("bowtie"): two blocks, one
+	// articulation point, no bridges.
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 2)
+	bow := b.Build()
+	res = Compute(bow)
+	if res.NumComponents != 2 || len(res.Bridges) != 0 {
+		t.Fatalf("bowtie: %d blocks, %d bridges", res.NumComponents, len(res.Bridges))
+	}
+	if len(res.ArticulationPoints) != 1 || res.ArticulationPoints[0] != 2 {
+		t.Fatalf("bowtie articulation points: %v", res.ArticulationPoints)
+	}
+	if res.EdgeComponent(0, 1) != res.EdgeComponent(2, 0) {
+		t.Fatal("triangle edges split across blocks")
+	}
+	if res.EdgeComponent(0, 1) == res.EdgeComponent(3, 4) {
+		t.Fatal("the two triangles merged into one block")
+	}
+	if res.EdgeComponent(0, 4) != -1 {
+		t.Fatal("nonexistent edge got a block")
+	}
+
+	// Complete graph: a single block.
+	if res := Compute(gen.Complete(8)); res.NumComponents != 1 {
+		t.Fatalf("K8: %d blocks", res.NumComponents)
+	}
+
+	// Empty / singleton.
+	if res := Compute(gen.Chain(0)); res.NumComponents != 0 {
+		t.Fatal("empty graph has blocks")
+	}
+	if res := Compute(gen.Chain(1)); res.NumComponents != 0 || len(res.ArticulationPoints) != 0 {
+		t.Fatal("singleton graph decomposition wrong")
+	}
+}
+
+func TestDeepChainNoStackOverflow(t *testing.T) {
+	res := Compute(gen.Chain(1 << 18))
+	if res.NumComponents != 1<<18-1 {
+		t.Fatalf("deep chain blocks = %d", res.NumComponents)
+	}
+}

@@ -1,0 +1,119 @@
+package boruvka
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spantree/internal/gen"
+	"spantree/internal/graph"
+	"spantree/internal/verify"
+)
+
+func TestMSFIsValidSpanningForest(t *testing.T) {
+	shapes := []*graph.Graph{
+		gen.Chain(0), gen.Chain(1), gen.Chain(50),
+		gen.Star(30), gen.Cycle(25), gen.Complete(12),
+		gen.Torus2D(6, 6), gen.Random(120, 200, 1),
+		graph.Union(gen.Chain(6), gen.Cycle(7)),
+	}
+	for _, g := range shapes {
+		for _, p := range []int{1, 2, 5} {
+			parent, st, err := MinimumSpanningForest(g, Options{NumProcs: p})
+			if err != nil {
+				t.Fatalf("%v p=%d: %v", g, p, err)
+			}
+			if err := verify.Forest(g, parent); err != nil {
+				t.Fatalf("%v p=%d: %v", g, p, err)
+			}
+			want := g.NumVertices() - graph.NumComponents(g)
+			if st.TreeEdges != want {
+				t.Fatalf("%v p=%d: %d tree edges, want %d", g, p, st.TreeEdges, want)
+			}
+		}
+	}
+}
+
+func TestMSFMatchesKruskalWeight(t *testing.T) {
+	// With the default distinct pseudo-random weights the MSF is unique,
+	// so parallel Borůvka and sequential Kruskal must agree on total
+	// weight exactly.
+	f := func(seed uint64, nRaw, mRaw uint16, pRaw uint8) bool {
+		n := int(nRaw%120) + 1
+		m := int(mRaw % 300)
+		p := int(pRaw%4) + 1
+		g := gen.Random(n, m, seed)
+		_, st, err := MinimumSpanningForest(g, Options{NumProcs: p})
+		if err != nil {
+			return false
+		}
+		_, want := SequentialMSF(g, nil)
+		return math.Abs(st.TotalWeight-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSFWithExplicitWeights(t *testing.T) {
+	// A 4-cycle with one heavy edge: the MST must exclude exactly the
+	// heavy edge.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	g := b.Build()
+	w := func(u, v graph.VID) float64 {
+		e := graph.Edge{U: u, V: v}.Canon()
+		if e == (graph.Edge{U: 0, V: 3}) {
+			return 100
+		}
+		return 1
+	}
+	parent, st, err := MinimumSpanningForest(g, Options{NumProcs: 2, Weight: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Forest(g, parent); err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalWeight != 3 {
+		t.Fatalf("total weight %v, want 3 (heavy edge excluded)", st.TotalWeight)
+	}
+}
+
+func TestMSFRoundsLogarithmic(t *testing.T) {
+	// Borůvka halves the component count each round: rounds <= log2 n + slack.
+	g := gen.RandomConnected(1<<12, 3<<11, 4)
+	_, st, err := MinimumSpanningForest(g, Options{NumProcs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds > 15 {
+		t.Fatalf("%d rounds for n=4096; Borůvka should need ~log n", st.Rounds)
+	}
+}
+
+func TestSequentialMSFTieBreaking(t *testing.T) {
+	// Equal weights everywhere: the tie-break by edge id must still
+	// produce a forest of the right size deterministically.
+	g := gen.Complete(10)
+	w := func(u, v graph.VID) float64 { return 1 }
+	edges, total := SequentialMSF(g, w)
+	if len(edges) != 9 || total != 9 {
+		t.Fatalf("%d edges weight %v", len(edges), total)
+	}
+	edges2, _ := SequentialMSF(g, w)
+	for i := range edges {
+		if edges[i] != edges2[i] {
+			t.Fatal("tie-breaking not deterministic")
+		}
+	}
+}
+
+func TestRejectsBadOptions(t *testing.T) {
+	if _, _, err := MinimumSpanningForest(gen.Chain(3), Options{NumProcs: 0}); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}

@@ -1,0 +1,196 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// run executes one of the tools and returns stdout, for the common case
+// where the invocation must succeed.
+func run(t *testing.T, fn func([]string, *bytes.Buffer) error, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := fn(args, &out); err != nil {
+		t.Fatalf("%v: %v\noutput:\n%s", args, err, out.String())
+	}
+	return out.String()
+}
+
+func spanTree(args []string, out *bytes.Buffer) error {
+	return RunSpanTree(args, out, out)
+}
+func graphGen(args []string, out *bytes.Buffer) error {
+	return RunGraphGen(args, out, out)
+}
+func benchFig(args []string, out *bytes.Buffer) error {
+	return RunBenchFig(args, out, out)
+}
+
+func TestSpanTreeBasicRun(t *testing.T) {
+	out := run(t, spanTree, "-gen", "torus2d", "-n", "1024", "-algo", "workstealing", "-p", "4", "-model")
+	for _, want := range []string{"graph:", "tree: 1023 edges, 1 roots", "verified", "workstealing:", "modeled"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanTreeEveryAlgorithm(t *testing.T) {
+	for _, algo := range []string{"workstealing", "seqbfs", "seqdfs", "sequf", "sv", "svlocks", "hcs", "as", "levelbfs"} {
+		out := run(t, spanTree, "-gen", "random", "-n", "500", "-algo", algo, "-p", "3")
+		if !strings.Contains(out, "verified") {
+			t.Fatalf("%s: output lacks verification:\n%s", algo, out)
+		}
+	}
+}
+
+func TestSpanTreeGenList(t *testing.T) {
+	out := run(t, spanTree, "-genlist")
+	for _, want := range []string{"torus2d", "chain", "geohier", "ad3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("genlist lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanTreeRoundTripThroughFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bin")
+	out := run(t, spanTree, "-gen", "ad3", "-n", "800", "-out", path)
+	if !strings.Contains(out, "wrote "+path) {
+		t.Fatalf("write not reported:\n%s", out)
+	}
+	out = run(t, spanTree, "-in", path, "-algo", "seqbfs")
+	if !strings.Contains(out, "verified") {
+		t.Fatalf("round trip failed:\n%s", out)
+	}
+}
+
+func TestSpanTreeFallbackFlag(t *testing.T) {
+	out := run(t, spanTree, "-gen", "chain", "-n", "20000", "-algo", "workstealing", "-p", "6", "-fallback", "3", "-seed", "3")
+	if !strings.Contains(out, "fallback: SV completion ran") {
+		t.Fatalf("fallback not reported:\n%s", out)
+	}
+}
+
+func TestSpanTreeErrors(t *testing.T) {
+	cases := [][]string{
+		{"-algo", "nope"},
+		{"-in", "/nonexistent/file.bin"},
+		{"-gen", "unknowngen"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := RunSpanTree(args, &out, &out); err == nil {
+			t.Fatalf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestGraphGenStatsAndFormats(t *testing.T) {
+	out := run(t, graphGen, "-kind", "geohier", "-n", "600", "-stats")
+	for _, want := range []string{"vertices: 600", "components: 1", "pseudo-diameter"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats lack %q:\n%s", want, out)
+		}
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "g.bin")
+	txt := filepath.Join(dir, "g.txt")
+	run(t, graphGen, "-kind", "torus2d", "-n", "100", "-out", bin)
+	run(t, graphGen, "-kind", "torus2d", "-n", "100", "-format", "text", "-out", txt)
+	data, err := os.ReadFile(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# 100 ") {
+		t.Fatalf("text output header wrong: %q", string(data[:20]))
+	}
+	if fi, err := os.Stat(bin); err != nil || fi.Size() == 0 {
+		t.Fatalf("binary output missing: %v", err)
+	}
+}
+
+func TestGraphGenList(t *testing.T) {
+	out := run(t, graphGen, "-list")
+	if !strings.Contains(out, "mesh2d60") || !strings.Contains(out, "caterpillar") {
+		t.Fatalf("list incomplete:\n%s", out)
+	}
+}
+
+func TestGraphGenErrors(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "nope", "-out", "x.bin"},
+		{"-kind", "random"}, // no -out, no -stats
+		{"-kind", "random", "-format", "xml", "-out", "x.bin"},
+		{"-kind", "random", "-out", "/nonexistent/dir/x.bin"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := RunGraphGen(args, &out, &out); err == nil {
+			t.Fatalf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestBenchFigList(t *testing.T) {
+	out := run(t, benchFig, "-list")
+	for _, want := range []string{"fig3", "fig4-torus-random", "abl-fallback", "abl-barriers"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("list lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBenchFigSingleExperiment(t *testing.T) {
+	out := run(t, benchFig, "-fig", "fig3", "-scale", "2048", "-procs", "1,2,4")
+	if !strings.Contains(out, "== fig3") || !strings.Contains(out, "speedup") {
+		t.Fatalf("fig3 output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "check [") {
+		t.Fatalf("no checks emitted:\n%s", out)
+	}
+}
+
+func TestBenchFigCSV(t *testing.T) {
+	out := run(t, benchFig, "-fig", "abl-deg2", "-scale", "2048", "-csv")
+	if !strings.Contains(out, "# abl-deg2") || !strings.Contains(out, "graph,variant,time") {
+		t.Fatalf("CSV output wrong:\n%s", out)
+	}
+}
+
+func TestBenchFigWallClockMode(t *testing.T) {
+	out := run(t, benchFig, "-fig", "fig3", "-scale", "2048", "-mode", "wallclock", "-repeats", "1")
+	if !strings.Contains(out, "== fig3") {
+		t.Fatalf("wallclock run wrong:\n%s", out)
+	}
+	if strings.Contains(out, "check [") {
+		t.Fatalf("wallclock mode must not emit modeled checks:\n%s", out)
+	}
+}
+
+func TestBenchFigErrors(t *testing.T) {
+	cases := [][]string{
+		{"-fig", "nope"},
+		{"-mode", "psychic"},
+		{"-machine", "pdp11"},
+		{"-procs", "0"},
+		{"-procs", "a,b"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := RunBenchFig(args, &out, &out); err == nil {
+			t.Fatalf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestBenchFigStrict(t *testing.T) {
+	// All checks pass at this scale, so -strict must succeed.
+	run(t, benchFig, "-fig", "abl-deg2", "-scale", "4096", "-strict")
+}

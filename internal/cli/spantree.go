@@ -1,0 +1,160 @@
+// Package cli implements the logic of the repository's command-line
+// tools (cmd/spantree, cmd/graphgen, cmd/benchfig) as testable Run
+// functions: each parses its own flags, writes to the provided streams,
+// and returns an error instead of exiting, so the integration tests can
+// drive the complete tool surface in-process.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"spantree"
+	"spantree/internal/gen"
+	"spantree/internal/smpmodel"
+)
+
+// RunSpanTree is the entry point of cmd/spantree: generate or load a
+// graph, run an algorithm, verify, and report.
+func RunSpanTree(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("spantree", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		genKind   = fs.String("gen", "random", "generator kind (see -genlist) when -in is not given")
+		genList   = fs.Bool("genlist", false, "list generator kinds and exit")
+		n         = fs.Int("n", 1<<16, "vertex budget for the generator")
+		m         = fs.Int("m", 0, "edge count (random graphs; 0 = 1.5n)")
+		k         = fs.Int("k", 0, "neighbor count (geometric graphs; 0 = 3)")
+		seed      = fs.Uint64("seed", 1, "random seed for generation and the algorithm")
+		randlabel = fs.Bool("randlabel", false, "randomly relabel vertices after generation")
+		inPath    = fs.String("in", "", "read a binary graph instead of generating")
+		outPath   = fs.String("out", "", "write the graph (binary) and exit without running")
+		algoName  = fs.String("algo", "workstealing", "algorithm: workstealing, seqbfs, seqdfs, sequf, sv, svlocks, hcs, as, levelbfs")
+		procs     = fs.Int("p", runtime.GOMAXPROCS(0), "virtual processors for parallel algorithms")
+		deg2      = fs.Bool("deg2", false, "enable degree-2 elimination preprocessing")
+		fallback  = fs.Int("fallback", 0, "idle-detection threshold (0 disables the SV fallback)")
+		model     = fs.Bool("model", false, "report Helman-JáJá modeled cost (E4500 profile)")
+		noverify  = fs.Bool("noverify", false, "skip result verification")
+		repeats   = fs.Int("repeats", 1, "timed repetitions (min reported)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *genList {
+		for _, kind := range gen.Kinds() {
+			fmt.Fprintln(stdout, kind)
+		}
+		return nil
+	}
+
+	g, err := loadOrGenerate(*inPath, *genKind, *n, *m, *k, *seed, *randlabel)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "graph: %v (avg degree %.2f, max degree %d)\n", g, g.AvgDegree(), g.MaxDegree())
+
+	if *outPath != "" {
+		return writeBinaryGraph(*outPath, g, stdout)
+	}
+
+	algo, err := spantree.ParseAlgorithm(*algoName)
+	if err != nil {
+		return err
+	}
+
+	var best *spantree.Result
+	var costModel *smpmodel.Model
+	for rep := 0; rep < max(1, *repeats); rep++ {
+		opt := spantree.Options{
+			Algorithm:         algo,
+			NumProcs:          *procs,
+			Seed:              *seed,
+			Deg2Eliminate:     *deg2,
+			FallbackThreshold: *fallback,
+			Verify:            !*noverify,
+		}
+		if *model && rep == 0 {
+			costModel = smpmodel.New(max(1, *procs))
+			opt.Model = costModel
+		}
+		res, err := spantree.Find(g, opt)
+		if err != nil {
+			return err
+		}
+		if best == nil || res.Elapsed < best.Elapsed {
+			best = res
+		}
+	}
+
+	fmt.Fprintf(stdout, "algorithm: %v  p=%d\n", best.Algorithm, *procs)
+	fmt.Fprintf(stdout, "wall time: %v (min of %d)\n", best.Elapsed.Round(time.Microsecond), max(1, *repeats))
+	fmt.Fprintf(stdout, "tree: %d edges, %d roots (components)\n", best.TreeEdges, best.Roots)
+	if !*noverify {
+		fmt.Fprintln(stdout, "verified: spanning forest is valid")
+	}
+	if ws := best.WorkStealing; ws != nil {
+		fmt.Fprintf(stdout, "workstealing: stub=%d steals=%d stolen=%d failedClaims=%d cursorRoots=%d imbalance=%.2f\n",
+			ws.StubSize, ws.Steals, ws.StolenVertices, ws.FailedClaims, ws.CursorRoots, ws.MaxLoadImbalance())
+		if ws.FallbackTriggered {
+			fmt.Fprintf(stdout, "fallback: SV completion ran (%d grafts in %d iterations)\n",
+				ws.SVStats.Grafts, ws.SVStats.Iterations)
+		}
+	}
+	if sv := best.SV; sv != nil {
+		fmt.Fprintf(stdout, "sv: iterations=%d shortcutRounds=%d grafts=%d\n", sv.Iterations, sv.ShortcutRounds, sv.Grafts)
+	}
+	if hcs := best.HCS; hcs != nil {
+		fmt.Fprintf(stdout, "hcs: iterations=%d shortcutRounds=%d grafts=%d\n", hcs.Iterations, hcs.ShortcutRounds, hcs.Grafts)
+	}
+	if as := best.AS; as != nil {
+		fmt.Fprintf(stdout, "as: iterations=%d hooks=%d+%d\n", as.Iterations, as.ConditionalHooks, as.UnconditionalHooks)
+	}
+	if lv := best.LevelBFS; lv != nil {
+		fmt.Fprintf(stdout, "levelbfs: levels=%d maxFrontier=%d\n", lv.Levels, lv.MaxFrontier)
+	}
+	if costModel != nil {
+		mach := smpmodel.E4500()
+		fmt.Fprintf(stdout, "modeled (%s): %v, triplet %s\n", mach.Name, costModel.Time(mach), costModel.Triplet())
+	}
+	return nil
+}
+
+func loadOrGenerate(inPath, kind string, n, m, k int, seed uint64, randlabel bool) (*spantree.Graph, error) {
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return spantree.ReadGraph(f)
+	}
+	return gen.Generate(gen.Spec{Kind: kind, N: n, M: m, K: k, Seed: seed, RandomLabel: randlabel})
+}
+
+func writeBinaryGraph(path string, g *spantree.Graph, stdout io.Writer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := spantree.WriteGraph(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,685 @@
+// Package core implements the paper's contribution: a randomized
+// parallel spanning-tree algorithm for shared-memory multiprocessors
+// with two main steps (Section 2, "A New Spanning Tree Algorithm For
+// SMPs"):
+//
+//  1. Stub spanning tree: one processor generates a small portion of the
+//     spanning tree by randomly walking the graph for O(p) steps; the
+//     stub's vertices are distributed evenly across the processors'
+//     queues as traversal seeds.
+//
+//  2. Work-stealing graph traversal: each processor runs the sequential
+//     BFS-style traversal of Algorithm 1 from its seeds, claiming
+//     (coloring) vertices and writing their parent pointers. Races to
+//     color the same vertex are benign — whichever processor wins yields
+//     a valid tree, only its shape differs. Idle processors steal half
+//     of a random victim's queue; if even stealing finds nothing, they
+//     sleep, and a quiescence protocol either hands out the next
+//     uncovered component or (for pathological low-connectivity inputs,
+//     when the sleeper count crosses a threshold) aborts into a
+//     Shiloach-Vishkin pass over the contracted graph, the paper's
+//     detection-and-fallback mechanism.
+//
+// The expected running time scales linearly with p for n >> p^2: each
+// processor performs O((n+m)/p) work with O(1) barrier synchronizations,
+// versus SV's O(log n) barriers and O((n log^2 n + m log n)/p) work.
+//
+// Unlike the 2004 pthreads code, vertex claiming uses a compare-and-swap
+// on the color array rather than racy plain writes: Go's memory model
+// requires synchronized access, and CAS preserves the algorithm's
+// properties while making "only one processor succeeds at setting the
+// vertex's parent" literal. The paper's multiply-colored-vertex events
+// surface here as failed claim CASes, which Stats counts.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spantree/internal/graph"
+	"spantree/internal/smpmodel"
+	"spantree/internal/spansv"
+	"spantree/internal/wsq"
+	"spantree/internal/xrand"
+)
+
+// Options configures a run of the algorithm.
+type Options struct {
+	// NumProcs is the number of virtual processors p (>= 1).
+	NumProcs int
+	// Seed drives the stub random walk and victim selection.
+	Seed uint64
+	// Model, when non-nil, accumulates Helman-JáJá cost counters.
+	Model *smpmodel.Model
+
+	// StubSteps is the length of the stub random walk; 0 means 2*p
+	// (the paper specifies O(p) steps).
+	StubSteps int
+
+	// Deg2Eliminate enables the degree-2 vertex elimination preprocessing
+	// step described at the end of the paper's Section 2.
+	Deg2Eliminate bool
+
+	// NoSteal disables work stealing (ablation: reproduces the paper's
+	// Fig. 2 load-imbalance scenario).
+	NoSteal bool
+	// NoStub skips the stub spanning tree and seeds only processor 0
+	// (ablation).
+	NoStub bool
+	// StealOne replaces the steal-half queue with a Chase-Lev steal-one
+	// deque (ablation of the bulk-stealing design choice).
+	StealOne bool
+
+	// FallbackThreshold, if > 0, aborts the traversal into the SV
+	// fallback once at least this many processors are asleep with no
+	// stealable work, the paper's detection mechanism. 0 disables the
+	// fallback (the paper notes it is "almost never" triggered; the
+	// degenerate-chain experiment enables it).
+	FallbackThreshold int
+	// IdleSleep is how long an idle processor sleeps between scans
+	// (the paper's "go to sleep for a duration"); 0 means 20µs.
+	IdleSleep time.Duration
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.StubSteps == 0 {
+		out.StubSteps = 2 * out.NumProcs
+	}
+	if out.IdleSleep == 0 {
+		out.IdleSleep = 20 * time.Microsecond
+	}
+	return out
+}
+
+// Stats reports what a run did.
+type Stats struct {
+	// StubSize is the number of vertices in the stub spanning tree.
+	StubSize int
+	// Steals counts successful steal operations; StolenVertices the
+	// total vertices moved.
+	Steals         int64
+	StolenVertices int64
+	// FailedClaims counts CAS losses: a processor saw a vertex unvisited
+	// but another processor claimed it first — the paper's
+	// multiple-coloring race events ("less than ten vertices for a graph
+	// with millions of vertices").
+	FailedClaims int64
+	// CursorRoots is the number of additional components discovered and
+	// seeded by the quiescence protocol (0 for connected inputs).
+	CursorRoots int64
+	// FallbackTriggered reports whether the SV fallback ran; SVStats
+	// holds its statistics when it did.
+	FallbackTriggered bool
+	SVStats           spansv.Stats
+	// VerticesPerProc[i] is the number of vertices processor i claimed —
+	// the load-balance evidence (expected ~n/p each with stealing).
+	VerticesPerProc []int64
+	// EdgesPerProc[i] is the number of arcs processor i scanned.
+	EdgesPerProc []int64
+	// Deg2Eliminated is the number of vertices removed by preprocessing.
+	Deg2Eliminated int
+	// LockstepRounds is the number of simulation rounds executed when
+	// the deterministic lockstep driver ran (0 for concurrent runs).
+	LockstepRounds int64
+}
+
+// MaxLoadImbalance returns max(VerticesPerProc)/mean, the headline
+// load-balance figure (1.0 is perfect).
+func (s *Stats) MaxLoadImbalance() float64 {
+	if len(s.VerticesPerProc) == 0 {
+		return 1
+	}
+	var sum, max int64
+	for _, v := range s.VerticesPerProc {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(s.VerticesPerProc))
+	return float64(max) / mean
+}
+
+// SpanningForest runs the algorithm and returns the forest as a parent
+// array (parent[v] == graph.None marks each component's root) plus run
+// statistics.
+func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
+	if opt.NumProcs < 1 {
+		return nil, Stats{}, fmt.Errorf("core: NumProcs = %d, need >= 1", opt.NumProcs)
+	}
+	o := opt.withDefaults()
+
+	if o.Deg2Eliminate {
+		return runWithDeg2(g, o)
+	}
+	return run(g, o)
+}
+
+// runWithDeg2 reduces the graph, solves the reduced instance, and
+// expands the forest back, charging the (parallelizable, but here
+// sequential) reduction to processor 0.
+func runWithDeg2(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
+	red := graph.EliminateDegree2(g)
+	probe0 := o.Model.Probe(0)
+	// The reduction scans every vertex and edge once.
+	probe0.NonContig(int64(g.NumVertices()))
+	probe0.Contig(int64(len(g.Adj)))
+	inner := o
+	inner.Deg2Eliminate = false
+	redParent, stats, err := run(red.Reduced, inner)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Deg2Eliminated = red.NumEliminated()
+	parent, err := red.ExpandForest(redParent)
+	if err != nil {
+		return nil, stats, fmt.Errorf("core: expanding degree-2 reduction: %w", err)
+	}
+	probe0.NonContig(int64(red.NumEliminated()))
+	return parent, stats, nil
+}
+
+// workQueue abstracts the two queue designs (steal-half FIFO and
+// Chase-Lev steal-one) behind the operations the traversal needs.
+type workQueue interface {
+	Push(v int32)
+	PushBatch(vs []int32)
+	Pop() (int32, bool)
+	// StealInto moves one batch from the queue into buf, returning the
+	// extended slice (unchanged when nothing was stolen).
+	StealInto(buf []int32) []int32
+	Len() int
+}
+
+type stealHalfQueue struct{ q *wsq.StealHalf }
+
+func (s stealHalfQueue) Push(v int32)                  { s.q.Push(v) }
+func (s stealHalfQueue) PushBatch(vs []int32)          { s.q.PushBatch(vs) }
+func (s stealHalfQueue) Pop() (int32, bool)            { return s.q.Pop() }
+func (s stealHalfQueue) StealInto(buf []int32) []int32 { return s.q.Steal(buf) }
+func (s stealHalfQueue) Len() int                      { return s.q.Len() }
+
+type chaseLevQueue struct{ q *wsq.ChaseLev }
+
+func (c chaseLevQueue) Push(v int32) { c.q.Push(v) }
+func (c chaseLevQueue) PushBatch(vs []int32) {
+	for _, v := range vs {
+		c.q.Push(v)
+	}
+}
+func (c chaseLevQueue) Pop() (int32, bool) { return c.q.Pop() }
+func (c chaseLevQueue) StealInto(buf []int32) []int32 {
+	if v, ok := c.q.Steal(); ok {
+		return append(buf, v)
+	}
+	return buf
+}
+func (c chaseLevQueue) Len() int { return c.q.Len() }
+
+// padCounter is a cache-line padded per-processor counter.
+type padCounter struct {
+	v int64
+	_ [7]int64
+}
+
+// traversal holds the shared state of the work-stealing phase.
+type traversal struct {
+	g      *graph.Graph
+	o      Options
+	n      int
+	color  []int32 // 0 = unvisited, otherwise owner tid+1
+	parent []graph.VID
+	queues []workQueue
+	// span[v], in non-contiguous-access units, is the earliest virtual
+	// time at which v's claim can complete: its parent's span plus the
+	// cost of processing the parent. The maximum over vertices is the
+	// dependency span S of the traversal, reported to the cost model so
+	// Brent's bound max(W/p, S) correctly denies speedup on high-diameter
+	// inputs (the paper's degenerate chain). Allocated only when a cost
+	// model is attached.
+	span []int64
+
+	visited atomic.Int64 // claimed vertices; == n means the forest is done
+	cursor  atomic.Int64 // next vertex the quiescence protocol inspects
+
+	sleepers atomic.Int32
+	abort    atomic.Bool // set when the fallback threshold trips
+	// seedMu serializes the quiescence-time seeding of new components so
+	// that exactly one root is created per uncovered component.
+	seedMu sync.Mutex
+
+	steals       atomic.Int64
+	stolen       atomic.Int64
+	failedClaims atomic.Int64
+	cursorRoots  atomic.Int64
+
+	verticesPerProc []padCounter
+	edgesPerProc    []padCounter
+}
+
+func newTraversal(g *graph.Graph, o Options) *traversal {
+	n := g.NumVertices()
+	t := &traversal{
+		g:               g,
+		o:               o,
+		n:               n,
+		color:           make([]int32, n),
+		parent:          make([]graph.VID, n),
+		queues:          make([]workQueue, o.NumProcs),
+		verticesPerProc: make([]padCounter, o.NumProcs),
+		edgesPerProc:    make([]padCounter, o.NumProcs),
+	}
+	for i := range t.parent {
+		t.parent[i] = graph.None
+	}
+	if o.Model != nil {
+		t.span = make([]int64, n)
+	}
+	initCap := n/o.NumProcs + 16
+	for i := range t.queues {
+		if o.StealOne {
+			t.queues[i] = chaseLevQueue{wsq.NewChaseLev(64)}
+		} else {
+			t.queues[i] = stealHalfQueue{wsq.NewStealHalf(min(initCap, 1<<16))}
+		}
+	}
+	return t
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// claim attempts to color w for processor tid with parent p; it returns
+// true if this processor won the vertex.
+func (t *traversal) claim(w graph.VID, p graph.VID, tid int) bool {
+	if !atomic.CompareAndSwapInt32(&t.color[w], 0, int32(tid+1)) {
+		return false
+	}
+	t.parent[w] = p // only the CAS winner writes
+	t.visited.Add(1)
+	return true
+}
+
+// run executes both steps of the algorithm on g.
+func run(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
+	t := newTraversal(g, o)
+	var stats Stats
+	stats.VerticesPerProc = make([]int64, o.NumProcs)
+	stats.EdgesPerProc = make([]int64, o.NumProcs)
+	if t.n == 0 {
+		return t.parent, stats, nil
+	}
+
+	// Step 1: stub spanning tree, generated by a single processor
+	// (charged to processor 0) and distributed round-robin.
+	rootRand := xrand.New(o.Seed)
+	probe0 := o.Model.Probe(0)
+	var seeds []graph.VID
+	if o.NoStub {
+		s := graph.VID(rootRand.Intn(t.n))
+		t.claim(s, graph.None, 0)
+		seeds = []graph.VID{s}
+	} else {
+		seeds = stubSpanningTree(t, rootRand, probe0)
+	}
+	stats.StubSize = len(seeds)
+	for i, s := range seeds {
+		t.queues[i%o.NumProcs].Push(int32(s))
+		probe0.NonContig(1)
+	}
+	// One barrier separates the stub step from the traversal step; the
+	// traversal itself needs only the final join (the paper's B = 2).
+	o.Model.AddBarriers(1)
+
+	// Step 2: work-stealing graph traversal on p processors.
+	done := make(chan struct{})
+	for tid := 0; tid < o.NumProcs; tid++ {
+		go func(tid int) {
+			defer func() { done <- struct{}{} }()
+			t.worker(tid)
+		}(tid)
+	}
+	for i := 0; i < o.NumProcs; i++ {
+		<-done
+	}
+	o.Model.AddBarriers(1)
+	t.recordSpan()
+
+	stats.Steals = t.steals.Load()
+	stats.StolenVertices = t.stolen.Load()
+	stats.FailedClaims = t.failedClaims.Load()
+	stats.CursorRoots = t.cursorRoots.Load()
+	for i := 0; i < o.NumProcs; i++ {
+		stats.VerticesPerProc[i] = t.verticesPerProc[i].v
+		stats.EdgesPerProc[i] = t.edgesPerProc[i].v
+	}
+
+	if t.abort.Load() {
+		// Pathological case detected: finish with Shiloach-Vishkin over
+		// the contracted graph.
+		stats.FallbackTriggered = true
+		svStats, err := t.fallback()
+		stats.SVStats = svStats
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	return t.parent, stats, nil
+}
+
+// worker is the per-processor traversal loop: drain own queue, steal,
+// and participate in the quiescence protocol when everything is empty.
+func (t *traversal) worker(tid int) {
+	probe := t.o.Model.Probe(tid)
+	myQ := t.queues[tid]
+	r := xrand.New(t.o.Seed).Split(uint64(tid) + 1)
+	stealBuf := make([]int32, 0, 256)
+	vCount := &t.verticesPerProc[tid].v
+	eCount := &t.edgesPerProc[tid].v
+
+	// fruitless counts consecutive cycles in which neither the own queue
+	// nor stealing produced work. It is the "has slept for a duration"
+	// patience of the paper's detection mechanism, and unlike a counter
+	// local to the waiting loop it does not reset just because a victim
+	// queue flickered above the steal threshold for a moment.
+	fruitless := 0
+	processed := 0
+	for t.visited.Load() < int64(t.n) && !t.abort.Load() {
+		v, ok := myQ.Pop()
+		if ok {
+			probe.NonContig(2) // locked dequeue + load adjacency offset
+			t.process(graph.VID(v), tid, probe, myQ, vCount, eCount)
+			fruitless = 0
+			processed++
+			if processed&63 == 0 {
+				// Yield periodically so the protocol behaves the same on
+				// hosts with fewer cores than virtual processors: without
+				// this, a busy goroutine can hold its OS thread for a
+				// whole scheduler quantum and idle workers never observe
+				// the intermediate states (stealable queues, starvation).
+				runtime.Gosched()
+			}
+			continue
+		}
+		if !t.o.NoSteal {
+			if w, ok := t.trySteal(tid, r, myQ, &stealBuf, probe); ok {
+				// Process one stolen vertex immediately: a thief that only
+				// re-queued its loot could lose it to another thief before
+				// ever popping, livelocking a one-element frontier.
+				t.process(w, tid, probe, myQ, vCount, eCount)
+				fruitless = 0
+				continue
+			}
+		}
+		if !t.idleOnce(tid, myQ, fruitless, probe) {
+			return // done or aborted
+		}
+		fruitless++
+	}
+}
+
+// process scans v's neighbors, claiming the unvisited ones (Algorithm 1,
+// lines 2.2-2.7).
+func (t *traversal) process(v graph.VID, tid int, probe *smpmodel.Probe,
+	myQ workQueue, vCount, eCount *int64) {
+	*vCount++
+	nb := t.g.Neighbors(v)
+	probe.Contig(int64(len(nb)))
+	*eCount += int64(len(nb))
+	var childSpan int64
+	if t.span != nil {
+		// A child claimed while processing v completes no earlier than
+		// v's own claim plus the cost of scanning v's neighborhood.
+		childSpan = t.span[v] + procCostNC(len(nb))
+	}
+	for _, w := range nb {
+		probe.NonContig(2) // load color[w]; write parent[w] / CAS
+		if atomic.LoadInt32(&t.color[w]) != 0 {
+			continue
+		}
+		if t.claim(w, v, tid) {
+			probe.NonContig(3) // claim CAS + visited counter + locked enqueue
+			if t.span != nil {
+				t.span[w] = childSpan
+			}
+			myQ.Push(int32(w))
+		} else {
+			t.failedClaims.Add(1)
+		}
+	}
+}
+
+// procCostNC is the modeled non-contiguous cost of processing one vertex
+// of the given degree: a locked dequeue, two accesses per incident arc,
+// and the claim overhead for one child.
+func procCostNC(deg int) int64 { return 2 + 2*int64(deg) + 3 }
+
+// recordSpan reports the traversal's dependency span to the cost model.
+func (t *traversal) recordSpan() {
+	if t.span == nil {
+		return
+	}
+	var max int64
+	for v := 0; v < t.n; v++ {
+		if atomic.LoadInt32(&t.color[v]) == 0 {
+			continue
+		}
+		if s := t.span[v] + procCostNC(t.g.Degree(graph.VID(v))); s > max {
+			max = s
+		}
+	}
+	t.o.Model.AddSpanNC(max)
+}
+
+// minStealLen is the smallest victim queue worth stealing from. A
+// single in-flight vertex is left to its owner: ripping it would only
+// relocate the serial bottleneck while thrashing the queues. This is
+// also what makes the paper's starvation scenario real — "queues of the
+// busy processors may contain only a few elements (in extreme cases ...
+// only one element). In this case work awaits busy processors while idle
+// processors starve" — and therefore what the idle-detection fallback
+// exists to catch.
+const minStealLen = 2
+
+// trySteal scans victims from a random starting point. On success it
+// queues all but the first stolen vertex and returns the first for the
+// caller to process directly.
+func (t *traversal) trySteal(tid int, r *xrand.Rand, myQ workQueue,
+	stealBuf *[]int32, probe *smpmodel.Probe) (graph.VID, bool) {
+	p := t.o.NumProcs
+	if p == 1 {
+		return 0, false
+	}
+	start := r.Intn(p)
+	for i := 0; i < p; i++ {
+		victim := (start + i) % p
+		if victim == tid {
+			continue
+		}
+		if t.queues[victim].Len() < minStealLen {
+			continue
+		}
+		*stealBuf = (*stealBuf)[:0]
+		*stealBuf = t.queues[victim].StealInto(*stealBuf)
+		if len(*stealBuf) == 0 {
+			continue
+		}
+		t.steals.Add(1)
+		t.stolen.Add(int64(len(*stealBuf)))
+		probe.NonContig(int64(len(*stealBuf)) + 2) // move the loot
+		myQ.PushBatch((*stealBuf)[1:])
+		return graph.VID((*stealBuf)[0]), true
+	}
+	// A fruitless scan costs one polling access before the processor
+	// sleeps; sleeping itself is free in the cost model, matching the
+	// paper's condition-variable design.
+	probe.NonContig(1)
+	return 0, false
+}
+
+// idleOnce performs one quantum of the sleeping and quiescence protocol
+// and returns true if the worker should retry its work sources, false if
+// the traversal is over (done or aborted). fruitless is the caller's
+// count of consecutive unproductive cycles.
+//
+// Quiescence invariant: when all p processors are asleep, no processor
+// is processing a vertex, so no claims are in flight; every vertex
+// adjacent to a colored vertex is itself colored, hence the uncolored
+// vertices form whole components. The elected leader (the processor
+// that observes sleepers == p) may therefore claim the next uncolored
+// vertex as a fresh root — that is how disconnected inputs become
+// spanning forests with exactly one root per component.
+func (t *traversal) idleOnce(tid int, myQ workQueue, fruitless int, probe *smpmodel.Probe) bool {
+	t.sleepers.Add(1)
+	defer t.sleepers.Add(-1)
+	if t.visited.Load() >= int64(t.n) || t.abort.Load() {
+		return false
+	}
+	s := t.sleepers.Load()
+	// Paper's detection mechanism: enough sleepers => switch to SV. A
+	// processor only counts after several fruitless cycles (the paper's
+	// "go to sleep for a duration"), so the transient idleness of
+	// startup and wind-down does not trip the threshold.
+	if th := t.o.FallbackThreshold; th > 0 && fruitless >= 8 && int(s) >= th {
+		t.abort.Store(true)
+		return false
+	}
+	if int(s) == t.o.NumProcs {
+		// Everyone is asleep: elect a leader to seed the next uncovered
+		// component from the cursor. When the cursor is exhausted every
+		// vertex has been inspected and colored, so visited == n and the
+		// caller's loop exits on the next check.
+		t.trySeedNextComponent(tid, myQ, probe)
+		return true
+	}
+	if fruitless < 4 {
+		runtime.Gosched()
+	} else {
+		time.Sleep(t.o.IdleSleep)
+	}
+	return true
+}
+
+// trySeedNextComponent claims the next uncolored vertex as a fresh root
+// under the seeding mutex. The re-checks inside the mutex make the
+// quiescence decision sound: with all p processors asleep and every
+// queue empty, no claim is in flight, so every vertex adjacent to a
+// colored vertex is already colored and the uncolored set is a union of
+// whole components — claiming one vertex per quiescence episode yields
+// exactly one root per component.
+func (t *traversal) trySeedNextComponent(tid int, myQ workQueue, probe *smpmodel.Probe) bool {
+	t.seedMu.Lock()
+	defer t.seedMu.Unlock()
+	if int(t.sleepers.Load()) != t.o.NumProcs {
+		return false
+	}
+	for i := 0; i < t.o.NumProcs; i++ {
+		if t.queues[i].Len() > 0 {
+			return false
+		}
+	}
+	v, ok := t.nextUncolored(probe)
+	if !ok {
+		return false
+	}
+	if !t.claim(v, graph.None, tid) {
+		return false // unreachable at true quiescence, kept for safety
+	}
+	t.cursorRoots.Add(1)
+	myQ.Push(int32(v))
+	return true
+}
+
+// nextUncolored advances the shared cursor to the next uncolored vertex.
+func (t *traversal) nextUncolored(probe *smpmodel.Probe) (graph.VID, bool) {
+	for {
+		i := t.cursor.Add(1) - 1
+		if i >= int64(t.n) {
+			return 0, false
+		}
+		probe.NonContig(1)
+		if atomic.LoadInt32(&t.color[i]) == 0 {
+			return graph.VID(i), true
+		}
+	}
+}
+
+// fallback completes a partially grown forest with Shiloach-Vishkin, the
+// paper's remedy for pathological low-connectivity inputs: the grown
+// subtrees are contracted to super-vertices (their roots) and SV grafts
+// the rest.
+func (t *traversal) fallback() (spansv.Stats, error) {
+	n := t.n
+	// Resolve every colored vertex to the root of its subtree, path-
+	// compressing as we go; uncolored vertices are their own stars.
+	d := make([]int32, n)
+	rootOf := make([]graph.VID, n)
+	for i := range rootOf {
+		rootOf[i] = graph.None
+	}
+	var path []graph.VID
+	for v := 0; v < n; v++ {
+		if rootOf[v] != graph.None {
+			continue
+		}
+		path = path[:0]
+		cur := graph.VID(v)
+		for rootOf[cur] == graph.None && t.parent[cur] != graph.None {
+			path = append(path, cur)
+			cur = t.parent[cur]
+		}
+		root := cur
+		if rootOf[cur] != graph.None {
+			root = rootOf[cur]
+		}
+		rootOf[cur] = root
+		for _, u := range path {
+			rootOf[u] = root
+		}
+	}
+	for v := 0; v < n; v++ {
+		d[v] = int32(rootOf[v])
+	}
+	t.o.Model.Probe(0).NonContig(int64(2 * n))
+
+	edges, svStats, err := spansv.GraftFrom(t.g, d, spansv.Options{
+		NumProcs: t.o.NumProcs,
+		Model:    t.o.Model,
+	})
+	if err != nil {
+		return svStats, fmt.Errorf("core: SV fallback: %w", err)
+	}
+	// Attach each graft edge: the graft (v,w) merged root(v)'s tree under
+	// w's component. Re-root v's subtree so that v becomes its root, then
+	// point v at w. Total re-rooting work is bounded by the contracted
+	// forest size.
+	for _, e := range edges {
+		rerootAt(t.parent, e.U)
+		t.parent[e.U] = e.V
+	}
+	return svStats, nil
+}
+
+// rerootAt reverses the parent pointers on the path from v to its root,
+// making v the root of its tree.
+func rerootAt(parent []graph.VID, v graph.VID) {
+	prev := graph.None
+	cur := v
+	for cur != graph.None {
+		next := parent[cur]
+		parent[cur] = prev
+		prev = cur
+		cur = next
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"spantree/internal/graph"
+	"spantree/internal/xrand"
+)
+
+// LockstepForest runs the same two-step algorithm as SpanningForest, but
+// drives the p virtual processors deterministically in round-robin
+// lockstep on the calling goroutine instead of concurrently: in each
+// round every processor either processes one vertex from its queue,
+// steals half of a victim's queue, or idles. All randomness comes from
+// opt.Seed, so two runs with equal inputs produce identical forests,
+// statistics and cost-model counters.
+//
+// This mode exists for the experiment harness: the reproduction's
+// figures are computed from Helman-JáJá cost counters, and lockstep
+// execution makes those counters exactly reproducible, whereas the
+// concurrent execution's work distribution depends on the Go scheduler.
+// The concurrent SpanningForest remains the production entry point and
+// the one exercised for correctness under real races.
+//
+// The fallback detection maps to lockstep as follows: if
+// FallbackThreshold > 0 and at least that many processors idle for
+// idlePatienceRounds consecutive rounds while the traversal is
+// unfinished, the run aborts into the Shiloach-Vishkin completion — the
+// same condition the concurrent version detects with sleeping
+// processors.
+func LockstepForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
+	if opt.NumProcs < 1 {
+		return nil, Stats{}, fmt.Errorf("core: NumProcs = %d, need >= 1", opt.NumProcs)
+	}
+	o := opt.withDefaults()
+	if o.Deg2Eliminate {
+		red := graph.EliminateDegree2(g)
+		probe0 := o.Model.Probe(0)
+		probe0.NonContig(int64(g.NumVertices()))
+		probe0.Contig(int64(len(g.Adj)))
+		inner := o
+		inner.Deg2Eliminate = false
+		redParent, stats, err := LockstepForest(red.Reduced, inner)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Deg2Eliminated = red.NumEliminated()
+		parent, err := red.ExpandForest(redParent)
+		if err != nil {
+			return nil, stats, fmt.Errorf("core: expanding degree-2 reduction: %w", err)
+		}
+		probe0.NonContig(int64(red.NumEliminated()))
+		return parent, stats, nil
+	}
+	return runLockstep(g, o)
+}
+
+// idlePatienceRounds is the lockstep analogue of the concurrent
+// version's "sleep for a duration before being counted": a processor
+// must idle this many consecutive rounds before it counts toward the
+// fallback threshold, filtering the transient idleness of startup and
+// wind-down.
+const idlePatienceRounds = 4
+
+func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
+	t := newTraversal(g, o)
+	var stats Stats
+	stats.VerticesPerProc = make([]int64, o.NumProcs)
+	stats.EdgesPerProc = make([]int64, o.NumProcs)
+	if t.n == 0 {
+		return t.parent, stats, nil
+	}
+
+	// Step 1: stub spanning tree (identical to the concurrent version).
+	rootRand := xrand.New(o.Seed)
+	probe0 := o.Model.Probe(0)
+	var seeds []graph.VID
+	if o.NoStub {
+		s := graph.VID(rootRand.Intn(t.n))
+		t.claim(s, graph.None, 0)
+		seeds = []graph.VID{s}
+	} else {
+		seeds = stubSpanningTree(t, rootRand, probe0)
+	}
+	stats.StubSize = len(seeds)
+	for i, s := range seeds {
+		t.queues[i%o.NumProcs].Push(int32(s))
+		probe0.NonContig(1)
+	}
+	o.Model.AddBarriers(1)
+
+	// Step 2: round-robin lockstep traversal.
+	p := o.NumProcs
+	rngs := make([]*xrand.Rand, p)
+	for tid := range rngs {
+		rngs[tid] = xrand.New(o.Seed).Split(uint64(tid) + 1)
+	}
+	stealBuf := make([]int32, 0, 256)
+	idleStreak := make([]int, p)
+
+	for t.visited.Load() < int64(t.n) && !t.abort.Load() {
+		idleThisRound := 0
+		patientIdlers := 0
+		for tid := 0; tid < p && t.visited.Load() < int64(t.n); tid++ {
+			probe := o.Model.Probe(tid)
+			myQ := t.queues[tid]
+			if v, ok := myQ.Pop(); ok {
+				probe.NonContig(2) // locked dequeue + load adjacency offset
+				t.process(graph.VID(v), tid, probe,
+					myQ, &t.verticesPerProc[tid].v, &t.edgesPerProc[tid].v)
+				idleStreak[tid] = 0
+				continue
+			}
+			if !o.NoSteal && p > 1 {
+				start := rngs[tid].Intn(p)
+				stole := false
+				for i := 0; i < p; i++ {
+					victim := (start + i) % p
+					if victim == tid {
+						continue
+					}
+					if t.queues[victim].Len() < minStealLen {
+						continue
+					}
+					stealBuf = t.queues[victim].StealInto(stealBuf[:0])
+					if len(stealBuf) == 0 {
+						continue
+					}
+					t.steals.Add(1)
+					t.stolen.Add(int64(len(stealBuf)))
+					probe.NonContig(int64(len(stealBuf)) + 2)
+					// Process the first stolen vertex in this same turn:
+					// merely re-queuing the loot would let the next
+					// processor steal it back, livelocking a one-element
+					// frontier under round-robin scheduling.
+					myQ.PushBatch(stealBuf[1:])
+					t.process(graph.VID(stealBuf[0]), tid, probe,
+						myQ, &t.verticesPerProc[tid].v, &t.edgesPerProc[tid].v)
+					stole = true
+					break
+				}
+				if stole {
+					idleStreak[tid] = 0
+					continue
+				}
+				probe.NonContig(1) // fruitless poll before sleeping
+			}
+			idleThisRound++
+			idleStreak[tid]++
+			if idleStreak[tid] >= idlePatienceRounds {
+				patientIdlers++
+			}
+		}
+		if t.visited.Load() >= int64(t.n) {
+			break
+		}
+		stats.LockstepRounds++
+		if th := o.FallbackThreshold; th > 0 && patientIdlers >= th {
+			t.abort.Store(true)
+			break
+		}
+		if idleThisRound == p {
+			// Quiescence: every queue is empty and nobody processed a
+			// vertex this round, so the uncolored set is a union of whole
+			// components; seed the next one on a rotating processor.
+			if v, ok := t.nextUncolored(o.Model.Probe(0)); ok {
+				tid := int(t.cursorRoots.Load()) % p
+				t.claim(v, graph.None, tid)
+				t.cursorRoots.Add(1)
+				t.queues[tid].Push(int32(v))
+				for i := range idleStreak {
+					idleStreak[i] = 0
+				}
+			}
+			// Cursor exhausted means every vertex is colored; the loop
+			// condition ends the traversal.
+		}
+	}
+	o.Model.AddBarriers(1)
+	t.recordSpan()
+
+	stats.Steals = t.steals.Load()
+	stats.StolenVertices = t.stolen.Load()
+	stats.FailedClaims = t.failedClaims.Load()
+	stats.CursorRoots = t.cursorRoots.Load()
+	for i := 0; i < p; i++ {
+		stats.VerticesPerProc[i] = t.verticesPerProc[i].v
+		stats.EdgesPerProc[i] = t.edgesPerProc[i].v
+	}
+	if t.abort.Load() {
+		stats.FallbackTriggered = true
+		svStats, err := t.fallback()
+		stats.SVStats = svStats
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	return t.parent, stats, nil
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"spantree/internal/graph"
+	"spantree/internal/smpmodel"
+	"spantree/internal/xrand"
+)
+
+// stubSpanningTree implements step 1 of the algorithm: a single
+// processor "generates a stub spanning tree, that is, a small portion of
+// the spanning tree by randomly walking the graph for O(p) steps". The
+// vertices claimed by the walk are returned in discovery order; the
+// caller distributes them evenly over the processors' queues.
+//
+// The walk claims every unvisited vertex it steps onto, so the stub is a
+// subtree of the final spanning tree (each stub vertex's parent is the
+// walk position it was discovered from). The walk may revisit colored
+// vertices without effect; it stops early only if it reaches a vertex
+// with no neighbors.
+func stubSpanningTree(t *traversal, r *xrand.Rand, probe *smpmodel.Probe) []graph.VID {
+	start := graph.VID(r.Intn(t.n))
+	t.claim(start, graph.None, 0)
+	probe.NonContig(2)
+	stub := []graph.VID{start}
+	cur := start
+	for step := 0; step < t.o.StubSteps; step++ {
+		nb := t.g.Neighbors(cur)
+		probe.NonContig(1)
+		if len(nb) == 0 {
+			break
+		}
+		next := nb[r.Intn(len(nb))]
+		probe.NonContig(2)
+		if atomic.LoadInt32(&t.color[next]) == 0 {
+			t.claim(next, cur, 0)
+			stub = append(stub, next)
+		}
+		cur = next
+	}
+	return stub
+}

@@ -1,0 +1,191 @@
+// Package ears computes a chain (ear) decomposition of an undirected
+// graph — the second application the paper's opening sentence motivates
+// spanning trees with ("an important building block for many graph
+// algorithms, for example, biconnected components and ear
+// decomposition").
+//
+// The implementation is Schmidt's chain decomposition: a DFS spanning
+// tree is computed, and then for every back edge, taken at its ancestor
+// endpoint in DFS order, a chain is emitted consisting of the back edge
+// followed by the tree path from the descendant endpoint upward until
+// the first already-visited vertex. For a 2-edge-connected graph the
+// chains form an ear decomposition (the first chain of each component is
+// a cycle, every later chain is an ear whose endpoints lie on earlier
+// chains and whose interior vertices are new); in general:
+//
+//   - an edge belongs to no chain exactly when it is a bridge;
+//   - a connected graph is 2-edge-connected iff it has no bridge;
+//   - a connected graph with at least three vertices is biconnected iff
+//     its decomposition is non-empty and exactly one chain is a cycle.
+package ears
+
+import (
+	"spantree/internal/graph"
+)
+
+// Chain is one chain of the decomposition: a sequence of at least two
+// vertices. The first edge (Chain[0], Chain[1]) is a back edge of the
+// DFS tree; the remaining edges are tree edges. A chain is a cycle when
+// its first and last vertices coincide.
+type Chain []graph.VID
+
+// IsCycle reports whether the chain starts and ends at the same vertex.
+func (c Chain) IsCycle() bool {
+	return len(c) >= 3 && c[0] == c[len(c)-1]
+}
+
+// Edges returns the chain's edges in order.
+func (c Chain) Edges() []graph.Edge {
+	out := make([]graph.Edge, 0, len(c)-1)
+	for i := 1; i < len(c); i++ {
+		out = append(out, graph.Edge{U: c[i-1], V: c[i]}.Canon())
+	}
+	return out
+}
+
+// Decomposition is the result of Compute.
+type Decomposition struct {
+	// Chains lists the chains in Schmidt order (ancestor endpoints in
+	// DFS order); within a 2-edge-connected component this order is a
+	// valid ear order.
+	Chains []Chain
+	// Bridges lists the edges covered by no chain, in canonical sorted
+	// order. By Schmidt's theorem these are exactly the graph's bridges.
+	Bridges []graph.Edge
+}
+
+// Compute returns the chain decomposition of g.
+func Compute(g *graph.Graph) *Decomposition {
+	n := g.NumVertices()
+	disc := make([]int32, n) // DFS discovery order, 0 = undiscovered
+	parent := make([]graph.VID, n)
+	order := make([]graph.VID, 0, n) // vertices in DFS order
+	for i := range parent {
+		parent[i] = graph.None
+	}
+
+	// Iterative DFS over all components.
+	type frame struct {
+		v  graph.VID
+		ni int
+	}
+	var stack []frame
+	time := int32(0)
+	for s := 0; s < n; s++ {
+		if disc[s] != 0 {
+			continue
+		}
+		time++
+		disc[s] = time
+		order = append(order, graph.VID(s))
+		stack = append(stack[:0], frame{graph.VID(s), 0})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			nb := g.Neighbors(f.v)
+			if f.ni >= len(nb) {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			w := nb[f.ni]
+			f.ni++
+			if disc[w] == 0 {
+				parent[w] = f.v
+				time++
+				disc[w] = time
+				order = append(order, w)
+				stack = append(stack, frame{w, 0})
+			}
+		}
+	}
+
+	// Back edges bucketed at their ancestor endpoint. In an undirected
+	// DFS every non-tree edge joins an ancestor-descendant pair.
+	backFrom := make([][]graph.VID, n)
+	for u := 0; u < n; u++ {
+		for _, w := range g.Neighbors(graph.VID(u)) {
+			if parent[u] == w || parent[w] == graph.VID(u) {
+				continue // tree edge
+			}
+			if disc[u] < disc[w] {
+				backFrom[u] = append(backFrom[u], w)
+			}
+		}
+	}
+
+	d := &Decomposition{}
+	visited := make([]bool, n)
+	treeEdgeUsed := make([]bool, n) // edge {v, parent[v]} keyed by child v
+	for _, v := range order {
+		for _, w := range backFrom[v] {
+			visited[v] = true
+			chain := Chain{v, w}
+			cur := w
+			for !visited[cur] {
+				visited[cur] = true
+				cur = parent[cur]
+				treeEdgeUsed[chain[len(chain)-1]] = true
+				chain = append(chain, cur)
+			}
+			d.Chains = append(d.Chains, chain)
+		}
+	}
+
+	// Bridges: tree edges not used by any chain. (Back edges are always
+	// in the chain that starts with them.)
+	for v := 0; v < n; v++ {
+		if parent[v] != graph.None && !treeEdgeUsed[v] {
+			d.Bridges = append(d.Bridges, graph.Edge{U: graph.VID(v), V: parent[v]}.Canon())
+		}
+	}
+	sortEdges(d.Bridges)
+	return d
+}
+
+func sortEdges(es []graph.Edge) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && less(es[j], es[j-1]); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+func less(a, b graph.Edge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
+// TwoEdgeConnected reports whether g is connected with no bridges
+// (trivially true for the empty and single-vertex graphs).
+func TwoEdgeConnected(g *graph.Graph) bool {
+	if !graph.IsConnected(g) {
+		return false
+	}
+	return len(Compute(g).Bridges) == 0
+}
+
+// Biconnected reports whether g is biconnected, via Schmidt's
+// criterion: connected, decomposition non-empty, and exactly one chain
+// is a cycle. Graphs with fewer than three vertices follow the
+// convention that K2 and K1 are biconnected and the empty graph is not
+// a meaningful input (reported as biconnected when connected).
+func Biconnected(g *graph.Graph) bool {
+	if !graph.IsConnected(g) {
+		return false
+	}
+	if g.NumVertices() < 3 {
+		return true
+	}
+	d := Compute(g)
+	if len(d.Bridges) > 0 || len(d.Chains) == 0 {
+		return false
+	}
+	cycles := 0
+	for _, c := range d.Chains {
+		if c.IsCycle() {
+			cycles++
+		}
+	}
+	return cycles == 1
+}

@@ -1,0 +1,253 @@
+package ears
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spantree/internal/bicc"
+	"spantree/internal/gen"
+	"spantree/internal/graph"
+	"spantree/internal/xrand"
+)
+
+func randomSparse(seed uint64, n, m int) *graph.Graph {
+	r := xrand.New(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m && n > 1; i++ {
+		b.AddEdge(r.Int31n(int32(n)), r.Int31n(int32(n)))
+	}
+	return b.Build()
+}
+
+func TestBridgesMatchBicc(t *testing.T) {
+	// Schmidt's theorem: the edges in no chain are exactly the bridges.
+	// bicc computes bridges independently (low-links), so the two must
+	// agree on arbitrary graphs.
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%80) + 1
+		g := randomSparse(seed, n, int(mRaw%160))
+		got := Compute(g).Bridges
+		want := bicc.Compute(g).Bridges
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainsPartitionNonBridgeEdges(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%60) + 1
+		g := randomSparse(seed, n, int(mRaw%150))
+		d := Compute(g)
+		seen := map[graph.Edge]int{}
+		for _, c := range d.Chains {
+			for _, e := range c.Edges() {
+				seen[e]++
+			}
+		}
+		// Every chain edge must be a real graph edge, used exactly once.
+		for e, cnt := range seen {
+			if cnt != 1 || !g.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		// Chains + bridges = all edges.
+		if len(seen)+len(d.Bridges) != g.NumEdges() {
+			return false
+		}
+		for _, b := range d.Bridges {
+			if _, dup := seen[b]; dup {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEarPropertiesOnTwoEdgeConnectedGraphs(t *testing.T) {
+	// On a 2-edge-connected graph the chains are an ear decomposition:
+	// the first chain is a cycle; every later chain has both endpoints
+	// on earlier chains and fresh interior vertices.
+	inputs := []*graph.Graph{
+		gen.Cycle(12),
+		gen.Complete(7),
+		gen.Torus2D(5, 5),
+		mustTwoEdgeConnected(t, 1),
+		mustTwoEdgeConnected(t, 2),
+		mustTwoEdgeConnected(t, 3),
+	}
+	for _, g := range inputs {
+		if !TwoEdgeConnected(g) {
+			t.Fatalf("%v: test input not 2-edge-connected", g)
+		}
+		d := Compute(g)
+		if len(d.Bridges) != 0 {
+			t.Fatalf("%v: bridges in a 2-edge-connected graph", g)
+		}
+		onEars := make([]bool, g.NumVertices())
+		for i, c := range d.Chains {
+			if i == 0 {
+				if !c.IsCycle() {
+					t.Fatalf("%v: first chain is not a cycle", g)
+				}
+				for _, v := range c {
+					onEars[v] = true
+				}
+				continue
+			}
+			first, last := c[0], c[len(c)-1]
+			if !onEars[first] || !onEars[last] {
+				t.Fatalf("%v: chain %d endpoints %d,%d not on earlier ears", g, i, first, last)
+			}
+			for _, v := range c[1 : len(c)-1] {
+				if onEars[v] {
+					t.Fatalf("%v: chain %d interior vertex %d already on an ear", g, i, v)
+				}
+			}
+			for _, v := range c {
+				onEars[v] = true
+			}
+		}
+		// The decomposition covers every vertex of a 2-edge-connected
+		// graph with >= 2 vertices.
+		for v, ok := range onEars {
+			if !ok && g.Degree(graph.VID(v)) > 0 {
+				t.Fatalf("%v: vertex %d on no ear", g, v)
+			}
+		}
+	}
+}
+
+// mustTwoEdgeConnected builds a random 2-edge-connected graph: a cycle
+// plus random chords.
+func mustTwoEdgeConnected(t *testing.T, seed uint64) *graph.Graph {
+	t.Helper()
+	r := xrand.New(seed)
+	n := 30 + r.Intn(40)
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.VID(i), graph.VID((i+1)%n))
+	}
+	for i := 0; i < n; i++ {
+		b.AddEdge(r.Int31n(int32(n)), r.Int31n(int32(n)))
+	}
+	return b.Build()
+}
+
+func TestTwoEdgeConnectedBruteForce(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%25) + 2
+		g := randomSparse(seed, n, int(mRaw%60))
+		want := graph.IsConnected(g)
+		if want {
+			// Brute force: no single edge removal disconnects.
+			for _, e := range g.Edges() {
+				var rest []graph.Edge
+				for _, f := range g.Edges() {
+					if f != e {
+						rest = append(rest, f)
+					}
+				}
+				sub, err := graph.FromEdges(n, rest)
+				if err != nil {
+					return false
+				}
+				if !graph.IsConnected(sub) {
+					want = false
+					break
+				}
+			}
+		}
+		return TwoEdgeConnected(g) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBiconnectedMatchesBicc(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%30) + 3
+		g := randomSparse(seed, n, int(mRaw%80))
+		want := graph.IsConnected(g) &&
+			len(bicc.Compute(g).ArticulationPoints) == 0 &&
+			len(bicc.Compute(g).Bridges) == 0
+		return Biconnected(g) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKnownShapes(t *testing.T) {
+	// Cycle: one chain, a cycle; biconnected.
+	d := Compute(gen.Cycle(8))
+	if len(d.Chains) != 1 || !d.Chains[0].IsCycle() || len(d.Bridges) != 0 {
+		t.Fatalf("cycle decomposition: %d chains, %d bridges", len(d.Chains), len(d.Bridges))
+	}
+	if !Biconnected(gen.Cycle(8)) {
+		t.Fatal("cycle not biconnected")
+	}
+
+	// Chain: no chains, all edges bridges; not 2-edge-connected.
+	d = Compute(gen.Chain(10))
+	if len(d.Chains) != 0 || len(d.Bridges) != 9 {
+		t.Fatalf("path decomposition: %d chains, %d bridges", len(d.Chains), len(d.Bridges))
+	}
+	if TwoEdgeConnected(gen.Chain(10)) || Biconnected(gen.Chain(10)) {
+		t.Fatal("path misclassified")
+	}
+
+	// Bowtie (two triangles sharing a vertex): 2-edge-connected but not
+	// biconnected; two cycles in the decomposition.
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 2)
+	bow := b.Build()
+	if !TwoEdgeConnected(bow) {
+		t.Fatal("bowtie should be 2-edge-connected")
+	}
+	if Biconnected(bow) {
+		t.Fatal("bowtie should not be biconnected")
+	}
+	cycles := 0
+	for _, c := range Compute(bow).Chains {
+		if c.IsCycle() {
+			cycles++
+		}
+	}
+	if cycles != 2 {
+		t.Fatalf("bowtie decomposition has %d cycles, want 2", cycles)
+	}
+
+	// Tiny cases.
+	if !Biconnected(gen.Complete(2)) || !Biconnected(gen.Chain(1)) {
+		t.Fatal("tiny-case conventions broken")
+	}
+	if Biconnected(graph.Union(gen.Cycle(3), gen.Cycle(3))) {
+		t.Fatal("disconnected graph reported biconnected")
+	}
+}
+
+func TestDeepGraphNoOverflow(t *testing.T) {
+	d := Compute(gen.Cycle(1 << 18))
+	if len(d.Chains) != 1 || !d.Chains[0].IsCycle() {
+		t.Fatal("huge cycle decomposition wrong")
+	}
+}

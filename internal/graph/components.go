@@ -1,0 +1,141 @@
+package graph
+
+// UnionFind is an array-based disjoint-set structure with union by rank
+// and path halving. It is the independent connectivity oracle used by
+// the verifier and by the Kruskal-style sequential baseline.
+type UnionFind struct {
+	parent []VID
+	rank   []int8
+	sets   int
+}
+
+// NewUnionFind returns a UnionFind over n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]VID, n),
+		rank:   make([]int8, n),
+		sets:   n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = VID(i)
+	}
+	return uf
+}
+
+// Find returns the representative of x's set, halving the path.
+func (uf *UnionFind) Find(x VID) VID {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of x and y, returning true if they were
+// previously distinct.
+func (uf *UnionFind) Union(x, y VID) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	uf.sets--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (uf *UnionFind) Same(x, y VID) bool { return uf.Find(x) == uf.Find(y) }
+
+// NumSets returns the current number of disjoint sets.
+func (uf *UnionFind) NumSets() int { return uf.sets }
+
+// Components labels each vertex of g with a component id in
+// [0, numComponents), assigned in order of the smallest vertex in each
+// component, and returns the label array plus the component count.
+// Implemented with an iterative BFS so it is safe on deep graphs.
+func Components(g *Graph) ([]VID, int) {
+	n := g.NumVertices()
+	comp := make([]VID, n)
+	for i := range comp {
+		comp[i] = None
+	}
+	next := VID(0)
+	queue := make([]VID, 0, 64)
+	for s := 0; s < n; s++ {
+		if comp[s] != None {
+			continue
+		}
+		comp[s] = next
+		queue = append(queue[:0], VID(s))
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.Neighbors(v) {
+				if comp[w] == None {
+					comp[w] = next
+					queue = append(queue, w)
+				}
+			}
+		}
+		next++
+	}
+	return comp, int(next)
+}
+
+// NumComponents returns the number of connected components of g.
+func NumComponents(g *Graph) int {
+	_, c := Components(g)
+	return c
+}
+
+// IsConnected reports whether g is connected (true for the empty graph
+// and single-vertex graphs).
+func IsConnected(g *Graph) bool {
+	return NumComponents(g) <= 1
+}
+
+// PseudoDiameter returns a lower bound on g's diameter via a double-BFS
+// sweep from start (two BFS passes, returning the eccentricity found).
+// Useful for characterizing workloads: the paper's pathological case for
+// the work-stealing traversal is large-diameter (low-connectivity)
+// graphs such as the degenerate chain.
+func PseudoDiameter(g *Graph, start VID) int {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	far, _ := bfsFarthest(g, start)
+	_, dist := bfsFarthest(g, far)
+	return dist
+}
+
+func bfsFarthest(g *Graph, s VID) (VID, int) {
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	queue := []VID{s}
+	last, lastD := s, int32(0)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				if dist[w] > lastD {
+					lastD, last = dist[w], w
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return last, int(lastD)
+}

@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.NumSets() != 5 {
+		t.Fatalf("NumSets = %d, want 5", uf.NumSets())
+	}
+	if !uf.Union(0, 1) || !uf.Union(2, 3) {
+		t.Fatal("fresh unions reported no-op")
+	}
+	if uf.Union(1, 0) {
+		t.Fatal("repeated union reported a merge")
+	}
+	if uf.NumSets() != 3 {
+		t.Fatalf("NumSets = %d, want 3", uf.NumSets())
+	}
+	if !uf.Same(0, 1) || uf.Same(0, 2) {
+		t.Fatal("Same disagrees with unions")
+	}
+	uf.Union(0, 2)
+	if !uf.Same(1, 3) {
+		t.Fatal("transitivity broken")
+	}
+}
+
+func TestUnionFindMatchesBFSComponents(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%200) + 1
+		m := int(mRaw % 400)
+		g := randomGraph(seed, n, m)
+		uf := NewUnionFind(n)
+		for _, e := range g.Edges() {
+			uf.Union(e.U, e.V)
+		}
+		comp, ncomp := Components(g)
+		if uf.NumSets() != ncomp {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			for w := 0; w < n; w++ {
+				if (comp[v] == comp[w]) != uf.Same(VID(v), VID(w)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponentsLabeling(t *testing.T) {
+	// Two triangles and an isolated vertex.
+	b := NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 3)
+	g := b.Build()
+	comp, n := Components(g)
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	// Labels assigned in order of smallest vertex.
+	if comp[0] != 0 || comp[3] != 1 || comp[6] != 2 {
+		t.Fatalf("labels %v", comp)
+	}
+	if comp[1] != 0 || comp[5] != 1 {
+		t.Fatalf("labels %v", comp)
+	}
+	if IsConnected(g) {
+		t.Fatal("disconnected graph reported connected")
+	}
+}
+
+func TestIsConnectedEdgeCases(t *testing.T) {
+	if !IsConnected(NewBuilder(0).Build()) {
+		t.Fatal("empty graph should count as connected")
+	}
+	if !IsConnected(NewBuilder(1).Build()) {
+		t.Fatal("single vertex should be connected")
+	}
+	if IsConnected(NewBuilder(2).Build()) {
+		t.Fatal("two isolated vertices are not connected")
+	}
+}
+
+func TestPseudoDiameter(t *testing.T) {
+	if d := PseudoDiameter(pathGraph(10), 5); d != 9 {
+		t.Fatalf("path pseudo-diameter from middle = %d, want 9", d)
+	}
+	if d := PseudoDiameter(cycleGraph(10), 0); d != 5 {
+		t.Fatalf("10-cycle pseudo-diameter = %d, want 5", d)
+	}
+	if d := PseudoDiameter(NewBuilder(1).Build(), 0); d != 0 {
+		t.Fatalf("singleton pseudo-diameter = %d, want 0", d)
+	}
+	if d := PseudoDiameter(NewBuilder(0).Build(), 0); d != 0 {
+		t.Fatalf("empty pseudo-diameter = %d, want 0", d)
+	}
+}

@@ -1,0 +1,220 @@
+package graph
+
+import "fmt"
+
+// Chain is a maximal path x0-x1-...-xk-x(k+1) whose interior vertices
+// x1..xk all have degree exactly 2 in the original graph. U = x0 and
+// W = x(k+1) are the (kept) endpoints; Interior lists x1..xk in path
+// order from U to W. For a component that is a pure cycle, U == W is the
+// chosen representative vertex and Interior is the rest of the cycle.
+type Chain struct {
+	U, W     VID
+	Interior []VID
+}
+
+// Deg2Reduction is the result of eliminating degree-2 vertices, the
+// preprocessing step the paper describes: "When an input graph contains
+// vertices of degree two, these vertices along with a corresponding tree
+// edge can be eliminated as a simple preprocessing step."
+//
+// The reduced graph replaces every chain with a single edge between its
+// endpoints. ExpandForest lifts a spanning forest of the reduced graph
+// back to a spanning forest of the original graph.
+type Deg2Reduction struct {
+	Orig    *Graph
+	Reduced *Graph
+	// KeepID maps an original vertex to its reduced id, or None if the
+	// vertex was eliminated (interior of some chain).
+	KeepID []VID
+	// OrigID maps a reduced vertex back to its original id.
+	OrigID []VID
+	// Chains lists every eliminated chain.
+	Chains []Chain
+	// chainByEdge maps a reduced canonical edge to the index of the chain
+	// that realizes it, when the reduced edge exists only via chains.
+	chainByEdge map[Edge]int
+}
+
+// EliminateDegree2 computes the degree-2 reduction of g.
+func EliminateDegree2(g *Graph) *Deg2Reduction {
+	n := g.NumVertices()
+	keep := make([]bool, n)
+	for v := 0; v < n; v++ {
+		keep[v] = g.Degree(VID(v)) != 2
+	}
+	interior := make([]bool, n) // marked when consumed by a chain walk
+	var chains []Chain
+
+	walk := func(u, first VID) Chain {
+		// Walk from kept endpoint u into degree-2 vertex first until a
+		// kept vertex is reached.
+		var ivs []VID
+		prev, cur := u, first
+		for !keep[cur] {
+			interior[cur] = true
+			ivs = append(ivs, cur)
+			nb := g.Neighbors(cur)
+			// Degree-2 vertex: exactly two distinct neighbors.
+			next := nb[0]
+			if next == prev {
+				next = nb[1]
+			}
+			prev, cur = cur, next
+		}
+		return Chain{U: u, W: cur, Interior: ivs}
+	}
+
+	for v := 0; v < n; v++ {
+		if !keep[v] {
+			continue
+		}
+		for _, w := range g.Neighbors(VID(v)) {
+			if !keep[w] && !interior[w] {
+				chains = append(chains, walk(VID(v), w))
+			}
+		}
+	}
+	// Pure cycles: degree-2 vertices not reached from any kept endpoint.
+	for v := 0; v < n; v++ {
+		if keep[v] || interior[v] {
+			continue
+		}
+		// Promote v to a kept representative, then walk around the cycle.
+		keep[v] = true
+		nb := g.Neighbors(VID(v))
+		chains = append(chains, walk(VID(v), nb[0]))
+	}
+
+	// Number kept vertices.
+	keepID := make([]VID, n)
+	var origID []VID
+	for v := 0; v < n; v++ {
+		if keep[v] {
+			keepID[v] = VID(len(origID))
+			origID = append(origID, VID(v))
+		} else {
+			keepID[v] = None
+		}
+	}
+
+	// Build the reduced graph: direct edges between kept vertices plus one
+	// edge per chain (self-loops from cycles vanish in the builder).
+	b := NewBuilder(len(origID))
+	for v := 0; v < n; v++ {
+		if !keep[v] {
+			continue
+		}
+		for _, w := range g.Neighbors(VID(v)) {
+			if keep[w] && VID(v) < w {
+				b.AddEdge(keepID[v], keepID[w])
+			}
+		}
+	}
+	chainByEdge := make(map[Edge]int)
+	for i, c := range chains {
+		if c.U == c.W {
+			continue // cycle chain: self-loop, never a reduced edge
+		}
+		re := Edge{keepID[c.U], keepID[c.W]}.Canon()
+		// Prefer a direct original edge when one exists; otherwise the
+		// first chain between the endpoints realizes the reduced edge.
+		if _, dup := chainByEdge[re]; !dup && !g.HasEdge(c.U, c.W) {
+			chainByEdge[re] = i
+		}
+		b.AddEdge(re.U, re.V)
+	}
+	red := b.Build()
+	red.Name = g.Name + "+deg2"
+	return &Deg2Reduction{
+		Orig:        g,
+		Reduced:     red,
+		KeepID:      keepID,
+		OrigID:      origID,
+		Chains:      chains,
+		chainByEdge: chainByEdge,
+	}
+}
+
+// NumEliminated returns how many vertices the reduction removed.
+func (r *Deg2Reduction) NumEliminated() int {
+	return r.Orig.NumVertices() - r.Reduced.NumVertices()
+}
+
+// ExpandForest lifts a spanning forest of the reduced graph, given as a
+// parent array (parent[v] == None marks a root), to a spanning forest of
+// the original graph. It returns an error if reducedParent is not a
+// valid parent array for the reduced graph's vertex count.
+func (r *Deg2Reduction) ExpandForest(reducedParent []VID) ([]VID, error) {
+	rn := r.Reduced.NumVertices()
+	if len(reducedParent) != rn {
+		return nil, fmt.Errorf("graph: ExpandForest parent length %d != reduced n %d", len(reducedParent), rn)
+	}
+	n := r.Orig.NumVertices()
+	parent := make([]VID, n)
+	for i := range parent {
+		parent[i] = None
+	}
+	chainUsed := make([]bool, len(r.Chains))
+
+	// Lift each reduced tree edge. A reduced edge {rv, rp} is realized
+	// either by a direct original edge or by routing through the chain
+	// registered for it.
+	for rv := 0; rv < rn; rv++ {
+		rp := reducedParent[rv]
+		if rp == None {
+			continue
+		}
+		if rp < 0 || int(rp) >= rn {
+			return nil, fmt.Errorf("graph: ExpandForest parent[%d] = %d out of range", rv, rp)
+		}
+		u, w := r.OrigID[rv], r.OrigID[rp] // child u hangs under parent w
+		ci, viaChain := r.chainByEdge[Edge{VID(rv), rp}.Canon()]
+		if !viaChain {
+			if !r.Orig.HasEdge(u, w) {
+				return nil, fmt.Errorf("graph: ExpandForest tree edge {%d,%d} has no original edge or chain", u, w)
+			}
+			parent[u] = w
+			continue
+		}
+		chainUsed[ci] = true
+		c := r.Chains[ci]
+		ivs := c.Interior
+		if c.U != u {
+			// Orient the chain from child u toward parent w.
+			ivs = reverseVIDs(ivs)
+		}
+		// u -> ivs[0] -> ... -> ivs[k-1] -> w
+		prev := u
+		for _, x := range ivs {
+			parent[prev] = x
+			// prev's parent set; continue down the chain toward w.
+			prev = x
+		}
+		parent[prev] = w
+		// The loop above set parent[u] toward the interior and each
+		// interior vertex toward w, exactly k+1 edges.
+	}
+
+	// Every unused chain still must span its interior vertices: attach
+	// them as a path hanging off endpoint U (dropping the edge xk-W, or
+	// the closing edge for a cycle chain).
+	for i, c := range r.Chains {
+		if chainUsed[i] || len(c.Interior) == 0 {
+			continue
+		}
+		prev := c.U
+		for _, x := range c.Interior {
+			parent[x] = prev
+			prev = x
+		}
+	}
+	return parent, nil
+}
+
+func reverseVIDs(s []VID) []VID {
+	out := make([]VID, len(s))
+	for i, v := range s {
+		out[len(s)-1-i] = v
+	}
+	return out
+}

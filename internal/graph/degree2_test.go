@@ -1,0 +1,261 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spantree/internal/xrand"
+)
+
+// pathGraph returns the path 0-1-...-(n-1).
+func pathGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(VID(i-1), VID(i))
+	}
+	return b.Build()
+}
+
+// cycleGraph returns the n-cycle.
+func cycleGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(VID(i-1), VID(i))
+	}
+	if n > 2 {
+		b.AddEdge(VID(n-1), 0)
+	}
+	return b.Build()
+}
+
+// bfsForest computes a reference spanning forest of g.
+func bfsForest(g *Graph) []VID {
+	n := g.NumVertices()
+	parent := make([]VID, n)
+	vis := make([]bool, n)
+	for i := range parent {
+		parent[i] = None
+	}
+	var q []VID
+	for s := 0; s < n; s++ {
+		if vis[s] {
+			continue
+		}
+		vis[s] = true
+		q = append(q[:0], VID(s))
+		for len(q) > 0 {
+			v := q[0]
+			q = q[1:]
+			for _, w := range g.Neighbors(v) {
+				if !vis[w] {
+					vis[w] = true
+					parent[w] = v
+					q = append(q, w)
+				}
+			}
+		}
+	}
+	return parent
+}
+
+// checkForest verifies parent is a spanning forest of g (local copy to
+// avoid an import cycle with the verify package).
+func checkForest(t *testing.T, g *Graph, parent []VID) {
+	t.Helper()
+	n := g.NumVertices()
+	if len(parent) != n {
+		t.Fatalf("parent length %d != %d", len(parent), n)
+	}
+	roots := 0
+	for v := 0; v < n; v++ {
+		if parent[v] == None {
+			roots++
+			continue
+		}
+		if !g.HasEdge(VID(v), parent[v]) {
+			t.Fatalf("tree edge {%d,%d} not in graph", v, parent[v])
+		}
+	}
+	// Acyclic: walk up with a step budget.
+	for v := 0; v < n; v++ {
+		cur, steps := VID(v), 0
+		for parent[cur] != None {
+			cur = parent[cur]
+			if steps++; steps > n {
+				t.Fatalf("cycle in parent array near %d", v)
+			}
+		}
+	}
+	if want := NumComponents(g); roots != want {
+		t.Fatalf("%d roots, want %d components", roots, want)
+	}
+}
+
+func TestEliminateDegree2Chain(t *testing.T) {
+	g := pathGraph(100)
+	red := EliminateDegree2(g)
+	if red.Reduced.NumVertices() != 2 {
+		t.Fatalf("chain reduced to %d vertices, want 2 (the endpoints)", red.Reduced.NumVertices())
+	}
+	if red.NumEliminated() != 98 {
+		t.Fatalf("eliminated %d, want 98", red.NumEliminated())
+	}
+	parent, err := red.ExpandForest(bfsForest(red.Reduced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkForest(t, g, parent)
+}
+
+func TestEliminateDegree2Cycle(t *testing.T) {
+	g := cycleGraph(50)
+	red := EliminateDegree2(g)
+	// A pure cycle keeps exactly one representative; the reduced graph
+	// has no edges (the self-loop vanishes).
+	if red.Reduced.NumVertices() != 1 || red.Reduced.NumEdges() != 0 {
+		t.Fatalf("cycle reduced to n=%d m=%d, want 1 and 0",
+			red.Reduced.NumVertices(), red.Reduced.NumEdges())
+	}
+	parent, err := red.ExpandForest(bfsForest(red.Reduced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkForest(t, g, parent)
+}
+
+func TestEliminateDegree2ThetaGraph(t *testing.T) {
+	// Two vertices joined by three internally-disjoint paths: parallel
+	// chains between the same endpoints must not double-count the
+	// reduced edge and unused chains must still span their interiors.
+	b := NewBuilder(8)
+	// Path A: 0-2-3-1; Path B: 0-4-5-1; Path C: 0-6-7-1.
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 1)
+	b.AddEdge(0, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 1)
+	b.AddEdge(0, 6)
+	b.AddEdge(6, 7)
+	b.AddEdge(7, 1)
+	g := b.Build()
+	red := EliminateDegree2(g)
+	if red.Reduced.NumVertices() != 2 || red.Reduced.NumEdges() != 1 {
+		t.Fatalf("theta reduced to n=%d m=%d, want 2 and 1",
+			red.Reduced.NumVertices(), red.Reduced.NumEdges())
+	}
+	parent, err := red.ExpandForest(bfsForest(red.Reduced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkForest(t, g, parent)
+}
+
+func TestEliminateDegree2DirectEdgePlusChain(t *testing.T) {
+	// Endpoints joined directly AND via a degree-2 chain: the reduced
+	// edge must be realized by the direct edge, and the chain interior
+	// still spanned.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1) // direct
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 1) // chain 0-2-3-1
+	// Make endpoints non-degree-2 by adding stubs... 0 and 1 have degree
+	// 2 now, which would eliminate them too; attach leaves.
+	g := b.Build()
+	red := EliminateDegree2(g)
+	parent, err := red.ExpandForest(bfsForest(red.Reduced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkForest(t, g, parent)
+}
+
+func TestEliminateDegree2NoDegree2(t *testing.T) {
+	g := randomGraph(9, 40, 200) // dense: few degree-2 vertices
+	red := EliminateDegree2(g)
+	parent, err := red.ExpandForest(bfsForest(red.Reduced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkForest(t, g, parent)
+}
+
+func TestEliminateDegree2Property(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%200) + 1
+		// Sparse densities maximize degree-2 chains.
+		m := int(mRaw % 300)
+		g := randomGraph(seed, n, m)
+		red := EliminateDegree2(g)
+		if err := red.Reduced.Validate(); err != nil {
+			return false
+		}
+		parent, err := red.ExpandForest(bfsForest(red.Reduced))
+		if err != nil {
+			return false
+		}
+		// Full forest check.
+		roots := 0
+		for v := 0; v < n; v++ {
+			p := parent[v]
+			if p == None {
+				roots++
+				continue
+			}
+			if !g.HasEdge(VID(v), p) {
+				return false
+			}
+		}
+		if roots != NumComponents(g) {
+			return false
+		}
+		// Acyclicity.
+		for v := 0; v < n; v++ {
+			cur, steps := VID(v), 0
+			for parent[cur] != None {
+				cur = parent[cur]
+				if steps++; steps > n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEliminateDegree2ChainStructures(t *testing.T) {
+	// Caterpillar-ish: spine with leaves, ensuring mixed degrees.
+	r := xrand.New(11)
+	b := NewBuilder(60)
+	for i := 1; i < 30; i++ {
+		b.AddEdge(VID(i-1), VID(i))
+	}
+	for i := 30; i < 60; i++ {
+		b.AddEdge(VID(r.Intn(30)), VID(i))
+	}
+	g := b.Build()
+	red := EliminateDegree2(g)
+	parent, err := red.ExpandForest(bfsForest(red.Reduced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkForest(t, g, parent)
+}
+
+func TestExpandForestRejectsBadInput(t *testing.T) {
+	red := EliminateDegree2(pathGraph(10))
+	if _, err := red.ExpandForest(make([]VID, 99)); err == nil {
+		t.Fatal("wrong-length parent accepted")
+	}
+	bad := bfsForest(red.Reduced)
+	if len(bad) > 0 {
+		bad[0] = 55
+		if _, err := red.ExpandForest(bad); err == nil {
+			t.Fatal("out-of-range parent accepted")
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Native Go fuzz targets for the two parsers — the only places where
+// the library consumes external bytes. `go test` runs the seed corpus;
+// `go test -fuzz=FuzzReadText ./internal/graph` explores further.
+
+func FuzzReadText(f *testing.F) {
+	f.Add("# 4 3\n0 1\n1 2\n2 3\n")
+	f.Add("# 0 0\n")
+	f.Add("")
+	f.Add("# 3\n0 1\n# trailing comment\n\n1 2\n")
+	f.Add("# 2 1\n0 0\n")
+	f.Add("0 1\n# 2\n")
+	f.Add("# 99999999999999999999 1\n")
+	f.Add("# 3 1\n-1 2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return // rejected input: fine, as long as there is no panic
+		}
+		// Accepted input must produce a canonical, valid graph that
+		// round-trips through the writer.
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph invalid: %v\ninput: %q", err, input)
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			t.Fatalf("write back: %v", err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("reread: %v", err)
+		}
+		if !back.Equal(g) {
+			t.Fatalf("round trip changed the graph\ninput: %q", input)
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	// Seed with valid encodings of a few graphs plus mutations.
+	for _, seed := range []uint64{1, 2, 3} {
+		g := randomGraph(seed, 20, 30)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		if buf.Len() > 10 {
+			trunc := append([]byte(nil), buf.Bytes()[:buf.Len()/2]...)
+			f.Add(trunc)
+			flip := append([]byte(nil), buf.Bytes()...)
+			flip[buf.Len()-1] ^= 0xFF
+			f.Add(flip)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SPTG0001"))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		g, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph invalid: %v", err)
+		}
+	})
+}

@@ -1,0 +1,220 @@
+// Package graph provides the compressed-sparse-row (CSR) undirected graph
+// representation shared by every algorithm in the library, together with
+// builders, relabeling, preprocessing, serialization and validation.
+//
+// Vertices are dense int32 identifiers in [0, N). The adjacency structure
+// is two flat slices: Offs (length N+1) and Adj (length 2M for an
+// undirected graph with M edges), so that the neighbors of v are
+// Adj[Offs[v]:Offs[v+1]]. This mirrors the adjacency-list layout the
+// paper assumes and gives the contiguous per-vertex neighbor scans whose
+// cost the Helman–JáJá model charges as a single non-contiguous access
+// followed by contiguous ones.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VID is a vertex identifier: a dense index in [0, NumVertices).
+type VID = int32
+
+// None marks the absence of a vertex (e.g. the parent of a root).
+const None VID = -1
+
+// Edge is an undirected edge between two vertices.
+type Edge struct {
+	U, V VID
+}
+
+// Canon returns the edge with endpoints ordered U <= V.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// Graph is an immutable undirected graph in CSR form. Both directions of
+// every edge are stored, so len(Adj) == 2*NumEdges(). Self-loops and
+// parallel edges are removed by the builders.
+type Graph struct {
+	// Offs has length NumVertices()+1; neighbors of v are
+	// Adj[Offs[v]:Offs[v+1]].
+	Offs []int64
+	// Adj is the concatenated neighbor lists.
+	Adj []VID
+	// Name optionally records the generator/provenance, e.g. "torus2d".
+	Name string
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.Offs) - 1 }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.Adj) / 2 }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v VID) int {
+	return int(g.Offs[v+1] - g.Offs[v])
+}
+
+// Neighbors returns the neighbor slice of v. The caller must not modify
+// the returned slice.
+func (g *Graph) Neighbors(v VID) []VID {
+	return g.Adj[g.Offs[v]:g.Offs[v+1]]
+}
+
+// HasEdge reports whether {u,v} is an edge, via binary search when the
+// adjacency list is sorted (builders always sort) with a linear fallback.
+func (g *Graph) HasEdge(u, v VID) bool {
+	nb := g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	if i < len(nb) && nb[i] == v {
+		return true
+	}
+	// Fallback for graphs with unsorted adjacency (not produced by the
+	// builders, but tolerated for robustness).
+	if !sort.SliceIsSorted(nb, func(a, b int) bool { return nb[a] < nb[b] }) {
+		for _, w := range nb {
+			if w == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Edges returns all undirected edges with U < V, in adjacency order.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.NumEdges())
+	for v := VID(0); int(v) < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if v < w {
+				es = append(es, Edge{v, w})
+			}
+		}
+	}
+	return es
+}
+
+// String implements fmt.Stringer with a short summary.
+func (g *Graph) String() string {
+	name := g.Name
+	if name == "" {
+		name = "graph"
+	}
+	return fmt.Sprintf("%s{n=%d m=%d}", name, g.NumVertices(), g.NumEdges())
+}
+
+// MaxDegree returns the maximum vertex degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(VID(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the average vertex degree (2m/n), or 0 for n == 0.
+func (g *Graph) AvgDegree() float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return float64(len(g.Adj)) / float64(n)
+}
+
+// DegreeHistogram returns counts[d] = number of vertices with degree d,
+// up to MaxDegree.
+func (g *Graph) DegreeHistogram() []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for v := 0; v < g.NumVertices(); v++ {
+		counts[g.Degree(VID(v))]++
+	}
+	return counts
+}
+
+// Validate checks structural invariants of the CSR representation:
+// monotone offsets, in-range targets, no self-loops, sorted and
+// duplicate-free neighbor lists, and symmetry (u in adj(v) iff v in
+// adj(u)). It returns a descriptive error for the first violation.
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	if len(g.Offs) == 0 {
+		return fmt.Errorf("graph: Offs must have length n+1 >= 1, got 0")
+	}
+	if g.Offs[0] != 0 {
+		return fmt.Errorf("graph: Offs[0] = %d, want 0", g.Offs[0])
+	}
+	if g.Offs[n] != int64(len(g.Adj)) {
+		return fmt.Errorf("graph: Offs[n] = %d, want len(Adj) = %d", g.Offs[n], len(g.Adj))
+	}
+	if len(g.Adj)%2 != 0 {
+		return fmt.Errorf("graph: len(Adj) = %d is odd; undirected graphs store both directions", len(g.Adj))
+	}
+	for v := 0; v < n; v++ {
+		if g.Offs[v] > g.Offs[v+1] {
+			return fmt.Errorf("graph: Offs not monotone at vertex %d: %d > %d", v, g.Offs[v], g.Offs[v+1])
+		}
+		nb := g.Neighbors(VID(v))
+		for i, w := range nb {
+			if w < 0 || int(w) >= n {
+				return fmt.Errorf("graph: neighbor %d of vertex %d out of range [0,%d)", w, v, n)
+			}
+			if w == VID(v) {
+				return fmt.Errorf("graph: self-loop at vertex %d", v)
+			}
+			if i > 0 {
+				switch {
+				case nb[i-1] == w:
+					return fmt.Errorf("graph: duplicate neighbor %d of vertex %d", w, v)
+				case nb[i-1] > w:
+					return fmt.Errorf("graph: unsorted neighbors of vertex %d: %d before %d", v, nb[i-1], w)
+				}
+			}
+		}
+	}
+	// Symmetry: count directed arcs both ways using a degree-indexed scan.
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(VID(v)) {
+			if !g.HasEdge(w, VID(v)) {
+				return fmt.Errorf("graph: asymmetric edge %d->%d has no reverse", v, w)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		Offs: make([]int64, len(g.Offs)),
+		Adj:  make([]VID, len(g.Adj)),
+		Name: g.Name,
+	}
+	copy(c.Offs, g.Offs)
+	copy(c.Adj, g.Adj)
+	return c
+}
+
+// Equal reports whether g and h have identical CSR structure (names are
+// ignored).
+func (g *Graph) Equal(h *Graph) bool {
+	if g.NumVertices() != h.NumVertices() || len(g.Adj) != len(h.Adj) {
+		return false
+	}
+	for i, o := range g.Offs {
+		if h.Offs[i] != o {
+			return false
+		}
+	}
+	for i, a := range g.Adj {
+		if h.Adj[i] != a {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spantree/internal/xrand"
+)
+
+// randomGraph builds an arbitrary canonical graph from fuzz inputs.
+func randomGraph(seed uint64, n, m int) *Graph {
+	r := xrand.New(seed)
+	b := NewBuilder(n)
+	for i := 0; i < m && n > 1; i++ {
+		b.AddEdge(r.Int31n(int32(n)), r.Int31n(int32(n)))
+	}
+	return b.Build()
+}
+
+func TestBuilderCanonicalizes(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(1, 0)
+	b.AddEdge(0, 1) // duplicate, reversed
+	b.AddEdge(2, 2) // self-loop: dropped
+	b.AddEdge(3, 2)
+	b.AddEdge(2, 3) // duplicate
+	g := b.Build()
+	if g.NumEdges() != 2 {
+		t.Fatalf("got %d edges, want 2", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || !g.HasEdge(2, 3) {
+		t.Fatal("expected edges missing")
+	}
+	if g.HasEdge(2, 2) || g.HasEdge(0, 3) {
+		t.Fatal("unexpected edges present")
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge out of range did not panic")
+		}
+	}()
+	NewBuilder(3).AddEdge(0, 3)
+}
+
+func TestBuilderReusable(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	g1 := b.Build()
+	b.AddEdge(1, 2)
+	g2 := b.Build()
+	if g1.NumEdges() != 1 || g2.NumEdges() != 2 {
+		t.Fatalf("builds saw %d and %d edges, want 1 and 2", g1.NumEdges(), g2.NumEdges())
+	}
+}
+
+func TestBuilderGrow(t *testing.T) {
+	b := NewBuilder(2)
+	first := b.Grow(3)
+	if first != 2 || b.NumVertices() != 5 {
+		t.Fatalf("Grow gave first=%d n=%d", first, b.NumVertices())
+	}
+	b.AddEdge(0, 4)
+	if err := b.Build().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromEdgesRejectsBadInput(t *testing.T) {
+	if _, err := FromEdges(-1, nil); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if _, err := FromEdges(2, []Edge{{0, 2}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	g, err := FromEdges(3, []Edge{{0, 1}, {1, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("got %d edges, want 1", g.NumEdges())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	mk := func() *Graph {
+		g, err := FromEdges(3, []Edge{{0, 1}, {1, 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	cases := []struct {
+		name    string
+		corrupt func(*Graph)
+		wantSub string
+	}{
+		{"bad offs0", func(g *Graph) { g.Offs[0] = 1 }, "Offs[0]"},
+		{"bad final off", func(g *Graph) { g.Offs[3] = 99 }, "Offs[n]"},
+		{"nonmonotone", func(g *Graph) { g.Offs[1], g.Offs[2] = g.Offs[2], g.Offs[1] }, ""},
+		{"self-loop", func(g *Graph) { g.Adj[0] = 0 }, ""},
+		{"out of range", func(g *Graph) { g.Adj[0] = 77 }, "out of range"},
+		{"asymmetric", func(g *Graph) { g.Adj[0] = 2 }, ""},
+	}
+	for _, tc := range cases {
+		g := mk()
+		tc.corrupt(g)
+		err := g.Validate()
+		if err == nil {
+			t.Fatalf("%s: corruption not detected", tc.name)
+		}
+		if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestValidateProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%300) + 1
+		m := int(mRaw % 1000)
+		return randomGraph(seed, n, m).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	g := randomGraph(1, 50, 120)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	if len(c.Adj) > 0 {
+		c.Adj[0] = (c.Adj[0] + 1) % int32(c.NumVertices())
+		if g.Equal(c) {
+			t.Fatal("mutated clone still equal")
+		}
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g, err := FromEdges(4, []Edge{{0, 1}, {0, 2}, {0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d, want 3", g.MaxDegree())
+	}
+	if g.AvgDegree() != 1.5 {
+		t.Fatalf("AvgDegree = %v, want 1.5", g.AvgDegree())
+	}
+	h := g.DegreeHistogram()
+	if h[1] != 3 || h[3] != 1 {
+		t.Fatalf("histogram %v", h)
+	}
+}
+
+func TestUnionDisjoint(t *testing.T) {
+	a, _ := FromEdges(3, []Edge{{0, 1}, {1, 2}})
+	b, _ := FromEdges(2, []Edge{{0, 1}})
+	u := Union(a, b)
+	if u.NumVertices() != 5 || u.NumEdges() != 3 {
+		t.Fatalf("union has n=%d m=%d", u.NumVertices(), u.NumEdges())
+	}
+	if !u.HasEdge(3, 4) || u.HasEdge(2, 3) {
+		t.Fatal("union wiring wrong")
+	}
+	if NumComponents(u) != 2 {
+		t.Fatalf("union components = %d, want 2", NumComponents(u))
+	}
+}
+
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		g := NewBuilder(n).Build()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if g.NumVertices() != n || g.NumEdges() != 0 {
+			t.Fatalf("n=%d: got n=%d m=%d", n, g.NumVertices(), g.NumEdges())
+		}
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed, 60, 150)
+		back, err := FromEdges(g.NumVertices(), g.Edges())
+		return err == nil && g.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

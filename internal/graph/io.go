@@ -1,0 +1,212 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Serialization formats:
+//
+//   - Binary: a compact little-endian CSR dump with a magic header, used
+//     by cmd/graphgen and cmd/spantree to pass graphs between tools.
+//   - Text: one "u v" edge per line with a "# n m" header, convenient for
+//     interchange with other tools and for tests.
+
+const binaryMagic = "SPTG0001"
+
+// MaxSerializedVertices bounds the vertex count accepted by ReadBinary:
+// a tiny malicious or corrupt header must not make the reader allocate
+// gigabytes (the offsets array costs 8 bytes per vertex). Larger graphs
+// are constructed programmatically.
+const MaxSerializedVertices = 1 << 27
+
+// MaxTextVertices bounds the vertex count accepted by ReadText. The
+// text format is an interchange format for small graphs; unlike the
+// binary reader — which fails fast when the declared payload is absent —
+// a text header is trusted on its own, so a forged "# n" line with a
+// huge n would otherwise cost seconds of allocation and scanning.
+const MaxTextVertices = 1 << 22
+
+// MaxSerializedAdjacency bounds the adjacency length (2m) accepted by
+// ReadBinary, for the same reason as MaxSerializedVertices: the array is
+// allocated before the payload is read, so the header alone must not be
+// able to demand gigabytes.
+const MaxSerializedAdjacency = 1 << 28
+
+// WriteBinary writes g to w in the library's binary CSR format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return fmt.Errorf("graph: write magic: %w", err)
+	}
+	name := []byte(g.Name)
+	if len(name) > 255 {
+		name = name[:255]
+	}
+	if err := bw.WriteByte(byte(len(name))); err != nil {
+		return fmt.Errorf("graph: write name length: %w", err)
+	}
+	if _, err := bw.Write(name); err != nil {
+		return fmt.Errorf("graph: write name: %w", err)
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(g.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(g.Adj)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("graph: write header: %w", err)
+	}
+	var buf [8]byte
+	for _, o := range g.Offs {
+		binary.LittleEndian.PutUint64(buf[:8], uint64(o))
+		if _, err := bw.Write(buf[:8]); err != nil {
+			return fmt.Errorf("graph: write offsets: %w", err)
+		}
+	}
+	for _, a := range g.Adj {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(a))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return fmt.Errorf("graph: write adjacency: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph written by WriteBinary and validates it.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: read magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	nameLen, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("graph: read name length: %w", err)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("graph: read name: %w", err)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: read header: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[0:8])
+	adjLen := binary.LittleEndian.Uint64(hdr[8:16])
+	if n > MaxSerializedVertices {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds the %d serialization limit", n, MaxSerializedVertices)
+	}
+	if adjLen > MaxSerializedAdjacency {
+		return nil, fmt.Errorf("graph: adjacency length %d exceeds the %d serialization limit", adjLen, MaxSerializedAdjacency)
+	}
+	g := &Graph{
+		Offs: make([]int64, n+1),
+		Adj:  make([]VID, adjLen),
+		Name: string(name),
+	}
+	buf := make([]byte, 8)
+	for i := range g.Offs {
+		if _, err := io.ReadFull(br, buf[:8]); err != nil {
+			return nil, fmt.Errorf("graph: read offsets: %w", err)
+		}
+		g.Offs[i] = int64(binary.LittleEndian.Uint64(buf[:8]))
+	}
+	for i := range g.Adj {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, fmt.Errorf("graph: read adjacency: %w", err)
+		}
+		g.Adj[i] = VID(binary.LittleEndian.Uint32(buf[:4]))
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: binary input invalid: %w", err)
+	}
+	return g, nil
+}
+
+// WriteText writes g as a "# n m" header followed by one "u v" line per
+// undirected edge with u < v.
+func WriteText(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %d %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return fmt.Errorf("graph: write text header: %w", err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(VID(v)) {
+			if VID(v) < u {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
+					return fmt.Errorf("graph: write text edge: %w", err)
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format written by WriteText. Blank lines and
+// additional comment lines starting with '#' after the header are
+// ignored; edges are deduplicated and self-loops dropped, so arbitrary
+// edge lists are accepted.
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var (
+		b       *Builder
+		lineNum int
+	)
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if b == nil {
+				fields := strings.Fields(strings.TrimPrefix(line, "#"))
+				if len(fields) < 1 {
+					return nil, fmt.Errorf("graph: line %d: header must be '# n [m]'", lineNum)
+				}
+				n, err := strconv.ParseInt(fields[0], 10, 32)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("graph: line %d: bad vertex count %q", lineNum, fields[0])
+				}
+				if n > MaxTextVertices {
+					return nil, fmt.Errorf("graph: line %d: vertex count %d exceeds the %d text-format limit", lineNum, n, MaxTextVertices)
+				}
+				b = NewBuilder(int(n))
+			}
+			continue
+		}
+		if b == nil {
+			return nil, fmt.Errorf("graph: line %d: edge before '# n m' header", lineNum)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'u v', got %q", lineNum, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q", lineNum, fields[0])
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q", lineNum, fields[1])
+		}
+		if u < 0 || u >= int64(b.NumVertices()) || v < 0 || v >= int64(b.NumVertices()) {
+			return nil, fmt.Errorf("graph: line %d: edge {%d,%d} out of range [0,%d)", lineNum, u, v, b.NumVertices())
+		}
+		b.AddEdge(VID(u), VID(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scan text input: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: empty text input (missing '# n m' header)")
+	}
+	return b.Build(), nil
+}

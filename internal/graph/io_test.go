@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%300) + 1
+		g := randomGraph(seed, n, int(mRaw%600))
+		g.Name = "roundtrip"
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return back.Equal(g) && back.Name == "roundtrip"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTMAGIC________________________"),
+	}
+	for i, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+	// Truncated valid stream.
+	var buf bytes.Buffer
+	g := randomGraph(1, 20, 40)
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestBinaryRejectsCorruptStructure(t *testing.T) {
+	g := randomGraph(2, 10, 20)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a byte inside the adjacency section to break symmetry (the
+	// final Validate must reject it). Offset: magic(8)+namelen(1)+name+
+	// header(16)+offs. Corrupt the very last adjacency byte.
+	if len(g.Adj) > 0 {
+		data[len(data)-1] ^= 0x3F
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Fatal("corrupted adjacency accepted")
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%200) + 1
+		g := randomGraph(seed, n, int(mRaw%400))
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			return false
+		}
+		back, err := ReadText(&buf)
+		return err == nil && back.Equal(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextParsing(t *testing.T) {
+	good := "# 4 3\n0 1\n\n# comment\n1 2\n2 3\n"
+	g, err := ReadText(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("parsed n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+
+	bad := []string{
+		"",               // no header
+		"0 1\n",          // edge before header
+		"# x\n",          // bad vertex count
+		"# 3\n0\n",       // malformed edge
+		"# 3\n0 zebra\n", // bad endpoint
+		"# 3\n0 7\n",     // out of range
+		"# -2\n",         // negative count
+		"# 3\n1 2 3\n",   // too many fields
+	}
+	for i, s := range bad {
+		if _, err := ReadText(strings.NewReader(s)); err == nil {
+			t.Fatalf("bad input %d accepted: %q", i, s)
+		}
+	}
+}
+
+func TestTextAcceptsMessyEdgeLists(t *testing.T) {
+	// Duplicates, reversals and self-loops are tolerated and cleaned.
+	s := "# 3 99\n0 1\n1 0\n1 1\n1 2\n"
+	g, err := ReadText(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("cleaned edge count %d, want 2", g.NumEdges())
+	}
+}
+
+func TestBinaryLongNameTruncated(t *testing.T) {
+	g := randomGraph(3, 5, 5)
+	g.Name = strings.Repeat("x", 300)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Name) != 255 {
+		t.Fatalf("name length %d, want 255", len(back.Name))
+	}
+}

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spantree/internal/xrand"
+)
+
+func TestRelabelIsomorphismInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed, 80, 200)
+		perm := xrand.New(seed ^ 0xABCD).Perm(g.NumVertices())
+		h := Relabel(g, perm)
+		if h.Validate() != nil {
+			return false
+		}
+		if h.NumVertices() != g.NumVertices() || h.NumEdges() != g.NumEdges() {
+			return false
+		}
+		// Edge set maps exactly through perm.
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.Degree(VID(v)) != h.Degree(perm[v]) {
+				return false
+			}
+			for _, w := range g.Neighbors(VID(v)) {
+				if !h.HasEdge(perm[v], perm[w]) {
+					return false
+				}
+			}
+		}
+		return NumComponents(g) == NumComponents(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelabelIdentity(t *testing.T) {
+	g := randomGraph(3, 40, 80)
+	perm := make([]VID, g.NumVertices())
+	for i := range perm {
+		perm[i] = VID(i)
+	}
+	if !Relabel(g, perm).Equal(g) {
+		t.Fatal("identity relabel changed the graph")
+	}
+}
+
+func TestRelabelRejectsNonPermutation(t *testing.T) {
+	g := randomGraph(4, 5, 8)
+	cases := [][]VID{
+		{0, 1, 2},          // wrong length
+		{0, 0, 1, 2, 3},    // duplicate
+		{0, 1, 2, 3, 9},    // out of range
+		{0, 1, 2, 3, None}, // negative
+	}
+	for i, perm := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: bad perm accepted", i)
+				}
+			}()
+			Relabel(g, perm)
+		}()
+	}
+}
+
+func TestRandomRelabelDeterministic(t *testing.T) {
+	g := randomGraph(5, 60, 120)
+	a := RandomRelabel(g, 77)
+	b := RandomRelabel(g, 77)
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different relabelings")
+	}
+	c := RandomRelabel(g, 78)
+	if a.Equal(c) && g.NumEdges() > 10 {
+		t.Fatal("different seeds produced identical relabelings")
+	}
+}
+
+func TestBFSOrderRelabel(t *testing.T) {
+	g := randomGraph(6, 70, 140)
+	h := BFSOrderRelabel(g)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != g.NumEdges() || NumComponents(h) != NumComponents(g) {
+		t.Fatal("BFS relabel not an isomorphism")
+	}
+	// On a path graph BFS order from 0 is the identity.
+	b := NewBuilder(5)
+	for i := 1; i < 5; i++ {
+		b.AddEdge(VID(i-1), VID(i))
+	}
+	path := b.Build()
+	if !BFSOrderRelabel(path).Equal(path) {
+		t.Fatal("BFS relabel of a path from 0 should be the identity")
+	}
+}

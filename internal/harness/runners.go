@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"spantree/internal/core"
+	"spantree/internal/graph"
+	"spantree/internal/smpmodel"
+	"spantree/internal/spanas"
+	"spantree/internal/spanhcs"
+	"spantree/internal/spanlevel"
+	"spantree/internal/spanrm"
+	"spantree/internal/spanseq"
+	"spantree/internal/spansv"
+	"spantree/internal/verify"
+)
+
+// measurement is one (algorithm, p) data point.
+type measurement struct {
+	algo string
+	p    int
+	time time.Duration
+	// extra carries algorithm-specific info for findings (e.g. SV
+	// iteration counts, steal counts).
+	extra string
+}
+
+// algoKind identifies the runner used by measure.
+type algoKind int
+
+const (
+	kindSeqBFS algoKind = iota
+	kindSV
+	kindSVLocks
+	kindHCS
+	kindAS
+	kindRM
+	kindLevelBFS
+	kindWS // the paper's work-stealing algorithm
+)
+
+func (k algoKind) label() string {
+	switch k {
+	case kindSeqBFS:
+		return "Sequential"
+	case kindSV:
+		return "SV"
+	case kindSVLocks:
+		return "SV-locks"
+	case kindHCS:
+		return "HCS"
+	case kindAS:
+		return "AS"
+	case kindRM:
+		return "RandMate"
+	case kindLevelBFS:
+		return "LevelBFS"
+	case kindWS:
+		return "NewAlg"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// wsConfig carries the work-stealing variant toggles for ablations.
+type wsConfig struct {
+	noSteal     bool
+	noStub      bool
+	stealOne    bool
+	deg2        bool
+	fallbackAtP bool // threshold = max(1, p-1): force-detect pathologies
+	stubSteps   int  // 0 = the default 2p
+}
+
+// measure runs one algorithm at one processor count and returns its
+// measured (modeled or wall-clock) time. The computed forest is always
+// verified when cfg.Verify is set; a verification failure is returned as
+// an error since it invalidates the whole experiment.
+func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (measurement, error) {
+	m := measurement{algo: kind.label(), p: p}
+	runOnce := func(model *smpmodel.Model) ([]graph.VID, string, error) {
+		switch kind {
+		case kindSeqBFS:
+			return spanseq.BFS(g, model.Probe(0)), "", nil
+		case kindSV, kindSVLocks:
+			parent, st, err := spansv.SpanningForest(g, spansv.Options{
+				NumProcs: p,
+				UseLocks: kind == kindSVLocks,
+				Model:    model,
+			})
+			return parent, fmt.Sprintf("iters=%d shortcuts=%d", st.Iterations, st.ShortcutRounds), err
+		case kindHCS:
+			parent, st, err := spanhcs.SpanningForest(g, spanhcs.Options{NumProcs: p, Model: model})
+			return parent, fmt.Sprintf("iters=%d shortcuts=%d", st.Iterations, st.ShortcutRounds), err
+		case kindAS:
+			parent, st, err := spanas.SpanningForest(g, spanas.Options{NumProcs: p, Model: model})
+			return parent, fmt.Sprintf("iters=%d hooks=%d+%d", st.Iterations, st.ConditionalHooks, st.UnconditionalHooks), err
+		case kindRM:
+			parent, st, err := spanrm.SpanningForest(g, spanrm.Options{NumProcs: p, Seed: cfg.Seed, Model: model})
+			return parent, fmt.Sprintf("rounds=%d", st.Rounds), err
+		case kindLevelBFS:
+			parent, st, err := spanlevel.SpanningForest(g, spanlevel.Options{NumProcs: p, Model: model})
+			return parent, fmt.Sprintf("levels=%d", st.Levels), err
+		case kindWS:
+			opt := core.Options{
+				NumProcs:      p,
+				Seed:          cfg.Seed,
+				Model:         model,
+				NoSteal:       ws.noSteal,
+				NoStub:        ws.noStub,
+				StealOne:      ws.stealOne,
+				Deg2Eliminate: ws.deg2,
+				StubSteps:     ws.stubSteps,
+			}
+			if ws.fallbackAtP {
+				opt.FallbackThreshold = maxInt(1, p-1)
+			}
+			var (
+				parent []graph.VID
+				st     core.Stats
+				err    error
+			)
+			if cfg.Mode == Modeled {
+				parent, st, err = core.LockstepForest(g, opt)
+			} else {
+				parent, st, err = core.SpanningForest(g, opt)
+			}
+			extra := fmt.Sprintf("steals=%d imbalance=%.2f", st.Steals, st.MaxLoadImbalance())
+			if st.FallbackTriggered {
+				extra += " fallback=yes"
+			}
+			return parent, extra, err
+		}
+		return nil, "", fmt.Errorf("harness: unknown algorithm kind %d", kind)
+	}
+
+	if cfg.Mode == Modeled {
+		model := smpmodel.New(p)
+		parent, extra, err := runOnce(model)
+		if err != nil {
+			return m, err
+		}
+		if cfg.Verify {
+			if err := verify.Forest(g, parent); err != nil {
+				return m, fmt.Errorf("harness: %s p=%d on %v: %w", m.algo, p, g, err)
+			}
+		}
+		m.time = model.Time(cfg.Machine)
+		m.extra = extra
+		return m, nil
+	}
+
+	// Wall-clock: repeat and keep the minimum.
+	best := time.Duration(0)
+	var extra string
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		start := time.Now()
+		parent, e, err := runOnce(nil)
+		elapsed := time.Since(start)
+		if err != nil {
+			return m, err
+		}
+		if rep == 0 && cfg.Verify {
+			if err := verify.Forest(g, parent); err != nil {
+				return m, fmt.Errorf("harness: %s p=%d on %v: %w", m.algo, p, g, err)
+			}
+		}
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+		extra = e
+	}
+	m.time = best
+	m.extra = extra
+	return m, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

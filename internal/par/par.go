@@ -1,0 +1,207 @@
+// Package par is the SMP execution substrate: it runs a fixed team of p
+// virtual processors (goroutines), gives each a processor id, and
+// provides barriers, block partitioning, parallel-for loops and
+// reductions — the programming model of the paper's POSIX-threads
+// implementation, transplanted onto goroutines.
+package par
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"spantree/internal/barrier"
+	"spantree/internal/smpmodel"
+)
+
+// Team is a reusable group of p virtual processors sharing a barrier and
+// reduction scratch space. Create one per algorithm invocation.
+type Team struct {
+	p       int
+	bar     barrier.Barrier
+	model   *smpmodel.Model
+	scratch []pad64 // per-processor reduction slots
+}
+
+type pad64 struct {
+	v int64
+	_ [7]int64
+}
+
+// NewTeam returns a team of p virtual processors using a dissemination
+// barrier. model may be nil for un-instrumented runs.
+func NewTeam(p int, model *smpmodel.Model) *Team {
+	if p < 1 {
+		panic(fmt.Sprintf("par: NewTeam(%d) needs p >= 1", p))
+	}
+	return &Team{
+		p:       p,
+		bar:     barrier.NewDissemination(p),
+		model:   model,
+		scratch: make([]pad64, p),
+	}
+}
+
+// NumProcs returns the team size.
+func (t *Team) NumProcs() int { return t.p }
+
+// Model returns the team's cost model (possibly nil).
+func (t *Team) Model() *smpmodel.Model { return t.model }
+
+// Run executes fn on all p virtual processors concurrently and waits for
+// all of them. Each invocation receives a Ctx bound to its processor id.
+// A panic on any processor is re-raised on the caller after all
+// processors finish or panic.
+func (t *Team) Run(fn func(c *Ctx)) {
+	var wg sync.WaitGroup
+	wg.Add(t.p)
+	panics := make([]any, t.p)
+	for tid := 0; tid < t.p; tid++ {
+		go func(tid int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[tid] = r
+				}
+			}()
+			fn(&Ctx{team: t, tid: tid, probe: t.model.Probe(tid)})
+		}(tid)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// Ctx is one virtual processor's view of the team.
+type Ctx struct {
+	team  *Team
+	tid   int
+	probe *smpmodel.Probe
+}
+
+// TID returns the processor id in [0, NumProcs).
+func (c *Ctx) TID() int { return c.tid }
+
+// NumProcs returns the team size.
+func (c *Ctx) NumProcs() int { return c.team.p }
+
+// Probe returns this processor's cost-model probe (nil-safe to use).
+func (c *Ctx) Probe() *smpmodel.Probe { return c.probe }
+
+// Barrier synchronizes all processors of the team and charges one
+// barrier to the cost model (recorded once, by processor 0).
+func (c *Ctx) Barrier() {
+	if c.tid == 0 {
+		c.team.model.AddBarriers(1)
+	}
+	c.team.bar.Wait(c.tid)
+}
+
+// Block returns this processor's contiguous share [lo, hi) of n items
+// under the standard balanced block partition.
+func (c *Ctx) Block(n int) (lo, hi int) {
+	return BlockRange(n, c.team.p, c.tid)
+}
+
+// BlockRange splits n items into p nearly equal contiguous blocks and
+// returns block tid as [lo, hi). Blocks differ in size by at most one.
+func BlockRange(n, p, tid int) (lo, hi int) {
+	q, r := n/p, n%p
+	lo = tid*q + min(tid, r)
+	hi = lo + q
+	if tid < r {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ForStatic runs body(i) for i in this processor's block of [0, n).
+// Purely local — no synchronization; pair with Barrier as needed.
+func (c *Ctx) ForStatic(n int, body func(i int)) {
+	lo, hi := c.Block(n)
+	for i := lo; i < hi; i++ {
+		body(i)
+	}
+}
+
+// Counter is a shared chunk dispenser for dynamically scheduled loops.
+type Counter struct {
+	next atomic.Int64
+}
+
+// NewCounter returns a dispenser starting at 0.
+func NewCounter() *Counter { return &Counter{} }
+
+// Next reserves chunk items and returns the start index.
+func (d *Counter) Next(chunk int) int64 {
+	return d.next.Add(int64(chunk)) - int64(chunk)
+}
+
+// ForDynamic runs body(i) for i in [0, n), handing out chunks of the
+// given size from the shared dispenser d. All processors of the team
+// must call it with the same n, chunk and dispenser.
+func (c *Ctx) ForDynamic(d *Counter, n, chunk int, body func(i int)) {
+	if chunk < 1 {
+		chunk = 1
+	}
+	for {
+		lo := d.Next(chunk)
+		if lo >= int64(n) {
+			return
+		}
+		hi := lo + int64(chunk)
+		if hi > int64(n) {
+			hi = int64(n)
+		}
+		for i := lo; i < hi; i++ {
+			body(int(i))
+		}
+	}
+}
+
+// ReduceSum writes x into this processor's slot, synchronizes, and
+// returns the team-wide sum. Involves two barriers so the scratch space
+// can be reused immediately after return.
+func (c *Ctx) ReduceSum(x int64) int64 {
+	c.team.scratch[c.tid].v = x
+	c.Barrier()
+	var sum int64
+	for i := 0; i < c.team.p; i++ {
+		sum += c.team.scratch[i].v
+	}
+	c.Barrier()
+	return sum
+}
+
+// ReduceMax behaves like ReduceSum with the max operator.
+func (c *Ctx) ReduceMax(x int64) int64 {
+	c.team.scratch[c.tid].v = x
+	c.Barrier()
+	best := c.team.scratch[0].v
+	for i := 1; i < c.team.p; i++ {
+		if c.team.scratch[i].v > best {
+			best = c.team.scratch[i].v
+		}
+	}
+	c.Barrier()
+	return best
+}
+
+// ReduceOr behaves like ReduceSum with boolean OR.
+func (c *Ctx) ReduceOr(x bool) bool {
+	var v int64
+	if x {
+		v = 1
+	}
+	return c.ReduceMax(v) != 0
+}

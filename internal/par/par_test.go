@@ -1,0 +1,180 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"spantree/internal/smpmodel"
+)
+
+func TestBlockRangeCoversExactly(t *testing.T) {
+	f := func(nRaw, pRaw uint16) bool {
+		n := int(nRaw % 5000)
+		p := int(pRaw%64) + 1
+		covered := make([]int, n)
+		prevHi := 0
+		for tid := 0; tid < p; tid++ {
+			lo, hi := BlockRange(n, p, tid)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			if hi-lo > n/p+1 || (n >= p && hi-lo < n/p) {
+				return false // blocks must be balanced
+			}
+			for i := lo; i < hi; i++ {
+				covered[i]++
+			}
+			prevHi = hi
+		}
+		if prevHi != n {
+			return false
+		}
+		for _, c := range covered {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTeamRunAllProcessors(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		team := NewTeam(p, nil)
+		if team.NumProcs() != p {
+			t.Fatalf("NumProcs = %d", team.NumProcs())
+		}
+		seen := make([]int32, p)
+		team.Run(func(c *Ctx) {
+			atomic.AddInt32(&seen[c.TID()], 1)
+			if c.NumProcs() != p {
+				t.Errorf("ctx NumProcs = %d, want %d", c.NumProcs(), p)
+			}
+		})
+		for tid, s := range seen {
+			if s != 1 {
+				t.Fatalf("p=%d: tid %d ran %d times", p, tid, s)
+			}
+		}
+	}
+}
+
+func TestTeamRunPropagatesPanic(t *testing.T) {
+	team := NewTeam(3, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic not propagated")
+		}
+	}()
+	team.Run(func(c *Ctx) {
+		if c.TID() == 1 {
+			panic("boom")
+		}
+		// NOTE: survivors must not wait on a barrier here — a panicking
+		// participant never arrives and the team would deadlock, which
+		// is the documented contract of barrier-synchronized code.
+	})
+}
+
+func TestForStaticPartitions(t *testing.T) {
+	const n = 1000
+	team := NewTeam(4, nil)
+	hits := make([]int32, n)
+	team.Run(func(c *Ctx) {
+		c.ForStatic(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestForDynamicPartitions(t *testing.T) {
+	const n = 1000
+	for _, chunk := range []int{0, 1, 7, 64, 5000} {
+		team := NewTeam(4, nil)
+		d := NewCounter()
+		hits := make([]int32, n)
+		team.Run(func(c *Ctx) {
+			c.ForDynamic(d, n, chunk, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("chunk=%d: index %d visited %d times", chunk, i, h)
+			}
+		}
+	}
+}
+
+func TestReductions(t *testing.T) {
+	team := NewTeam(6, nil)
+	team.Run(func(c *Ctx) {
+		sum := c.ReduceSum(int64(c.TID() + 1))
+		if sum != 21 { // 1+2+...+6
+			t.Errorf("ReduceSum = %d, want 21", sum)
+		}
+		max := c.ReduceMax(int64(c.TID()))
+		if max != 5 {
+			t.Errorf("ReduceMax = %d, want 5", max)
+		}
+		or := c.ReduceOr(c.TID() == 3)
+		if !or {
+			t.Error("ReduceOr missed the true vote")
+		}
+		or = c.ReduceOr(false)
+		if or {
+			t.Error("ReduceOr fabricated a true vote")
+		}
+		// Back-to-back reductions must not interfere.
+		a := c.ReduceSum(1)
+		b := c.ReduceSum(2)
+		if a != 6 || b != 12 {
+			t.Errorf("sequential reductions %d, %d", a, b)
+		}
+	})
+}
+
+func TestBarrierChargesModel(t *testing.T) {
+	model := smpmodel.New(4)
+	team := NewTeam(4, model)
+	team.Run(func(c *Ctx) {
+		for i := 0; i < 5; i++ {
+			c.Barrier()
+		}
+	})
+	if model.Barriers() != 5 {
+		t.Fatalf("model recorded %d barriers, want 5", model.Barriers())
+	}
+}
+
+func TestProbeAccess(t *testing.T) {
+	model := smpmodel.New(2)
+	team := NewTeam(2, model)
+	team.Run(func(c *Ctx) {
+		c.Probe().NonContig(int64(c.TID() + 1))
+	})
+	if model.Proc(0).NonContig != 1 || model.Proc(1).NonContig != 2 {
+		t.Fatal("probes charged the wrong processors")
+	}
+	// Nil-model teams yield nil probes that are safe to use.
+	team = NewTeam(2, nil)
+	team.Run(func(c *Ctx) {
+		c.Probe().NonContig(5)
+		c.Probe().Contig(5)
+		c.Probe().Ops(5)
+	})
+}
+
+func TestNewTeamPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTeam(0) accepted")
+		}
+	}()
+	NewTeam(0, nil)
+}

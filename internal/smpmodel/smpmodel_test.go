@@ -1,0 +1,128 @@
+package smpmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilModelIsSafe(t *testing.T) {
+	var m *Model
+	p := m.Probe(0)
+	p.NonContig(5)
+	p.Contig(5)
+	p.Ops(5)
+	m.AddBarriers(3)
+	m.AddSpanNC(100)
+	if m.NumProcs() != 0 || m.Barriers() != 0 || m.SpanNC() != 0 {
+		t.Fatal("nil model not inert")
+	}
+	if m.Time(E4500()) != 0 {
+		t.Fatal("nil model has nonzero time")
+	}
+}
+
+func TestProbeAccumulates(t *testing.T) {
+	m := New(3)
+	m.Probe(1).NonContig(10)
+	m.Probe(1).Contig(20)
+	m.Probe(1).Ops(30)
+	m.Probe(2).NonContig(5)
+	c := m.Proc(1)
+	if c.NonContig != 10 || c.Contig != 20 || c.Ops != 30 {
+		t.Fatalf("proc 1 counters %+v", c)
+	}
+	if m.Proc(0).NonContig != 0 {
+		t.Fatal("proc 0 contaminated")
+	}
+	total := m.Total()
+	if total.NonContig != 15 {
+		t.Fatalf("total NC %d", total.NonContig)
+	}
+	mx := m.MaxPerProc()
+	if mx.NonContig != 10 || mx.Contig != 20 {
+		t.Fatalf("max %+v", mx)
+	}
+}
+
+func TestTimeUsesWorstProcessor(t *testing.T) {
+	m := New(2)
+	m.Probe(0).NonContig(1000)
+	m.Probe(1).NonContig(10)
+	mach := Machine{NonContigNS: 100, ContigNS: 1, OpNS: 1, BarrierNS: 0}
+	if got := m.Time(mach); got != 100*1000*time.Nanosecond {
+		t.Fatalf("Time = %v", got)
+	}
+	// The gating processor is by weighted sum, not per-component max.
+	m2 := New(2)
+	m2.Probe(0).NonContig(10) // 10*100 = 1000ns
+	m2.Probe(1).Ops(5000)     // 5000*1 = 5000ns -> gates
+	if got := m2.Time(mach); got != 5000*time.Nanosecond {
+		t.Fatalf("Time = %v", got)
+	}
+}
+
+func TestTimeAddsBarriers(t *testing.T) {
+	m := New(1)
+	m.AddBarriers(4)
+	mach := Machine{BarrierNS: 1000}
+	if got := m.Time(mach); got != 4000*time.Nanosecond {
+		t.Fatalf("Time = %v", got)
+	}
+}
+
+func TestTimeSpanDominates(t *testing.T) {
+	m := New(4)
+	for i := 0; i < 4; i++ {
+		m.Probe(i).NonContig(100) // work term: 100 NC each
+	}
+	mach := Machine{NonContigNS: 10}
+	if got := m.Time(mach); got != 1000*time.Nanosecond {
+		t.Fatalf("work-bound Time = %v", got)
+	}
+	m.AddSpanNC(50) // below the work term: no effect
+	if got := m.Time(mach); got != 1000*time.Nanosecond {
+		t.Fatalf("small span changed Time to %v", got)
+	}
+	m.AddSpanNC(1000) // span 1050 now dominates
+	if got := m.Time(mach); got != 10500*time.Nanosecond {
+		t.Fatalf("span-bound Time = %v", got)
+	}
+}
+
+func TestTripletFormat(t *testing.T) {
+	m := New(2)
+	m.Probe(0).NonContig(7)
+	m.AddBarriers(2)
+	s := m.Triplet()
+	if s == "" {
+		t.Fatal("empty triplet")
+	}
+}
+
+func TestMachineProfiles(t *testing.T) {
+	e := E4500()
+	mod := Modern()
+	if e.NonContigNS <= mod.NonContigNS {
+		t.Fatal("the 2004 machine should have slower memory than a modern one")
+	}
+	if e.Name == "" || mod.Name == "" {
+		t.Fatal("profiles must be named")
+	}
+}
+
+func TestNewPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) accepted")
+		}
+	}()
+	New(0)
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{NonContig: 1, Contig: 2, Ops: 3}
+	a.Add(Counters{NonContig: 10, Contig: 20, Ops: 30})
+	if a.NonContig != 11 || a.Contig != 22 || a.Ops != 33 {
+		t.Fatalf("Add result %+v", a)
+	}
+}

@@ -1,0 +1,101 @@
+package spanas
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spantree/internal/gen"
+	"spantree/internal/graph"
+	"spantree/internal/smpmodel"
+	"spantree/internal/verify"
+)
+
+func TestSpanningForestShapes(t *testing.T) {
+	shapes := []*graph.Graph{
+		gen.Chain(0), gen.Chain(1), gen.Chain(2), gen.Chain(64),
+		gen.Star(40), gen.Cycle(33), gen.Complete(15),
+		gen.Torus2D(7, 7), gen.Random(150, 220, 1),
+		graph.Union(gen.Chain(8), gen.Star(6), gen.Cycle(5)),
+		graph.RandomRelabel(gen.Chain(64), 9),
+	}
+	for _, g := range shapes {
+		for _, p := range []int{1, 2, 4, 7} {
+			parent, st, err := SpanningForest(g, Options{NumProcs: p})
+			if err != nil {
+				t.Fatalf("%v p=%d: %v", g, p, err)
+			}
+			if err := verify.Forest(g, parent); err != nil {
+				t.Fatalf("%v p=%d: %v", g, p, err)
+			}
+			wantEdges := g.NumVertices() - graph.NumComponents(g)
+			if st.ConditionalHooks+st.UnconditionalHooks != wantEdges {
+				t.Fatalf("%v p=%d: %d+%d hooks, want %d", g, p,
+					st.ConditionalHooks, st.UnconditionalHooks, wantEdges)
+			}
+		}
+	}
+}
+
+func TestSpanningForestProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16, pRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		m := int(mRaw % 400)
+		p := int(pRaw%6) + 1
+		g := gen.Random(n, m, seed)
+		parent, _, err := SpanningForest(g, Options{NumProcs: p})
+		return err == nil && verify.Forest(g, parent) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterationsLogarithmic(t *testing.T) {
+	// Awerbuch-Shiloach's unconditional hooks guarantee O(log n)
+	// iterations even on adversarial labelings — the feature that
+	// distinguishes it from hook-to-smaller-only schemes.
+	g := graph.RandomRelabel(gen.Chain(1<<12), 31)
+	_, st, err := SpanningForest(g, Options{NumProcs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 * log2(4096) = 24; allow generous slack for the jump-only tail.
+	if st.Iterations > 40 {
+		t.Fatalf("%d iterations on n=4096; AS should need O(log n)", st.Iterations)
+	}
+	if st.UnconditionalHooks == 0 {
+		t.Fatal("adversarial chain should exercise unconditional hooks")
+	}
+}
+
+func TestModelCharges(t *testing.T) {
+	g := gen.Random(400, 700, 3)
+	model := smpmodel.New(3)
+	if _, _, err := SpanningForest(g, Options{NumProcs: 3, Model: model}); err != nil {
+		t.Fatal(err)
+	}
+	if model.Total().NonContig == 0 || model.Barriers() == 0 {
+		t.Fatal("no cost charged")
+	}
+}
+
+func TestRejectsBadOptions(t *testing.T) {
+	if _, _, err := SpanningForest(gen.Chain(4), Options{NumProcs: 0}); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+func TestMaxIterationsCap(t *testing.T) {
+	g := graph.RandomRelabel(gen.Chain(512), 7)
+	parent, st, err := SpanningForest(g, Options{NumProcs: 2, MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations != 1 {
+		t.Fatalf("ran %d iterations under a cap of 1", st.Iterations)
+	}
+	// One iteration cannot finish this input.
+	if verify.Forest(g, parent) == nil {
+		t.Fatal("capped run unexpectedly produced a full spanning tree")
+	}
+}

@@ -1,0 +1,87 @@
+package spanhcs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spantree/internal/gen"
+	"spantree/internal/graph"
+	"spantree/internal/smpmodel"
+	"spantree/internal/spansv"
+	"spantree/internal/verify"
+)
+
+func TestSpanningForestShapes(t *testing.T) {
+	shapes := []*graph.Graph{
+		gen.Chain(0), gen.Chain(1), gen.Chain(2), gen.Chain(64),
+		gen.Star(40), gen.Cycle(33), gen.Complete(15),
+		gen.Torus2D(7, 7), gen.Random(150, 220, 1),
+		graph.Union(gen.Chain(8), gen.Star(6), gen.Cycle(5)),
+	}
+	for _, g := range shapes {
+		for _, p := range []int{1, 2, 5} {
+			parent, st, err := SpanningForest(g, Options{NumProcs: p})
+			if err != nil {
+				t.Fatalf("%v p=%d: %v", g, p, err)
+			}
+			if err := verify.Forest(g, parent); err != nil {
+				t.Fatalf("%v p=%d: %v", g, p, err)
+			}
+			wantEdges := g.NumVertices() - graph.NumComponents(g)
+			if st.Grafts != wantEdges {
+				t.Fatalf("%v p=%d: %d grafts, want %d", g, p, st.Grafts, wantEdges)
+			}
+		}
+	}
+}
+
+func TestSpanningForestProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16, pRaw uint8) bool {
+		n := int(nRaw%180) + 1
+		m := int(mRaw % 360)
+		p := int(pRaw%5) + 1
+		g := gen.Random(n, m, seed)
+		parent, _, err := SpanningForest(g, Options{NumProcs: p})
+		return err == nil && verify.Forest(g, parent) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHookToMinimumConvergesFasterOnAdversarialChain(t *testing.T) {
+	// Hook-to-minimum can only help (never hurt) iteration counts
+	// compared to arbitrary-winner SV on the same input; it must also
+	// stay within the same complexity class (the paper found the two
+	// algorithms comparable).
+	g := graph.RandomRelabel(gen.Chain(1<<11), 77)
+	_, hcsStats, err := SpanningForest(g, Options{NumProcs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, svStats, err := spansv.SpanningForest(g, spansv.Options{NumProcs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hcsStats.Iterations > svStats.Iterations+2 {
+		t.Fatalf("HCS took %d iterations, SV %d: min-hooking should not be slower",
+			hcsStats.Iterations, svStats.Iterations)
+	}
+}
+
+func TestRejectsBadOptions(t *testing.T) {
+	if _, _, err := SpanningForest(gen.Chain(4), Options{NumProcs: 0}); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+func TestModelCharges(t *testing.T) {
+	g := gen.Random(400, 700, 3)
+	model := smpmodel.New(3)
+	if _, _, err := SpanningForest(g, Options{NumProcs: 3, Model: model}); err != nil {
+		t.Fatal(err)
+	}
+	if model.Total().NonContig == 0 || model.Barriers() == 0 {
+		t.Fatal("no cost charged")
+	}
+}

@@ -1,0 +1,94 @@
+package spanlevel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spantree/internal/gen"
+	"spantree/internal/graph"
+	"spantree/internal/smpmodel"
+	"spantree/internal/verify"
+)
+
+func TestSpanningForestShapes(t *testing.T) {
+	shapes := []*graph.Graph{
+		gen.Chain(0), gen.Chain(1), gen.Chain(2), gen.Chain(64),
+		gen.Star(40), gen.Cycle(33), gen.Complete(15),
+		gen.Torus2D(7, 7), gen.Random(150, 220, 1),
+		graph.Union(gen.Chain(8), gen.Star(6), gen.Cycle(5)),
+	}
+	for _, g := range shapes {
+		for _, p := range []int{1, 2, 4, 7} {
+			parent, st, err := SpanningForest(g, Options{NumProcs: p})
+			if err != nil {
+				t.Fatalf("%v p=%d: %v", g, p, err)
+			}
+			if err := verify.Forest(g, parent); err != nil {
+				t.Fatalf("%v p=%d: %v", g, p, err)
+			}
+			if st.Components != graph.NumComponents(g) {
+				t.Fatalf("%v: components = %d, want %d", g, st.Components, graph.NumComponents(g))
+			}
+		}
+	}
+}
+
+func TestSpanningForestProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16, pRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		m := int(mRaw % 400)
+		p := int(pRaw%5) + 1
+		g := gen.Random(n, m, seed)
+		parent, _, err := SpanningForest(g, Options{NumProcs: p})
+		return err == nil && verify.Forest(g, parent) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelCountMatchesEccentricity(t *testing.T) {
+	// Chain rooted at vertex 0: n levels (each level one vertex).
+	n := 200
+	_, st, err := SpanningForest(gen.Chain(n), Options{NumProcs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Levels != n {
+		t.Fatalf("chain levels = %d, want %d", st.Levels, n)
+	}
+	// Star rooted at the hub: 2 levels.
+	_, st, err = SpanningForest(gen.Star(50), Options{NumProcs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Levels != 2 {
+		t.Fatalf("star levels = %d, want 2", st.Levels)
+	}
+	if st.MaxFrontier != 49 {
+		t.Fatalf("star max frontier = %d, want 49", st.MaxFrontier)
+	}
+}
+
+func TestBarrierCountIsLevels(t *testing.T) {
+	// The defining cost contrast with the paper's algorithm: one barrier
+	// per level, Θ(diameter) in total.
+	g := gen.Torus2D(16, 16)
+	model := smpmodel.New(4)
+	_, st, err := SpanningForest(g, Options{NumProcs: 4, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Barriers() != int64(st.Levels) {
+		t.Fatalf("barriers %d != levels %d", model.Barriers(), st.Levels)
+	}
+	if st.Levels < 16 {
+		t.Fatalf("torus 16x16 should need >= 16 levels, got %d", st.Levels)
+	}
+}
+
+func TestRejectsBadOptions(t *testing.T) {
+	if _, _, err := SpanningForest(gen.Chain(4), Options{NumProcs: 0}); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}

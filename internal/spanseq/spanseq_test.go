@@ -1,0 +1,119 @@
+package spanseq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spantree/internal/gen"
+	"spantree/internal/graph"
+	"spantree/internal/smpmodel"
+	"spantree/internal/verify"
+)
+
+func algorithms() map[string]func(*graph.Graph, *smpmodel.Probe) []graph.VID {
+	return map[string]func(*graph.Graph, *smpmodel.Probe) []graph.VID{
+		"bfs": BFS,
+		"dfs": DFS,
+		"uf":  UnionFind,
+	}
+}
+
+func TestSequentialAlgorithmsOnShapes(t *testing.T) {
+	shapes := []*graph.Graph{
+		gen.Chain(0),
+		gen.Chain(1),
+		gen.Chain(2),
+		gen.Chain(100),
+		gen.Star(50),
+		gen.Cycle(30),
+		gen.Complete(12),
+		gen.Torus2D(6, 6),
+		gen.Random(100, 150, 1),
+		graph.Union(gen.Chain(5), gen.Star(4), gen.Cycle(6)),
+	}
+	for name, alg := range algorithms() {
+		for _, g := range shapes {
+			parent := alg(g, nil)
+			if err := verify.Forest(g, parent); err != nil {
+				t.Fatalf("%s on %v: %v", name, g, err)
+			}
+		}
+	}
+}
+
+func TestSequentialAlgorithmsProperty(t *testing.T) {
+	for name, alg := range algorithms() {
+		f := func(seed uint64, nRaw, mRaw uint16) bool {
+			n := int(nRaw%300) + 1
+			g := gen.Random(n, int(mRaw%600), seed)
+			return verify.Forest(g, alg(g, nil)) == nil
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestBFSProducesLevelOrderTree(t *testing.T) {
+	// On a chain rooted at 0, BFS parents are exactly v-1.
+	g := gen.Chain(50)
+	parent := BFS(g, nil)
+	if parent[0] != graph.None {
+		t.Fatal("vertex 0 should be the root")
+	}
+	for v := 1; v < 50; v++ {
+		if parent[v] != graph.VID(v-1) {
+			t.Fatalf("parent[%d] = %d, want %d", v, parent[v], v-1)
+		}
+	}
+}
+
+func TestDFSDeepGraphNoOverflow(t *testing.T) {
+	// 1M-vertex chain: a recursive DFS would overflow; the iterative one
+	// must not.
+	g := gen.Chain(1 << 20)
+	parent := DFS(g, nil)
+	roots := 0
+	for _, p := range parent {
+		if p == graph.None {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("roots = %d", roots)
+	}
+}
+
+func TestProbeCharges(t *testing.T) {
+	g := gen.Random(200, 300, 2)
+	model := smpmodel.New(1)
+	BFS(g, model.Probe(0))
+	c := model.Proc(0)
+	// The paper's counting: one non-contiguous access per vertex, two
+	// per directed arc.
+	wantNC := int64(g.NumVertices() + 2*len(g.Adj))
+	if c.NonContig != wantNC {
+		t.Fatalf("BFS charged %d non-contiguous accesses, want %d", c.NonContig, wantNC)
+	}
+	if c.Contig != int64(len(g.Adj)) {
+		t.Fatalf("BFS charged %d contiguous accesses, want %d", c.Contig, len(g.Adj))
+	}
+}
+
+func TestRootForest(t *testing.T) {
+	// A 5-vertex path given as tree adjacency plus an isolated vertex.
+	treeAdj := make([][]graph.VID, 6)
+	for i := 0; i < 4; i++ {
+		treeAdj[i] = append(treeAdj[i], graph.VID(i+1))
+		treeAdj[i+1] = append(treeAdj[i+1], graph.VID(i))
+	}
+	parent := RootForest(6, treeAdj)
+	if parent[0] != graph.None || parent[5] != graph.None {
+		t.Fatal("roots misplaced")
+	}
+	for v := 1; v < 5; v++ {
+		if parent[v] != graph.VID(v-1) {
+			t.Fatalf("parent[%d] = %d", v, parent[v])
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package spansv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spantree/internal/gen"
+	"spantree/internal/graph"
+	"spantree/internal/smpmodel"
+	"spantree/internal/verify"
+)
+
+func TestSpanningForestShapes(t *testing.T) {
+	shapes := []*graph.Graph{
+		gen.Chain(0), gen.Chain(1), gen.Chain(2), gen.Chain(64),
+		gen.Star(40), gen.Cycle(33), gen.Complete(15),
+		gen.Torus2D(7, 7), gen.Random(150, 220, 1),
+		graph.Union(gen.Chain(8), gen.Star(6), gen.Cycle(5)),
+		graph.RandomRelabel(gen.Chain(64), 9),
+	}
+	for _, g := range shapes {
+		for _, p := range []int{1, 2, 4, 7} {
+			for _, locks := range []bool{false, true} {
+				parent, st, err := SpanningForest(g, Options{NumProcs: p, UseLocks: locks})
+				if err != nil {
+					t.Fatalf("%v p=%d locks=%v: %v", g, p, locks, err)
+				}
+				if err := verify.Forest(g, parent); err != nil {
+					t.Fatalf("%v p=%d locks=%v: %v", g, p, locks, err)
+				}
+				wantEdges := g.NumVertices() - graph.NumComponents(g)
+				if st.Grafts != wantEdges {
+					t.Fatalf("%v p=%d: %d grafts, want %d", g, p, st.Grafts, wantEdges)
+				}
+			}
+		}
+	}
+}
+
+func TestSpanningForestProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16, pRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		m := int(mRaw % 400)
+		p := int(pRaw%6) + 1
+		g := gen.Random(n, m, seed)
+		parent, _, err := SpanningForest(g, Options{NumProcs: p})
+		return err == nil && verify.Forest(g, parent) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelingSensitivity(t *testing.T) {
+	// The paper's observation: SV's iteration count depends strongly on
+	// the labeling. The row-major chain finishes in a couple of
+	// iterations; a random labeling needs around log n.
+	n := 1 << 12
+	seqChain := gen.Chain(n)
+	randChain := graph.RandomRelabel(seqChain, 123)
+
+	_, stSeq, err := SpanningForest(seqChain, Options{NumProcs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stRand, err := SpanningForest(randChain, Options{NumProcs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stSeq.Iterations > 3 {
+		t.Fatalf("sequential labeling took %d iterations, want <= 3", stSeq.Iterations)
+	}
+	if stRand.Iterations <= stSeq.Iterations {
+		t.Fatalf("random labeling took %d iterations, sequential %d: no sensitivity",
+			stRand.Iterations, stSeq.Iterations)
+	}
+}
+
+func TestGraftFromPartialState(t *testing.T) {
+	// Pre-merge half the chain into one star and let SV finish.
+	n := 40
+	g := gen.Chain(n)
+	d := make([]int32, n)
+	for i := range d {
+		if i < n/2 {
+			d[i] = 0 // left half already one component rooted at 0
+		} else {
+			d[i] = int32(i)
+		}
+	}
+	edges, st, err := GraftFrom(g, d, Options{NumProcs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The right half contributes one graft per vertex.
+	if len(edges) != n/2 {
+		t.Fatalf("%d graft edges, want %d", len(edges), n/2)
+	}
+	if st.Grafts != len(edges) {
+		t.Fatal("stats disagree with edges")
+	}
+	// All labels collapse to 0.
+	for v, dv := range d {
+		if dv != 0 {
+			t.Fatalf("d[%d] = %d after convergence", v, dv)
+		}
+	}
+	// Grafts only join distinct initial components.
+	for _, e := range edges {
+		if e.U >= int32(n/2) == (e.V >= int32(n/2)) && (e.U < int32(n/2)) && (e.V < int32(n/2)) {
+			t.Fatalf("graft edge {%d,%d} internal to the premerged component", e.U, e.V)
+		}
+	}
+}
+
+func TestGraftFromRejectsBadState(t *testing.T) {
+	g := gen.Chain(5)
+	if _, _, err := GraftFrom(g, make([]int32, 3), Options{NumProcs: 1}); err == nil {
+		t.Fatal("wrong-length labeling accepted")
+	}
+	bad := []int32{0, 0, 3, 3, 2} // d[4]=2 but d[2]=3: not a star
+	if _, _, err := GraftFrom(g, bad, Options{NumProcs: 1}); err == nil {
+		t.Fatal("non-star labeling accepted")
+	}
+	if _, _, err := GraftFrom(g, []int32{0, 0, 9, 3, 3}, Options{NumProcs: 1}); err == nil {
+		t.Fatal("out-of-range labeling accepted")
+	}
+	if _, _, err := SpanningForest(g, Options{NumProcs: 0}); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+func TestMaxIterationsCap(t *testing.T) {
+	// With a 1-iteration cap on a random-labeled chain, SV cannot finish;
+	// the result must then fail verification (documenting that the cap
+	// is a testing knob, not a correctness feature).
+	g := graph.RandomRelabel(gen.Chain(256), 5)
+	parent, st, err := SpanningForest(g, Options{NumProcs: 2, MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations != 1 {
+		t.Fatalf("ran %d iterations under a 1-iteration cap", st.Iterations)
+	}
+	if verify.Forest(g, parent) == nil {
+		t.Fatal("a capped run should not produce a complete spanning tree on this input")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := graph.Union(gen.Cycle(10), gen.Chain(5), gen.Star(7))
+	labels, comps, err := ConnectedComponents(g, Options{NumProcs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comps != 3 {
+		t.Fatalf("components = %d, want 3", comps)
+	}
+	ref, _ := graph.Components(g)
+	for v := range labels {
+		for w := range labels {
+			if (labels[v] == labels[w]) != (ref[v] == ref[w]) {
+				t.Fatalf("partition mismatch at %d,%d", v, w)
+			}
+		}
+	}
+	// Labels are component minima.
+	if labels[0] != 0 || labels[10] != 10 || labels[15] != 15 {
+		t.Fatalf("labels not minima: %v %v %v", labels[0], labels[10], labels[15])
+	}
+}
+
+func TestModelCharges(t *testing.T) {
+	g := gen.Random(500, 800, 3)
+	model := smpmodel.New(4)
+	if _, _, err := SpanningForest(g, Options{NumProcs: 4, Model: model}); err != nil {
+		t.Fatal(err)
+	}
+	if model.Total().NonContig == 0 {
+		t.Fatal("no cost charged")
+	}
+	if model.Barriers() == 0 {
+		t.Fatal("no barriers recorded")
+	}
+	// Lock-based elections charge more than CAS ones.
+	lockModel := smpmodel.New(4)
+	if _, _, err := SpanningForest(g, Options{NumProcs: 4, UseLocks: true, Model: lockModel}); err != nil {
+		t.Fatal(err)
+	}
+	if lockModel.Total().NonContig <= model.Total().NonContig {
+		t.Fatal("lock elections should charge more non-contiguous accesses")
+	}
+}

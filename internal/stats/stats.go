@@ -1,0 +1,170 @@
+// Package stats provides the small statistics and table-formatting
+// helpers the benchmark harness uses to report experiment results the
+// way the paper does: repeated timed runs summarized by their minimum
+// (the conventional benchmark estimator), speedups against a sequential
+// reference, and aligned text tables / CSV series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary condenses a sample of measurements.
+type Summary struct {
+	N            int
+	Min, Max     float64
+	Mean, Median float64
+	StdDev       float64
+}
+
+// Summarize computes a Summary of xs. It panics on an empty sample:
+// callers always control the repeat count.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// SummarizeDurations converts durations to seconds and summarizes.
+func SummarizeDurations(ds []time.Duration) Summary {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = d.Seconds()
+	}
+	return Summarize(xs)
+}
+
+// Speedup returns reference/measured, the paper's speedup definition
+// (sequential time over parallel time). It returns 0 when measured is 0.
+func Speedup(reference, measured time.Duration) float64 {
+	if measured == 0 {
+		return 0
+	}
+	return float64(reference) / float64(measured)
+}
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.header) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(format string, args ...any) {
+	t.AddRow(strings.Fields(fmt.Sprintf(format, args...))...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with space-aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (no quoting: the
+// harness never emits commas in cells).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatDuration renders a duration with 3 significant figures in the
+// most natural unit, for table cells.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	}
+}

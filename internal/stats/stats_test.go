@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2, 4})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Mean != 2.5 || s.Median != 2.5 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.StdDev-1.29099) > 1e-4 {
+		t.Fatalf("stddev %v", s.StdDev)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Fatalf("odd median %v", odd.Median)
+	}
+	single := Summarize([]float64{7})
+	if single.StdDev != 0 || single.Mean != 7 {
+		t.Fatalf("single %+v", single)
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty sample accepted")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSummarizeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				// Scale into a range where sums cannot overflow; the
+				// helpers target benchmark timings, not astronomy.
+				clean = append(clean, math.Mod(x, 1e12))
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	s := SummarizeDurations([]time.Duration{time.Second, 3 * time.Second})
+	if s.Mean != 2.0 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if sp := Speedup(10*time.Second, 2*time.Second); sp != 5 {
+		t.Fatalf("speedup %v", sp)
+	}
+	if sp := Speedup(time.Second, 0); sp != 0 {
+		t.Fatalf("zero-measured speedup %v", sp)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b") // short row padded
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("rule missing: %q", lines[1])
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows %d", tb.NumRows())
+	}
+	// Columns align: the value column starts after the widest name cell.
+	if !strings.HasPrefix(lines[2], "alpha  1") {
+		t.Fatalf("alignment wrong: %q", lines[2])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("1", "2")
+	want := "a,b\n1,2\n"
+	if got := tb.CSV(); got != want {
+		t.Fatalf("CSV %q, want %q", got, want)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := NewTable("x", "y", "z")
+	tb.AddRowf("%d %s %.1f", 1, "two", 3.0)
+	if tb.NumRows() != 1 {
+		t.Fatal("AddRowf lost the row")
+	}
+	if !strings.Contains(tb.String(), "two") {
+		t.Fatal("AddRowf content missing")
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		2 * time.Second:         "2.000s",
+		1500 * time.Microsecond: "1.500ms",
+		250 * time.Nanosecond:   "250ns",
+		3 * time.Microsecond:    "3.000µs",
+	}
+	for d, want := range cases {
+		if got := FormatDuration(d); got != want {
+			t.Fatalf("FormatDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

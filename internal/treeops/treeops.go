@@ -1,0 +1,279 @@
+// Package treeops provides the operations downstream algorithms perform
+// on spanning forests represented as parent arrays — depths, children
+// lists, subtree sizes, Euler tours, lowest common ancestors, paths and
+// re-rooting. The paper positions spanning trees as "an important
+// building block for many other parallel graph algorithms"; this package
+// is the toolkit that makes the library's parent arrays directly usable
+// as that building block.
+//
+// All functions accept forests (multiple roots) and are iterative, so
+// the library's degenerate chain inputs cannot overflow the stack.
+package treeops
+
+import (
+	"fmt"
+
+	"spantree/internal/graph"
+)
+
+// Forest is an analyzed parent-array forest with precomputed structure.
+type Forest struct {
+	Parent []graph.VID
+	// Depth[v] is v's distance from its root.
+	Depth []int32
+	// Order lists the vertices in topological (root-first) order.
+	Order []graph.VID
+	// Roots lists the forest's roots in vertex order.
+	Roots []graph.VID
+	// childHead/childNext encode each vertex's children as an intrusive
+	// linked list, avoiding per-vertex slice allocations.
+	childHead []graph.VID
+	childNext []graph.VID
+	// up[k][v] is v's 2^k-th ancestor (graph.None above the root),
+	// built lazily by EnableLCA.
+	up [][]graph.VID
+}
+
+// New validates parent as a forest and precomputes its structure. It
+// returns an error if parent contains cycles or out-of-range entries.
+func New(parent []graph.VID) (*Forest, error) {
+	n := len(parent)
+	f := &Forest{
+		Parent:    parent,
+		Depth:     make([]int32, n),
+		childHead: make([]graph.VID, n),
+		childNext: make([]graph.VID, n),
+	}
+	for i := range f.childHead {
+		f.childHead[i] = graph.None
+		f.childNext[i] = graph.None
+	}
+	for v := 0; v < n; v++ {
+		p := parent[v]
+		if p == graph.None {
+			f.Roots = append(f.Roots, graph.VID(v))
+			continue
+		}
+		if p < 0 || int(p) >= n || p == graph.VID(v) {
+			return nil, fmt.Errorf("treeops: parent[%d] = %d invalid", v, p)
+		}
+		f.childNext[v] = f.childHead[p]
+		f.childHead[p] = graph.VID(v)
+	}
+	// Root-first order by BFS over children lists.
+	f.Order = make([]graph.VID, 0, n)
+	queue := append([]graph.VID(nil), f.Roots...)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		f.Order = append(f.Order, v)
+		for c := f.childHead[v]; c != graph.None; c = f.childNext[c] {
+			f.Depth[c] = f.Depth[v] + 1
+			queue = append(queue, c)
+		}
+	}
+	if len(f.Order) != n {
+		return nil, fmt.Errorf("treeops: parent array contains a cycle (%d of %d vertices reachable from roots)", len(f.Order), n)
+	}
+	return f, nil
+}
+
+// NumVertices returns the forest size.
+func (f *Forest) NumVertices() int { return len(f.Parent) }
+
+// Children returns v's children (in no particular order).
+func (f *Forest) Children(v graph.VID) []graph.VID {
+	var out []graph.VID
+	for c := f.childHead[v]; c != graph.None; c = f.childNext[c] {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Root returns the root of v's tree.
+func (f *Forest) Root(v graph.VID) graph.VID {
+	for f.Parent[v] != graph.None {
+		v = f.Parent[v]
+	}
+	return v
+}
+
+// SubtreeSizes returns size[v] = number of vertices in v's subtree
+// (including v), computed in one reverse topological sweep.
+func (f *Forest) SubtreeSizes() []int32 {
+	size := make([]int32, len(f.Parent))
+	for i := len(f.Order) - 1; i >= 0; i-- {
+		v := f.Order[i]
+		size[v]++
+		if p := f.Parent[v]; p != graph.None {
+			size[p] += size[v]
+		}
+	}
+	return size
+}
+
+// Height returns the maximum depth in the forest (0 for empty forests).
+func (f *Forest) Height() int32 {
+	var h int32
+	for _, d := range f.Depth {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// EulerTour returns the order vertices are first visited in a DFS of the
+// forest (roots in vertex order, children in child-list order), plus
+// entry/exit indices usable for subtree tests: u is an ancestor of v iff
+// enter[u] <= enter[v] && exit[v] <= exit[u].
+func (f *Forest) EulerTour() (tour []graph.VID, enter, exit []int32) {
+	n := len(f.Parent)
+	tour = make([]graph.VID, 0, n)
+	enter = make([]int32, n)
+	exit = make([]int32, n)
+	type frame struct {
+		v     graph.VID
+		child graph.VID
+	}
+	var stack []frame
+	clock := int32(0)
+	for _, r := range f.Roots {
+		stack = append(stack[:0], frame{r, f.childHead[r]})
+		enter[r] = clock
+		clock++
+		tour = append(tour, r)
+		for len(stack) > 0 {
+			fr := &stack[len(stack)-1]
+			if fr.child == graph.None {
+				exit[fr.v] = clock
+				clock++
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			c := fr.child
+			fr.child = f.childNext[c]
+			enter[c] = clock
+			clock++
+			tour = append(tour, c)
+			stack = append(stack, frame{c, f.childHead[c]})
+		}
+	}
+	return tour, enter, exit
+}
+
+// EnableLCA builds the binary-lifting tables; it must be called once
+// before LCA.
+func (f *Forest) EnableLCA() {
+	n := len(f.Parent)
+	levels := 1
+	for 1<<levels < n {
+		levels++
+	}
+	if levels == 0 {
+		levels = 1
+	}
+	f.up = make([][]graph.VID, levels)
+	f.up[0] = make([]graph.VID, n)
+	copy(f.up[0], f.Parent)
+	for k := 1; k < levels; k++ {
+		f.up[k] = make([]graph.VID, n)
+		for v := 0; v < n; v++ {
+			mid := f.up[k-1][v]
+			if mid == graph.None {
+				f.up[k][v] = graph.None
+			} else {
+				f.up[k][v] = f.up[k-1][mid]
+			}
+		}
+	}
+}
+
+// Ancestor returns v's k-th ancestor, or graph.None when the walk leaves
+// the tree. EnableLCA must have been called.
+func (f *Forest) Ancestor(v graph.VID, k int32) graph.VID {
+	for i := 0; k != 0 && v != graph.None; i++ {
+		if k&1 != 0 {
+			if i >= len(f.up) {
+				return graph.None
+			}
+			v = f.up[i][v]
+		}
+		k >>= 1
+	}
+	return v
+}
+
+// LCA returns the lowest common ancestor of u and v, or graph.None when
+// they are in different trees. EnableLCA must have been called; it
+// panics otherwise, since that is a programming error.
+func (f *Forest) LCA(u, v graph.VID) graph.VID {
+	if f.up == nil {
+		panic("treeops: LCA called before EnableLCA")
+	}
+	if f.Depth[u] < f.Depth[v] {
+		u, v = v, u
+	}
+	u = f.Ancestor(u, f.Depth[u]-f.Depth[v])
+	if u == v {
+		return u
+	}
+	for k := len(f.up) - 1; k >= 0; k-- {
+		if f.up[k][u] != f.up[k][v] {
+			u = f.up[k][u]
+			v = f.up[k][v]
+		}
+	}
+	if f.Parent[u] != f.Parent[v] {
+		return graph.None // different trees
+	}
+	return f.Parent[u]
+}
+
+// PathToRoot returns the vertices from v to its root, inclusive.
+func (f *Forest) PathToRoot(v graph.VID) []graph.VID {
+	var out []graph.VID
+	for v != graph.None {
+		out = append(out, v)
+		v = f.Parent[v]
+	}
+	return out
+}
+
+// TreePath returns the unique tree path from u to v, or nil when they
+// are in different trees. EnableLCA must have been called.
+func (f *Forest) TreePath(u, v graph.VID) []graph.VID {
+	l := f.LCA(u, v)
+	if l == graph.None {
+		return nil
+	}
+	var up []graph.VID
+	for cur := u; cur != l; cur = f.Parent[cur] {
+		up = append(up, cur)
+	}
+	up = append(up, l)
+	var down []graph.VID
+	for cur := v; cur != l; cur = f.Parent[cur] {
+		down = append(down, cur)
+	}
+	for i := len(down) - 1; i >= 0; i-- {
+		up = append(up, down[i])
+	}
+	return up
+}
+
+// Reroot returns a new parent array for the same forest with newRoot as
+// the root of its tree (other trees unchanged).
+func Reroot(parent []graph.VID, newRoot graph.VID) []graph.VID {
+	out := make([]graph.VID, len(parent))
+	copy(out, parent)
+	prev := graph.None
+	cur := newRoot
+	for cur != graph.None {
+		next := out[cur]
+		out[cur] = prev
+		prev = cur
+		cur = next
+	}
+	return out
+}

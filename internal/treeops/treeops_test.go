@@ -1,0 +1,286 @@
+package treeops
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spantree/internal/gen"
+	"spantree/internal/graph"
+	"spantree/internal/spanseq"
+	"spantree/internal/verify"
+	"spantree/internal/xrand"
+)
+
+// forestOf builds a BFS spanning forest of a random graph.
+func forestOf(t testing.TB, seed uint64, n, m int) (*graph.Graph, *Forest) {
+	t.Helper()
+	g := gen.Random(n, m, seed)
+	parent := spanseq.BFS(g, nil)
+	f, err := New(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, f
+}
+
+func TestNewRejectsBadParents(t *testing.T) {
+	if _, err := New([]graph.VID{1, 2, 0}); err == nil {
+		t.Fatal("cycle accepted")
+	}
+	if _, err := New([]graph.VID{5}); err == nil {
+		t.Fatal("out of range accepted")
+	}
+	if _, err := New([]graph.VID{0}); err == nil {
+		t.Fatal("self-parent accepted")
+	}
+	f, err := New(nil)
+	if err != nil || f.NumVertices() != 0 {
+		t.Fatal("empty forest rejected")
+	}
+}
+
+func TestDepthAndRootsAndOrder(t *testing.T) {
+	// Chain forest: 0 <- 1 <- 2 <- 3, plus isolated 4.
+	parent := []graph.VID{graph.None, 0, 1, 2, graph.None}
+	f, err := New(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Roots) != 2 || f.Roots[0] != 0 || f.Roots[1] != 4 {
+		t.Fatalf("roots %v", f.Roots)
+	}
+	for v, want := range []int32{0, 1, 2, 3, 0} {
+		if f.Depth[v] != want {
+			t.Fatalf("depth[%d] = %d, want %d", v, f.Depth[v], want)
+		}
+	}
+	if f.Height() != 3 {
+		t.Fatalf("height %d", f.Height())
+	}
+	// Order is root-first: each vertex appears after its parent.
+	pos := make([]int, 5)
+	for i, v := range f.Order {
+		pos[v] = i
+	}
+	for v, p := range parent {
+		if p != graph.None && pos[v] < pos[p] {
+			t.Fatalf("order violates parent-first: %v", f.Order)
+		}
+	}
+}
+
+func TestChildrenAndSubtreeSizes(t *testing.T) {
+	// Star rooted at 0.
+	parent := []graph.VID{graph.None, 0, 0, 0}
+	f, err := New(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Children(0)) != 3 || len(f.Children(1)) != 0 {
+		t.Fatal("children lists wrong")
+	}
+	sizes := f.SubtreeSizes()
+	if sizes[0] != 4 || sizes[1] != 1 {
+		t.Fatalf("sizes %v", sizes)
+	}
+}
+
+func TestSubtreeSizesProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%300) + 1
+		_, fo := forestOf(t, seed, n, 2*n)
+		sizes := fo.SubtreeSizes()
+		// Sum of root subtree sizes equals n; every size is >= 1 and
+		// equals 1 + sum of children's sizes.
+		var rootSum int32
+		for _, r := range fo.Roots {
+			rootSum += sizes[r]
+		}
+		if int(rootSum) != n {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			var kids int32
+			for _, c := range fo.Children(graph.VID(v)) {
+				kids += sizes[c]
+			}
+			if sizes[v] != kids+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEulerTourAncestry(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%150) + 1
+		_, fo := forestOf(t, seed, n, 2*n)
+		tour, enter, exit := fo.EulerTour()
+		if len(tour) != n {
+			return false
+		}
+		// The Euler intervals agree with explicit ancestor walks.
+		r := xrand.New(seed)
+		for trial := 0; trial < 30; trial++ {
+			u := graph.VID(r.Intn(n))
+			v := graph.VID(r.Intn(n))
+			isAncestor := false
+			for cur := v; cur != graph.None; cur = fo.Parent[cur] {
+				if cur == u {
+					isAncestor = true
+					break
+				}
+			}
+			intervalSays := enter[u] <= enter[v] && exit[v] <= exit[u]
+			if isAncestor != intervalSays {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLCAAgainstNaive(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%200) + 1
+		_, fo := forestOf(t, seed, n, 3*n/2)
+		fo.EnableLCA()
+		r := xrand.New(seed ^ 1)
+		naiveLCA := func(u, v graph.VID) graph.VID {
+			seen := map[graph.VID]bool{}
+			for cur := u; cur != graph.None; cur = fo.Parent[cur] {
+				seen[cur] = true
+			}
+			for cur := v; cur != graph.None; cur = fo.Parent[cur] {
+				if seen[cur] {
+					return cur
+				}
+			}
+			return graph.None
+		}
+		for trial := 0; trial < 40; trial++ {
+			u := graph.VID(r.Intn(n))
+			v := graph.VID(r.Intn(n))
+			if fo.LCA(u, v) != naiveLCA(u, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAncestor(t *testing.T) {
+	parent := []graph.VID{graph.None, 0, 1, 2, 3}
+	f, _ := New(parent)
+	f.EnableLCA()
+	if f.Ancestor(4, 2) != 2 || f.Ancestor(4, 4) != 0 {
+		t.Fatal("ancestor walks wrong")
+	}
+	if f.Ancestor(4, 5) != graph.None {
+		t.Fatal("overshoot should leave the tree")
+	}
+	if f.Ancestor(4, 0) != 4 {
+		t.Fatal("0th ancestor should be self")
+	}
+}
+
+func TestLCAPanicsWithoutEnable(t *testing.T) {
+	f, _ := New([]graph.VID{graph.None, 0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LCA before EnableLCA did not panic")
+		}
+	}()
+	f.LCA(0, 1)
+}
+
+func TestTreePath(t *testing.T) {
+	// Balanced binary tree on 7 vertices in heap order.
+	parent := []graph.VID{graph.None, 0, 0, 1, 1, 2, 2}
+	f, _ := New(parent)
+	f.EnableLCA()
+	path := f.TreePath(3, 5)
+	want := []graph.VID{3, 1, 0, 2, 5}
+	if len(path) != len(want) {
+		t.Fatalf("path %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path %v, want %v", path, want)
+		}
+	}
+	// Same vertex.
+	if p := f.TreePath(4, 4); len(p) != 1 || p[0] != 4 {
+		t.Fatalf("self path %v", p)
+	}
+	// Different trees.
+	f2, _ := New([]graph.VID{graph.None, graph.None})
+	f2.EnableLCA()
+	if f2.TreePath(0, 1) != nil {
+		t.Fatal("cross-tree path should be nil")
+	}
+}
+
+func TestRerootPreservesForest(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%200) + 1
+		g := gen.RandomConnected(n, 2*n, seed)
+		parent := spanseq.BFS(g, nil)
+		r := xrand.New(seed)
+		newRoot := graph.VID(r.Intn(n))
+		rerooted := Reroot(parent, newRoot)
+		if rerooted[newRoot] != graph.None {
+			return false
+		}
+		return verify.Forest(g, rerooted) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootResolution(t *testing.T) {
+	g, fo := forestOf(t, 9, 100, 160)
+	comp, _ := graph.Components(g)
+	for v := 0; v < g.NumVertices(); v++ {
+		r := fo.Root(graph.VID(v))
+		if comp[v] != comp[r] {
+			t.Fatalf("root of %d in a different component", v)
+		}
+		if fo.Parent[r] != graph.None {
+			t.Fatalf("Root returned a non-root")
+		}
+	}
+}
+
+func TestDeepChainOperations(t *testing.T) {
+	// LCA and tours on a 2^17 chain must not recurse or overflow.
+	n := 1 << 17
+	g := gen.Chain(n)
+	parent := spanseq.BFS(g, nil)
+	f, err := New(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.EnableLCA()
+	if f.LCA(graph.VID(n-1), 1) != 1 {
+		t.Fatal("deep LCA wrong")
+	}
+	if f.Height() != int32(n-1) {
+		t.Fatal("deep height wrong")
+	}
+	_, enter, exit := f.EulerTour()
+	if !(enter[0] == 0 && exit[0] == int32(2*n-1)) {
+		t.Fatal("deep Euler tour wrong")
+	}
+}

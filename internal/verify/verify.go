@@ -1,0 +1,143 @@
+// Package verify checks that a computed parent array is a valid spanning
+// forest of a graph. It is the independent oracle every test and every
+// cmd tool runs after every algorithm: validity of the output under
+// arbitrary race outcomes is the paper's central correctness claim
+// ("it is legal to set w's parent to either of them; this will not
+// change the validity of the spanning tree, only its shape").
+package verify
+
+import (
+	"fmt"
+
+	"spantree/internal/graph"
+)
+
+// Forest checks that parent is a spanning forest of g:
+//
+//  1. parent has length n, entries are graph.None or in-range;
+//  2. every non-root tree edge {v, parent[v]} is an edge of g;
+//  3. the tree edges are acyclic (following parents from any vertex
+//     terminates at a root);
+//  4. the forest spans exactly the connected components of g: two
+//     vertices share a tree root iff they are connected in g, and there
+//     is exactly one root per component.
+//
+// It returns nil if all hold, or a descriptive error for the first
+// violation found.
+func Forest(g *graph.Graph, parent []graph.VID) error {
+	n := g.NumVertices()
+	if len(parent) != n {
+		return fmt.Errorf("verify: parent length %d, want n = %d", len(parent), n)
+	}
+	roots := 0
+	for v := 0; v < n; v++ {
+		p := parent[v]
+		if p == graph.None {
+			roots++
+			continue
+		}
+		if p < 0 || int(p) >= n {
+			return fmt.Errorf("verify: parent[%d] = %d out of range [0,%d)", v, p, n)
+		}
+		if p == graph.VID(v) {
+			return fmt.Errorf("verify: parent[%d] = %d is a self-parent (only None marks roots)", v, p)
+		}
+		if !g.HasEdge(graph.VID(v), p) {
+			return fmt.Errorf("verify: tree edge {%d,%d} is not an edge of the graph", v, p)
+		}
+	}
+
+	// Acyclicity + root lookup in O(n) total: walk up from each vertex,
+	// path-marking resolved chains with their root.
+	rootOf := make([]graph.VID, n)
+	for i := range rootOf {
+		rootOf[i] = graph.None
+	}
+	state := make([]int8, n) // 0 = unvisited, 1 = on current path, 2 = done
+	path := make([]graph.VID, 0, 64)
+	for v := 0; v < n; v++ {
+		if state[v] == 2 {
+			continue
+		}
+		path = path[:0]
+		cur := graph.VID(v)
+		for {
+			if state[cur] == 1 {
+				return fmt.Errorf("verify: parent pointers contain a cycle through vertex %d", cur)
+			}
+			if state[cur] == 2 {
+				break // joins an already-resolved chain
+			}
+			state[cur] = 1
+			path = append(path, cur)
+			if parent[cur] == graph.None {
+				rootOf[cur] = cur
+				state[cur] = 2
+				break
+			}
+			cur = parent[cur]
+		}
+		// cur is resolved; propagate its root down the path.
+		root := rootOf[cur]
+		for _, u := range path {
+			if state[u] != 2 {
+				rootOf[u] = root
+				state[u] = 2
+			}
+		}
+	}
+
+	// Spanning: tree roots must coincide with graph components.
+	comp, ncomp := graph.Components(g)
+	if roots != ncomp {
+		return fmt.Errorf("verify: %d roots, but graph has %d components", roots, ncomp)
+	}
+	// Within a component all vertices must share one tree root, and
+	// distinct components must have distinct roots. Since the number of
+	// roots equals the number of components, checking the former implies
+	// the latter.
+	compRoot := make([]graph.VID, ncomp)
+	for i := range compRoot {
+		compRoot[i] = graph.None
+	}
+	for v := 0; v < n; v++ {
+		c := comp[v]
+		if compRoot[c] == graph.None {
+			compRoot[c] = rootOf[v]
+		} else if compRoot[c] != rootOf[v] {
+			return fmt.Errorf("verify: component %d has vertices under roots %d and %d", c, compRoot[c], rootOf[v])
+		}
+	}
+	return nil
+}
+
+// Tree checks that parent is a spanning tree of a connected graph: a
+// spanning forest with exactly one root. Returns an error if g is
+// disconnected.
+func Tree(g *graph.Graph, parent []graph.VID) error {
+	if err := Forest(g, parent); err != nil {
+		return err
+	}
+	roots := 0
+	for _, p := range parent {
+		if p == graph.None {
+			roots++
+		}
+	}
+	if g.NumVertices() > 0 && roots != 1 {
+		return fmt.Errorf("verify: %d roots; a spanning tree of a connected graph has exactly 1", roots)
+	}
+	return nil
+}
+
+// CountTreeEdges returns the number of non-root entries, which for a
+// valid forest equals n minus the number of components.
+func CountTreeEdges(parent []graph.VID) int {
+	edges := 0
+	for _, p := range parent {
+		if p != graph.None {
+			edges++
+		}
+	}
+	return edges
+}

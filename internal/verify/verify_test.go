@@ -1,0 +1,123 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"spantree/internal/gen"
+	"spantree/internal/graph"
+	"spantree/internal/spanseq"
+)
+
+func validForest(t *testing.T, g *graph.Graph) []graph.VID {
+	t.Helper()
+	parent := spanseq.BFS(g, nil)
+	if err := Forest(g, parent); err != nil {
+		t.Fatalf("reference forest invalid: %v", err)
+	}
+	return parent
+}
+
+func TestForestAcceptsValid(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.Chain(0), gen.Chain(1), gen.Chain(20), gen.Star(10),
+		gen.Cycle(9), gen.Torus2D(5, 5), gen.Random(80, 120, 1),
+		graph.Union(gen.Chain(4), gen.Cycle(5)),
+	} {
+		validForest(t, g)
+	}
+}
+
+func TestForestRejections(t *testing.T) {
+	g := gen.Torus2D(4, 4) // 16 vertices, connected
+
+	cases := []struct {
+		name    string
+		mutate  func(parent []graph.VID)
+		wantSub string
+	}{
+		{"wrong length", func(p []graph.VID) {}, "length"},
+		{"out of range", func(p []graph.VID) { p[3] = 99 }, "out of range"},
+		{"self parent", func(p []graph.VID) { p[3] = 3 }, "self-parent"},
+		{"non-edge", func(p []graph.VID) { p[1] = 11 }, "not an edge"},
+		{"extra root", func(p []graph.VID) { p[5] = graph.None }, "roots"},
+	}
+	for _, tc := range cases {
+		parent := validForest(t, g)
+		if tc.name == "wrong length" {
+			parent = parent[:10]
+		} else {
+			tc.mutate(parent)
+		}
+		err := Forest(g, parent)
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("%s: error %q lacks %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestForestRejectsCycle(t *testing.T) {
+	g := gen.Cycle(6)
+	parent := make([]graph.VID, 6)
+	for v := 0; v < 6; v++ {
+		parent[v] = graph.VID((v + 1) % 6) // 0->1->...->5->0: a cycle
+	}
+	err := Forest(g, parent)
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+}
+
+func TestForestRejectsCrossComponentEdgeCount(t *testing.T) {
+	// Two components, but the forest claims one root: invalid because a
+	// tree edge would have to cross components (no such graph edge) or
+	// roots mismatch.
+	g := graph.Union(gen.Chain(3), gen.Chain(3))
+	parent := validForest(t, g)
+	// Merge the second tree under the first via a fake edge.
+	parent[3] = 2
+	if err := Forest(g, parent); err == nil {
+		t.Fatal("cross-component parent accepted")
+	}
+}
+
+func TestForestRejectsSplitComponent(t *testing.T) {
+	// One connected component presented as two trees: root count differs
+	// from component count.
+	g := gen.Chain(6)
+	parent := validForest(t, g)
+	parent[3] = graph.None // split the chain into two trees
+	err := Forest(g, parent)
+	if err == nil {
+		t.Fatal("split component accepted")
+	}
+}
+
+func TestTree(t *testing.T) {
+	g := gen.Torus2D(4, 4)
+	parent := validForest(t, g)
+	if err := Tree(g, parent); err != nil {
+		t.Fatal(err)
+	}
+	dis := graph.Union(gen.Chain(3), gen.Chain(3))
+	disParent := validForest(t, dis)
+	if err := Tree(dis, disParent); err == nil {
+		t.Fatal("Tree accepted a 2-component forest")
+	}
+	// Empty graph: zero roots is fine.
+	empty := gen.Chain(0)
+	if err := Tree(empty, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountTreeEdges(t *testing.T) {
+	g := graph.Union(gen.Chain(4), gen.Star(5))
+	parent := validForest(t, g)
+	if got := CountTreeEdges(parent); got != 9-2 {
+		t.Fatalf("CountTreeEdges = %d, want 7", got)
+	}
+}

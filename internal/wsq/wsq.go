@@ -1,0 +1,238 @@
+// Package wsq provides the work-stealing queues used by the traversal
+// step of the spanning-tree algorithm.
+//
+// The paper's load-balancing protocol is steal-half: "whenever any
+// processor finishes with its own work ... it randomly checks other
+// processors' queues. If it finds a non-empty queue, the processor
+// steals part of the queue." StealHalf implements exactly that: a FIFO
+// ring buffer (the BFS queue of Algorithm 1) whose owner pushes at the
+// back and pops at the front, and whose thieves remove half the queue in
+// one locked operation.
+//
+// ChaseLev is the classic lock-free steal-one deque, provided as an
+// ablation point: the benchmark suite compares steal-half against
+// steal-one to quantify the benefit of bulk stealing on queue-shaped
+// frontiers.
+package wsq
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// StealHalf is a FIFO queue with bulk stealing. All operations are
+// guarded by a mutex: the owner's push/pop path is uncontended in the
+// common case, and thieves appear only when idle, which matches the
+// paper's "lightweight work stealing protocol".
+type StealHalf struct {
+	mu   sync.Mutex
+	buf  []int32
+	head int // index of front element
+	tail int // index one past back element
+	// size == tail-head under mu; a separate atomic mirror lets idle
+	// processors scan for victims without taking every lock.
+	size atomic.Int64
+}
+
+// NewStealHalf returns an empty queue with the given initial capacity
+// (minimum 16).
+func NewStealHalf(capacity int) *StealHalf {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &StealHalf{buf: make([]int32, capacity)}
+}
+
+// Len returns the current queue length (racy snapshot, suitable for
+// victim selection).
+func (q *StealHalf) Len() int { return int(q.size.Load()) }
+
+// Push appends v at the back of the queue.
+func (q *StealHalf) Push(v int32) {
+	q.mu.Lock()
+	if q.tail == len(q.buf) {
+		q.compactOrGrow(1)
+	}
+	q.buf[q.tail] = v
+	q.tail++
+	q.size.Add(1)
+	q.mu.Unlock()
+}
+
+// PushBatch appends all of vs at the back of the queue.
+func (q *StealHalf) PushBatch(vs []int32) {
+	if len(vs) == 0 {
+		return
+	}
+	q.mu.Lock()
+	if q.tail+len(vs) > len(q.buf) {
+		q.compactOrGrow(len(vs))
+	}
+	copy(q.buf[q.tail:], vs)
+	q.tail += len(vs)
+	q.size.Add(int64(len(vs)))
+	q.mu.Unlock()
+}
+
+// compactOrGrow (with mu held) makes room for extra more elements by
+// sliding live elements to the front, doubling the buffer when more
+// than half is live.
+func (q *StealHalf) compactOrGrow(extra int) {
+	live := q.tail - q.head
+	need := live + extra
+	if need > len(q.buf)/2 {
+		newCap := len(q.buf) * 2
+		for newCap < need {
+			newCap *= 2
+		}
+		nb := make([]int32, newCap)
+		copy(nb, q.buf[q.head:q.tail])
+		q.buf = nb
+	} else {
+		copy(q.buf, q.buf[q.head:q.tail])
+	}
+	q.head, q.tail = 0, live
+}
+
+// Pop removes and returns the front element, or ok == false when empty.
+func (q *StealHalf) Pop() (v int32, ok bool) {
+	q.mu.Lock()
+	if q.head == q.tail {
+		q.mu.Unlock()
+		return 0, false
+	}
+	v = q.buf[q.head]
+	q.head++
+	q.size.Add(-1)
+	q.mu.Unlock()
+	return v, true
+}
+
+// Steal removes ceil(len/2) elements from the front of the queue in one
+// operation, appending them to into and returning the extended slice.
+// It returns into unchanged when the queue is empty.
+func (q *StealHalf) Steal(into []int32) []int32 {
+	q.mu.Lock()
+	live := q.tail - q.head
+	if live == 0 {
+		q.mu.Unlock()
+		return into
+	}
+	take := (live + 1) / 2
+	into = append(into, q.buf[q.head:q.head+take]...)
+	q.head += take
+	q.size.Add(-int64(take))
+	q.mu.Unlock()
+	return into
+}
+
+// Drain removes every element, appending to into.
+func (q *StealHalf) Drain(into []int32) []int32 {
+	q.mu.Lock()
+	into = append(into, q.buf[q.head:q.tail]...)
+	q.size.Add(-int64(q.tail - q.head))
+	q.head, q.tail = 0, 0
+	q.mu.Unlock()
+	return into
+}
+
+// ChaseLev is the Chase–Lev work-stealing deque: the owner pushes and
+// pops at the bottom (LIFO) without locks; thieves steal single elements
+// from the top with a CAS.
+type ChaseLev struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	ring   atomic.Pointer[clRing]
+}
+
+type clRing struct {
+	mask int64
+	buf  []int32
+}
+
+func newCLRing(capacity int64) *clRing {
+	return &clRing{mask: capacity - 1, buf: make([]int32, capacity)}
+}
+
+func (r *clRing) get(i int64) int32    { return r.buf[i&r.mask] }
+func (r *clRing) put(i int64, v int32) { r.buf[i&r.mask] = v }
+func (r *clRing) grow(b, t int64) *clRing {
+	nr := newCLRing((r.mask + 1) * 2)
+	for i := t; i < b; i++ {
+		nr.put(i, r.get(i))
+	}
+	return nr
+}
+
+// NewChaseLev returns an empty deque (initial capacity rounded up to a
+// power of two, minimum 64).
+func NewChaseLev(capacity int) *ChaseLev {
+	c := int64(64)
+	for c < int64(capacity) {
+		c *= 2
+	}
+	d := &ChaseLev{}
+	d.ring.Store(newCLRing(c))
+	return d
+}
+
+// Len returns a racy snapshot of the deque size.
+func (d *ChaseLev) Len() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Push appends v at the bottom. Owner-only.
+func (d *ChaseLev) Push(v int32) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.ring.Load()
+	if b-t > r.mask {
+		r = r.grow(b, t)
+		d.ring.Store(r)
+	}
+	r.put(b, v)
+	d.bottom.Store(b + 1)
+}
+
+// Pop removes and returns the bottom element. Owner-only.
+func (d *ChaseLev) Pop() (int32, bool) {
+	b := d.bottom.Load() - 1
+	r := d.ring.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore.
+		d.bottom.Store(t)
+		return 0, false
+	}
+	v := r.get(b)
+	if b > t {
+		return v, true
+	}
+	// Single element left: race with thieves via CAS on top.
+	won := d.top.CompareAndSwap(t, t+1)
+	d.bottom.Store(t + 1)
+	if won {
+		return v, true
+	}
+	return 0, false
+}
+
+// Steal removes and returns the top element. Any thread.
+func (d *ChaseLev) Steal() (int32, bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return 0, false
+	}
+	r := d.ring.Load()
+	v := r.get(t)
+	if d.top.CompareAndSwap(t, t+1) {
+		return v, true
+	}
+	return 0, false
+}

@@ -1,0 +1,237 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds coincided %d/1000 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	s0, s1 := r.Split(0), r.Split(1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if s0.Uint64() == s1.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams coincided %d/1000 times", same)
+	}
+	// Split must not advance the parent.
+	a, b := New(7), New(7)
+	a.Split(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split advanced the parent generator")
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(1)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestUint64nProperty(t *testing.T) {
+	r := New(2)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-squared-ish sanity: 10 buckets over Uint64n(10).
+	r := New(3)
+	const draws = 100000
+	var counts [10]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(10)]++
+	}
+	want := draws / 10
+	for b, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d has %d draws, want ~%d", b, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(4)
+	var sum float64
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestExpFloat64(t *testing.T) {
+	r := New(5)
+	var sum float64
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		e := r.ExpFloat64()
+		if e < 0 {
+			t.Fatalf("ExpFloat64() = %v negative", e)
+		}
+		sum += e
+	}
+	if mean := sum / draws; math.Abs(mean-1.0) > 0.03 {
+		t.Fatalf("ExpFloat64 mean %v, want ~1.0", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(6)
+	f := func(nRaw uint16) bool {
+		n := int(nRaw % 500)
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || int(v) >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermNotIdentity(t *testing.T) {
+	p := New(7).Perm(1000)
+	fixed := 0
+	for i, v := range p {
+		if int(v) == i {
+			fixed++
+		}
+	}
+	if fixed > 20 {
+		t.Fatalf("%d fixed points in a random 1000-permutation", fixed)
+	}
+}
+
+func TestShuffleConserves(t *testing.T) {
+	r := New(8)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed the multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestProb(t *testing.T) {
+	r := New(9)
+	if r.Prob(0) || r.Prob(-1) {
+		t.Fatal("Prob(<=0) returned true")
+	}
+	if !r.Prob(1) || !r.Prob(2) {
+		t.Fatal("Prob(>=1) returned false")
+	}
+	hits := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Prob(0.25) {
+			hits++
+		}
+	}
+	if hits < draws/5 || hits > draws*3/10 {
+		t.Fatalf("Prob(0.25) hit %d/%d times", hits, draws)
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values from the SplitMix64 paper's test vector (seed
+	// 1234567).
+	s := NewSplitMix64(1234567)
+	got := []uint64{s.Uint64(), s.Uint64(), s.Uint64()}
+	want := []uint64{6457827717110365317, 3203168211198807973, 9817491932198370423}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SplitMix64 draw %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInt31nBounds(t *testing.T) {
+	r := New(10)
+	for i := 0; i < 1000; i++ {
+		v := r.Int31n(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Int31n(7) = %d", v)
+		}
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(11)
+	trues := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if trues < draws*45/100 || trues > draws*55/100 {
+		t.Fatalf("Bool() true %d/%d times", trues, draws)
+	}
+}

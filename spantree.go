@@ -1,0 +1,299 @@
+// Package spantree finds spanning trees and spanning forests of
+// undirected graphs in parallel on shared-memory machines.
+//
+// It is a faithful, production-grade implementation of the randomized
+// work-stealing spanning-tree algorithm of Bader and Cong ("A Fast,
+// Parallel Spanning Tree Algorithm for Symmetric Multiprocessors
+// (SMPs)", IPDPS 2004), together with the baselines the paper evaluates
+// against — sequential BFS/DFS traversal and the Shiloach-Vishkin and
+// Hirschberg-Chandra-Sarwate PRAM algorithms adapted to SMPs — the
+// paper's full set of graph generators, an independent result verifier,
+// and the Helman-JáJá SMP cost model used to reproduce the paper's
+// experimental figures.
+//
+// # Quick start
+//
+//	g := spantree.NewRandomGraph(1<<20, 3<<19, 42) // n vertices, 1.5n edges
+//	res, err := spantree.Find(g, spantree.Options{
+//		Algorithm: spantree.AlgWorkStealing,
+//		NumProcs:  8,
+//	})
+//	if err != nil { ... }
+//	// res.Parent[v] is v's parent in the forest (None for roots).
+//
+// Every algorithm returns a spanning forest for disconnected inputs,
+// with exactly one root per connected component.
+package spantree
+
+import (
+	"fmt"
+	"time"
+
+	"spantree/internal/conncomp"
+	"spantree/internal/core"
+	"spantree/internal/graph"
+	"spantree/internal/smpmodel"
+	"spantree/internal/spanas"
+	"spantree/internal/spanhcs"
+	"spantree/internal/spanlevel"
+	"spantree/internal/spanrm"
+	"spantree/internal/spanseq"
+	"spantree/internal/spansv"
+	"spantree/internal/verify"
+)
+
+// Graph is an immutable undirected graph in compressed-sparse-row form.
+type Graph = graph.Graph
+
+// VID is a vertex identifier.
+type VID = graph.VID
+
+// Edge is an undirected edge.
+type Edge = graph.Edge
+
+// None marks the absence of a vertex (the parent of a root).
+const None = graph.None
+
+// Algorithm selects the spanning-tree algorithm to run.
+type Algorithm int
+
+const (
+	// AlgWorkStealing is the paper's algorithm: stub spanning tree plus
+	// work-stealing graph traversal. The recommended default.
+	AlgWorkStealing Algorithm = iota
+	// AlgSequentialBFS is the best sequential algorithm (the paper's
+	// reference line).
+	AlgSequentialBFS
+	// AlgSequentialDFS is the iterative depth-first variant.
+	AlgSequentialDFS
+	// AlgSequentialUF is the union-find edge sweep.
+	AlgSequentialUF
+	// AlgSV is Shiloach-Vishkin graft-and-shortcut with CAS elections.
+	AlgSV
+	// AlgSVLocks is the lock-based SV election variant (slow; kept for
+	// the paper's ablation).
+	AlgSVLocks
+	// AlgHCS is the Hirschberg-Chandra-Sarwate style hook-to-minimum
+	// variant.
+	AlgHCS
+	// AlgAwerbuchShiloach is the textbook Awerbuch-Shiloach algorithm
+	// with explicit star detection and conditional + unconditional
+	// hooks.
+	AlgAwerbuchShiloach
+	// AlgLevelBFS is a level-synchronous parallel BFS: same O((n+m)/p)
+	// work as the work-stealing algorithm but one barrier per BFS level
+	// instead of O(1) barriers in total.
+	AlgLevelBFS
+)
+
+// String returns the canonical short name used by the CLI tools.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgWorkStealing:
+		return "workstealing"
+	case AlgSequentialBFS:
+		return "seqbfs"
+	case AlgSequentialDFS:
+		return "seqdfs"
+	case AlgSequentialUF:
+		return "sequf"
+	case AlgSV:
+		return "sv"
+	case AlgSVLocks:
+		return "svlocks"
+	case AlgHCS:
+		return "hcs"
+	case AlgAwerbuchShiloach:
+		return "as"
+	case AlgLevelBFS:
+		return "levelbfs"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm converts a short name into an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("spantree: unknown algorithm %q", s)
+}
+
+// Algorithms lists every available algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgWorkStealing, AlgSequentialBFS, AlgSequentialDFS, AlgSequentialUF,
+		AlgSV, AlgSVLocks, AlgHCS, AlgAwerbuchShiloach, AlgLevelBFS,
+	}
+}
+
+// Options configures Find.
+type Options struct {
+	// Algorithm selects the algorithm; the zero value is the paper's
+	// work-stealing algorithm.
+	Algorithm Algorithm
+	// NumProcs is the number of virtual processors for the parallel
+	// algorithms; 0 means 1. Sequential algorithms ignore it.
+	NumProcs int
+	// Seed drives all randomized behavior (stub walk, victim choice).
+	Seed uint64
+	// Deg2Eliminate enables the degree-2 elimination preprocessing for
+	// the work-stealing algorithm.
+	Deg2Eliminate bool
+	// FallbackThreshold enables the pathological-case detection of the
+	// work-stealing algorithm: when at least this many virtual
+	// processors are simultaneously idle with nothing stealable, the run
+	// finishes with a Shiloach-Vishkin pass. 0 disables detection.
+	FallbackThreshold int
+	// Model, when non-nil, accumulates Helman-JáJá cost-model counters
+	// for the run (see the smpmodel package via Result.ModeledTime).
+	Model *smpmodel.Model
+	// Verify re-checks the output against the independent verifier
+	// before returning (recommended in tests, off by default).
+	Verify bool
+}
+
+// Result is the outcome of Find.
+type Result struct {
+	// Parent is the spanning forest: Parent[v] is v's parent, or None
+	// when v is the root of its component's tree.
+	Parent []VID
+	// Roots is the number of tree roots == connected components.
+	Roots int
+	// TreeEdges is the number of tree edges (n - Roots).
+	TreeEdges int
+	// Elapsed is the wall-clock time of the algorithm run (excluding
+	// verification).
+	Elapsed time.Duration
+	// Algorithm echoes the algorithm that ran.
+	Algorithm Algorithm
+	// WorkStealing holds the work-stealing algorithm's statistics when
+	// it ran (nil otherwise).
+	WorkStealing *core.Stats
+	// SV holds graft-and-shortcut statistics for AlgSV/AlgSVLocks/AlgHCS
+	// (nil otherwise).
+	SV *spansv.Stats
+	// HCS holds HCS statistics when AlgHCS ran (nil otherwise).
+	HCS *spanhcs.Stats
+	// AS holds Awerbuch-Shiloach statistics when AlgAwerbuchShiloach ran.
+	AS *spanas.Stats
+	// LevelBFS holds level-synchronous BFS statistics when AlgLevelBFS
+	// ran.
+	LevelBFS *spanlevel.Stats
+	// RandomMating holds statistics when FindRandomMating ran.
+	RandomMating *spanrm.Stats
+}
+
+// Find computes a spanning forest of g.
+func Find(g *Graph, opt Options) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("spantree: nil graph")
+	}
+	p := opt.NumProcs
+	if p == 0 {
+		p = 1
+	}
+	if p < 0 {
+		return nil, fmt.Errorf("spantree: NumProcs = %d, need >= 0", p)
+	}
+	res := &Result{Algorithm: opt.Algorithm}
+	start := time.Now()
+	switch opt.Algorithm {
+	case AlgWorkStealing:
+		parent, stats, err := core.SpanningForest(g, core.Options{
+			NumProcs:          p,
+			Seed:              opt.Seed,
+			Model:             opt.Model,
+			Deg2Eliminate:     opt.Deg2Eliminate,
+			FallbackThreshold: opt.FallbackThreshold,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Parent, res.WorkStealing = parent, &stats
+	case AlgSequentialBFS:
+		res.Parent = spanseq.BFS(g, opt.Model.Probe(0))
+	case AlgSequentialDFS:
+		res.Parent = spanseq.DFS(g, opt.Model.Probe(0))
+	case AlgSequentialUF:
+		res.Parent = spanseq.UnionFind(g, opt.Model.Probe(0))
+	case AlgSV, AlgSVLocks:
+		parent, stats, err := spansv.SpanningForest(g, spansv.Options{
+			NumProcs: p,
+			UseLocks: opt.Algorithm == AlgSVLocks,
+			Model:    opt.Model,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Parent, res.SV = parent, &stats
+	case AlgHCS:
+		parent, stats, err := spanhcs.SpanningForest(g, spanhcs.Options{
+			NumProcs: p,
+			Model:    opt.Model,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Parent = parent
+		res.HCS = &stats
+	case AlgAwerbuchShiloach:
+		parent, stats, err := spanas.SpanningForest(g, spanas.Options{
+			NumProcs: p,
+			Model:    opt.Model,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Parent = parent
+		res.AS = &stats
+	case AlgLevelBFS:
+		parent, stats, err := spanlevel.SpanningForest(g, spanlevel.Options{
+			NumProcs: p,
+			Model:    opt.Model,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Parent = parent
+		res.LevelBFS = &stats
+	default:
+		return nil, fmt.Errorf("spantree: unknown algorithm %v", opt.Algorithm)
+	}
+	res.Elapsed = time.Since(start)
+	for _, p := range res.Parent {
+		if p == None {
+			res.Roots++
+		}
+	}
+	res.TreeEdges = len(res.Parent) - res.Roots
+	if opt.Verify {
+		if err := verify.Forest(g, res.Parent); err != nil {
+			return nil, fmt.Errorf("spantree: %v produced an invalid forest: %w", opt.Algorithm, err)
+		}
+	}
+	return res, nil
+}
+
+// Verify independently checks that parent is a valid spanning forest of
+// g (see the verify package for the exact conditions).
+func Verify(g *Graph, parent []VID) error {
+	return verify.Forest(g, parent)
+}
+
+// ConnectedComponents labels every vertex with a component id in
+// [0, count) derived from a spanning forest computed by the
+// work-stealing algorithm with p virtual processors.
+func ConnectedComponents(g *Graph, p int, seed uint64) ([]VID, int, error) {
+	return conncomp.Labels(g, p, seed)
+}
+
+// ConnectedComponentsCount returns only the number of connected
+// components of g, computed with the work-stealing spanning-forest
+// algorithm on p virtual processors.
+func ConnectedComponentsCount(g *Graph, p int, seed uint64) (int, error) {
+	_, count, err := conncomp.Labels(g, p, seed)
+	return count, err
+}
