@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"spantree/internal/obs"
 )
 
 // Barrier is the interface both implementations satisfy: Wait blocks the
@@ -20,6 +22,11 @@ type Barrier interface {
 	Wait(tid int)
 	// NumProcs returns the number of participants.
 	NumProcs() int
+	// Observe attaches an observability recorder: each Wait counts one
+	// BarrierWaits for its participant, and each completed episode adds
+	// one run-global barrier episode (plus an EvBarrier trace event).
+	// Must be called before the barrier is in concurrent use.
+	Observe(rec *obs.Recorder)
 }
 
 // Sense is a centralized sense-reversing barrier. Arrivals decrement a
@@ -35,6 +42,7 @@ type Sense struct {
 	sense   bool
 	// Episodes counts completed barrier episodes, for instrumentation.
 	episodes atomic.Int64
+	obs      *obs.Recorder
 }
 
 // NewSense returns a sense-reversing barrier for p participants.
@@ -53,17 +61,24 @@ func (b *Sense) NumProcs() int { return b.p }
 // Episodes returns how many barrier episodes have completed.
 func (b *Sense) Episodes() int64 { return b.episodes.Load() }
 
-// Wait blocks until all participants arrive. The tid argument is unused
-// by this implementation but kept for interface symmetry.
-func (b *Sense) Wait(int) {
+// Observe attaches an observability recorder (see Barrier.Observe).
+func (b *Sense) Observe(rec *obs.Recorder) { b.obs = rec }
+
+// Wait blocks until all participants arrive. The tid argument only
+// attributes the wait to a worker in the observability layer; the
+// synchronization itself is tid-independent.
+func (b *Sense) Wait(tid int) {
+	b.obs.Worker(tid).Incr(obs.BarrierWaits)
 	b.mu.Lock()
 	mySense := b.sense
 	b.waiting++
 	if b.waiting == b.p {
 		b.waiting = 0
 		b.sense = !b.sense
-		b.episodes.Add(1)
+		ep := b.episodes.Add(1)
 		b.mu.Unlock()
+		b.obs.AddBarrierEpisodes(1)
+		b.obs.Trace(tid, obs.EvBarrier, ep, 0)
 		b.cond.Broadcast()
 		return
 	}
@@ -84,6 +99,7 @@ type Dissemination struct {
 	// slots[k][i] carries round-k signals addressed to participant i.
 	slots    [][]chan struct{}
 	episodes atomic.Int64
+	obs      *obs.Recorder
 }
 
 // NewDissemination returns a dissemination barrier for p participants.
@@ -113,17 +129,23 @@ func (b *Dissemination) NumProcs() int { return b.p }
 // completed; with correct usage all participants agree.
 func (b *Dissemination) Episodes() int64 { return b.episodes.Load() }
 
+// Observe attaches an observability recorder (see Barrier.Observe).
+func (b *Dissemination) Observe(rec *obs.Recorder) { b.obs = rec }
+
 // Wait blocks participant tid until all p participants arrive.
 func (b *Dissemination) Wait(tid int) {
 	if tid < 0 || tid >= b.p {
 		panic(fmt.Sprintf("barrier: Wait(%d) out of range [0,%d)", tid, b.p))
 	}
+	b.obs.Worker(tid).Incr(obs.BarrierWaits)
 	for k := 0; k < b.rounds; k++ {
 		to := (tid + 1<<k) % b.p
 		b.slots[k][to] <- struct{}{}
 		<-b.slots[k][tid]
 	}
 	if tid == 0 {
-		b.episodes.Add(1)
+		ep := b.episodes.Add(1)
+		b.obs.AddBarrierEpisodes(1)
+		b.obs.Trace(tid, obs.EvBarrier, ep, 0)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"spantree/internal/harness"
+	"spantree/internal/obs"
 	"spantree/internal/smpmodel"
 )
 
@@ -16,16 +17,19 @@ func RunBenchFig(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchfig", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig     = fs.String("fig", "all", "experiment to run: all, 3, 4, ablations, or an exact id")
-		list    = fs.Bool("list", false, "list experiment ids and exit")
-		scale   = fs.Int("scale", 1<<16, "vertex budget per input graph (paper: 1048576)")
-		procs   = fs.String("procs", "1,2,4,8", "comma-separated processor counts for the Fig. 4 sweeps")
-		seed    = fs.Uint64("seed", 20040426, "random seed")
-		mode    = fs.String("mode", "modeled", "measurement mode: modeled or wallclock")
-		machine = fs.String("machine", "e4500", "cost-model machine profile: e4500 or modern")
-		repeats = fs.Int("repeats", 3, "wall-clock repetitions (min reported)")
-		csv     = fs.Bool("csv", false, "emit tables as CSV")
-		strict  = fs.Bool("strict", false, "return an error if any shape check fails")
+		fig      = fs.String("fig", "all", "experiment to run: all, 3, 4, ablations, or an exact id")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		scale    = fs.Int("scale", 1<<16, "vertex budget per input graph (paper: 1048576)")
+		procs    = fs.String("procs", "1,2,4,8", "comma-separated processor counts for the Fig. 4 sweeps")
+		seed     = fs.Uint64("seed", 20040426, "random seed")
+		mode     = fs.String("mode", "modeled", "measurement mode: modeled or wallclock")
+		machine  = fs.String("machine", "e4500", "cost-model machine profile: e4500 or modern")
+		repeats  = fs.Int("repeats", 3, "wall-clock repetitions (min reported)")
+		csv      = fs.Bool("csv", false, "emit tables as CSV")
+		strict   = fs.Bool("strict", false, "return an error if any shape check fails")
+		metrics  = fs.String("metrics", "", "write per-worker metrics JSON (one report per instrumented measurement) to this path")
+		trace    = fs.String("trace", "", "write event-trace JSON for the instrumented measurements to this path")
+		traceCap = fs.Int("tracecap", 1<<14, "per-run event ring-buffer capacity for -trace")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,6 +48,12 @@ func RunBenchFig(args []string, stdout, stderr io.Writer) error {
 		Seed:    *seed,
 		Repeats: *repeats,
 		Verify:  true,
+	}
+	if *metrics != "" || *trace != "" {
+		cfg.Collector = &obs.Collector{}
+		if *trace != "" {
+			cfg.Collector.TraceCap = *traceCap
+		}
 	}
 	for _, s := range strings.Split(*procs, ",") {
 		var p int
@@ -92,6 +102,18 @@ func RunBenchFig(args []string, stdout, stderr io.Writer) error {
 		if !rep.Passed() {
 			allPassed = false
 		}
+	}
+	if *metrics != "" {
+		if err := cfg.Collector.WriteMetrics(*metrics); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "metrics: wrote %s (%d runs)\n", *metrics, cfg.Collector.Len())
+	}
+	if *trace != "" {
+		if err := cfg.Collector.WriteTrace(*trace); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace: wrote %s\n", *trace)
 	}
 	if *strict && !allPassed {
 		return fmt.Errorf("benchfig: one or more shape checks failed")

@@ -15,6 +15,7 @@ import (
 
 	"spantree"
 	"spantree/internal/gen"
+	"spantree/internal/obs"
 	"spantree/internal/smpmodel"
 )
 
@@ -40,6 +41,9 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 		model     = fs.Bool("model", false, "report Helman-JáJá modeled cost (E4500 profile)")
 		noverify  = fs.Bool("noverify", false, "skip result verification")
 		repeats   = fs.Int("repeats", 1, "timed repetitions (min reported)")
+		metrics   = fs.String("metrics", "", "write a per-worker metrics JSON report to this path (e.g. results/metrics.json)")
+		trace     = fs.String("trace", "", "write a timestamped event-trace JSON report to this path")
+		traceCap  = fs.Int("tracecap", 1<<16, "event ring-buffer capacity for -trace")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +73,8 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 
 	var best *spantree.Result
 	var costModel *smpmodel.Model
+	var rec *obs.Recorder
+	var recElapsed time.Duration
 	for rep := 0; rep < max(1, *repeats); rep++ {
 		opt := spantree.Options{
 			Algorithm:         algo,
@@ -82,9 +88,23 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 			costModel = smpmodel.New(max(1, *procs))
 			opt.Model = costModel
 		}
+		if (*metrics != "" || *trace != "") && rep == 0 {
+			// Observe only the first repetition: a Recorder accumulates
+			// for its lifetime, so one recorder across repeats would
+			// conflate the runs in the report.
+			if *trace != "" {
+				rec = obs.New(max(1, *procs), obs.WithTrace(*traceCap))
+			} else {
+				rec = obs.New(max(1, *procs))
+			}
+			opt.Obs = rec
+		}
 		res, err := spantree.Find(g, opt)
 		if err != nil {
 			return err
+		}
+		if rep == 0 {
+			recElapsed = res.Elapsed
 		}
 		if best == nil || res.Elapsed < best.Elapsed {
 			best = res
@@ -120,6 +140,31 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 	if costModel != nil {
 		mach := smpmodel.E4500()
 		fmt.Fprintf(stdout, "modeled (%s): %v, triplet %s\n", mach.Name, costModel.Time(mach), costModel.Triplet())
+	}
+	if rec != nil {
+		label := fmt.Sprintf("%s/%v/p=%d", best.Algorithm, g, *procs)
+		meta := map[string]string{
+			"algo":  best.Algorithm.String(),
+			"graph": g.String(),
+			"p":     fmt.Sprint(*procs),
+			"seed":  fmt.Sprint(*seed),
+		}
+		rep := rec.NewReport(label, meta)
+		rep.ElapsedNS = recElapsed.Nanoseconds()
+		if *metrics != "" {
+			a := &obs.Artifact{Runs: []obs.Report{rep}}
+			if err := a.WriteFile(*metrics); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "metrics: wrote %s\n", *metrics)
+		}
+		if *trace != "" {
+			a := &obs.Artifact{Runs: []obs.Report{rep.WithEvents(rec)}}
+			if err := a.WriteFile(*trace); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "trace: wrote %s (%d events)\n", *trace, len(rec.Events()))
+		}
 	}
 	return nil
 }

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"spantree/internal/graph"
+	"spantree/internal/obs"
 	"spantree/internal/smpmodel"
 	"spantree/internal/spansv"
 	"spantree/internal/wsq"
@@ -54,6 +55,12 @@ type Options struct {
 	Seed uint64
 	// Model, when non-nil, accumulates Helman-JáJá cost counters.
 	Model *smpmodel.Model
+	// Obs, when non-nil, is the observability recorder the run reports
+	// into (per-worker counters, optional event trace). It must have at
+	// least NumProcs worker slots and should be fresh for each run —
+	// Stats is derived from its totals. When nil, the run uses a private
+	// recorder so Stats stays available either way.
+	Obs *obs.Recorder
 
 	// StubSteps is the length of the stub random walk; 0 means 2*p
 	// (the paper specifies O(p) steps).
@@ -154,6 +161,10 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 	if opt.NumProcs < 1 {
 		return nil, Stats{}, fmt.Errorf("core: NumProcs = %d, need >= 1", opt.NumProcs)
 	}
+	if opt.Obs != nil && opt.Obs.NumWorkers() < opt.NumProcs {
+		return nil, Stats{}, fmt.Errorf("core: Obs has %d worker slots, need >= %d",
+			opt.Obs.NumWorkers(), opt.NumProcs)
+	}
 	o := opt.withDefaults()
 
 	if o.Deg2Eliminate {
@@ -196,6 +207,8 @@ type workQueue interface {
 	// extended slice (unchanged when nothing was stolen).
 	StealInto(buf []int32) []int32
 	Len() int
+	// HighWater is the maximum length the queue ever reached.
+	HighWater() int
 }
 
 type stealHalfQueue struct{ q *wsq.StealHalf }
@@ -205,6 +218,7 @@ func (s stealHalfQueue) PushBatch(vs []int32)          { s.q.PushBatch(vs) }
 func (s stealHalfQueue) Pop() (int32, bool)            { return s.q.Pop() }
 func (s stealHalfQueue) StealInto(buf []int32) []int32 { return s.q.Steal(buf) }
 func (s stealHalfQueue) Len() int                      { return s.q.Len() }
+func (s stealHalfQueue) HighWater() int                { return s.q.HighWater() }
 
 type chaseLevQueue struct{ q *wsq.ChaseLev }
 
@@ -221,13 +235,8 @@ func (c chaseLevQueue) StealInto(buf []int32) []int32 {
 	}
 	return buf
 }
-func (c chaseLevQueue) Len() int { return c.q.Len() }
-
-// padCounter is a cache-line padded per-processor counter.
-type padCounter struct {
-	v int64
-	_ [7]int64
-}
+func (c chaseLevQueue) Len() int       { return c.q.Len() }
+func (c chaseLevQueue) HighWater() int { return c.q.HighWater() }
 
 // traversal holds the shared state of the work-stealing phase.
 type traversal struct {
@@ -255,26 +264,27 @@ type traversal struct {
 	// that exactly one root is created per uncovered component.
 	seedMu sync.Mutex
 
-	steals       atomic.Int64
-	stolen       atomic.Int64
-	failedClaims atomic.Int64
-	cursorRoots  atomic.Int64
-
-	verticesPerProc []padCounter
-	edgesPerProc    []padCounter
+	// rec is the unified observability layer: all run statistics —
+	// per-worker work counts, steal traffic, failed claims, seeded
+	// components — live in its padded per-worker slots, and Stats is
+	// derived from its snapshot after the run.
+	rec *obs.Recorder
 }
 
 func newTraversal(g *graph.Graph, o Options) *traversal {
 	n := g.NumVertices()
+	rec := o.Obs
+	if rec == nil {
+		rec = obs.New(o.NumProcs)
+	}
 	t := &traversal{
-		g:               g,
-		o:               o,
-		n:               n,
-		color:           make([]int32, n),
-		parent:          make([]graph.VID, n),
-		queues:          make([]workQueue, o.NumProcs),
-		verticesPerProc: make([]padCounter, o.NumProcs),
-		edgesPerProc:    make([]padCounter, o.NumProcs),
+		g:      g,
+		o:      o,
+		n:      n,
+		color:  make([]int32, n),
+		parent: make([]graph.VID, n),
+		queues: make([]workQueue, o.NumProcs),
+		rec:    rec,
 	}
 	for i := range t.parent {
 		t.parent[i] = graph.None
@@ -285,9 +295,15 @@ func newTraversal(g *graph.Graph, o Options) *traversal {
 	initCap := n/o.NumProcs + 16
 	for i := range t.queues {
 		if o.StealOne {
-			t.queues[i] = chaseLevQueue{wsq.NewChaseLev(64)}
+			q := wsq.NewChaseLev(64)
+			// Queue high-water accounting costs a check on every push, so
+			// it runs only when the caller asked to observe the run.
+			q.TrackHighWater(o.Obs != nil)
+			t.queues[i] = chaseLevQueue{q}
 		} else {
-			t.queues[i] = stealHalfQueue{wsq.NewStealHalf(min(initCap, 1<<16))}
+			q := wsq.NewStealHalf(min(initCap, 1<<16))
+			q.TrackHighWater(o.Obs != nil)
+			t.queues[i] = stealHalfQueue{q}
 		}
 	}
 	return t
@@ -337,10 +353,13 @@ func run(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 	for i, s := range seeds {
 		t.queues[i%o.NumProcs].Push(int32(s))
 		probe0.NonContig(1)
+		t.rec.Trace(0, obs.EvSeed, int64(s), int64(i%o.NumProcs))
 	}
 	// One barrier separates the stub step from the traversal step; the
 	// traversal itself needs only the final join (the paper's B = 2).
 	o.Model.AddBarriers(1)
+	t.rec.AddBarrierEpisodes(1)
+	t.rec.Trace(-1, obs.EvBarrier, 1, 0)
 
 	// Step 2: work-stealing graph traversal on p processors.
 	done := make(chan struct{})
@@ -354,16 +373,10 @@ func run(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 		<-done
 	}
 	o.Model.AddBarriers(1)
+	t.rec.AddBarrierEpisodes(1)
+	t.rec.Trace(-1, obs.EvBarrier, 2, 0)
 	t.recordSpan()
-
-	stats.Steals = t.steals.Load()
-	stats.StolenVertices = t.stolen.Load()
-	stats.FailedClaims = t.failedClaims.Load()
-	stats.CursorRoots = t.cursorRoots.Load()
-	for i := 0; i < o.NumProcs; i++ {
-		stats.VerticesPerProc[i] = t.verticesPerProc[i].v
-		stats.EdgesPerProc[i] = t.edgesPerProc[i].v
-	}
+	t.finishStats(&stats)
 
 	if t.abort.Load() {
 		// Pathological case detected: finish with Shiloach-Vishkin over
@@ -382,11 +395,15 @@ func run(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 // and participate in the quiescence protocol when everything is empty.
 func (t *traversal) worker(tid int) {
 	probe := t.o.Model.Probe(tid)
+	ow := t.rec.Worker(tid)
+	// Hot-path counters batch into a local and flush at the same 64-pop
+	// cadence as the scheduler yield; per-vertex atomic stores would put
+	// a fence (XCHG) on the claim loop.
+	var lc obs.Local
+	defer lc.FlushTo(ow)
 	myQ := t.queues[tid]
 	r := xrand.New(t.o.Seed).Split(uint64(tid) + 1)
 	stealBuf := make([]int32, 0, 256)
-	vCount := &t.verticesPerProc[tid].v
-	eCount := &t.edgesPerProc[tid].v
 
 	// fruitless counts consecutive cycles in which neither the own queue
 	// nor stealing produced work. It is the "has slept for a duration"
@@ -399,10 +416,11 @@ func (t *traversal) worker(tid int) {
 		v, ok := myQ.Pop()
 		if ok {
 			probe.NonContig(2) // locked dequeue + load adjacency offset
-			t.process(graph.VID(v), tid, probe, myQ, vCount, eCount)
+			t.process(graph.VID(v), tid, probe, myQ, &lc)
 			fruitless = 0
 			processed++
 			if processed&63 == 0 {
+				lc.FlushTo(ow)
 				// Yield periodically so the protocol behaves the same on
 				// hosts with fewer cores than virtual processors: without
 				// this, a busy goroutine can hold its OS thread for a
@@ -412,17 +430,24 @@ func (t *traversal) worker(tid int) {
 			}
 			continue
 		}
+		if fruitless == 0 {
+			// Busy-to-idle transition: local work ran dry; make the batch
+			// visible before the idle/steal phase.
+			lc.FlushTo(ow)
+			ow.Incr(obs.IdleTransitions)
+			ow.Trace(obs.EvIdle, 0, 0)
+		}
 		if !t.o.NoSteal {
-			if w, ok := t.trySteal(tid, r, myQ, &stealBuf, probe); ok {
+			if w, ok := t.trySteal(tid, r, myQ, &stealBuf, probe, ow); ok {
 				// Process one stolen vertex immediately: a thief that only
 				// re-queued its loot could lose it to another thief before
 				// ever popping, livelocking a one-element frontier.
-				t.process(w, tid, probe, myQ, vCount, eCount)
+				t.process(w, tid, probe, myQ, &lc)
 				fruitless = 0
 				continue
 			}
 		}
-		if !t.idleOnce(tid, myQ, fruitless, probe) {
+		if !t.idleOnce(tid, myQ, fruitless, probe, ow) {
 			return // done or aborted
 		}
 		fruitless++
@@ -432,11 +457,11 @@ func (t *traversal) worker(tid int) {
 // process scans v's neighbors, claiming the unvisited ones (Algorithm 1,
 // lines 2.2-2.7).
 func (t *traversal) process(v graph.VID, tid int, probe *smpmodel.Probe,
-	myQ workQueue, vCount, eCount *int64) {
-	*vCount++
+	myQ workQueue, lc *obs.Local) {
+	lc.Incr(obs.VerticesClaimed)
 	nb := t.g.Neighbors(v)
 	probe.Contig(int64(len(nb)))
-	*eCount += int64(len(nb))
+	lc.Add(obs.EdgesScanned, int64(len(nb)))
 	var childSpan int64
 	if t.span != nil {
 		// A child claimed while processing v completes no earlier than
@@ -455,8 +480,26 @@ func (t *traversal) process(v graph.VID, tid int, probe *smpmodel.Probe,
 			}
 			myQ.Push(int32(w))
 		} else {
-			t.failedClaims.Add(1)
+			lc.Incr(obs.FailedClaims)
 		}
+	}
+}
+
+// finishStats records the queues' high-water marks into the recorder
+// and derives the public Stats values from the recorder's snapshot —
+// the Stats struct is a view over the unified observability layer.
+func (t *traversal) finishStats(stats *Stats) {
+	for i, q := range t.queues {
+		t.rec.Worker(i).Max(obs.QueueHighWater, int64(q.HighWater()))
+	}
+	snap := t.rec.Snapshot()
+	stats.Steals = snap.Totals.StealSuccesses
+	stats.StolenVertices = snap.Totals.StolenVertices
+	stats.FailedClaims = snap.Totals.FailedClaims
+	stats.CursorRoots = snap.Totals.SeededComponents
+	for i := 0; i < t.o.NumProcs && i < len(snap.Workers); i++ {
+		stats.VerticesPerProc[i] = snap.Workers[i].VerticesClaimed
+		stats.EdgesPerProc[i] = snap.Workers[i].EdgesScanned
 	}
 }
 
@@ -496,11 +539,12 @@ const minStealLen = 2
 // queues all but the first stolen vertex and returns the first for the
 // caller to process directly.
 func (t *traversal) trySteal(tid int, r *xrand.Rand, myQ workQueue,
-	stealBuf *[]int32, probe *smpmodel.Probe) (graph.VID, bool) {
+	stealBuf *[]int32, probe *smpmodel.Probe, ow *obs.Worker) (graph.VID, bool) {
 	p := t.o.NumProcs
 	if p == 1 {
 		return 0, false
 	}
+	ow.Incr(obs.StealAttempts)
 	start := r.Intn(p)
 	for i := 0; i < p; i++ {
 		victim := (start + i) % p
@@ -515,12 +559,14 @@ func (t *traversal) trySteal(tid int, r *xrand.Rand, myQ workQueue,
 		if len(*stealBuf) == 0 {
 			continue
 		}
-		t.steals.Add(1)
-		t.stolen.Add(int64(len(*stealBuf)))
+		ow.Incr(obs.StealSuccesses)
+		ow.Add(obs.StolenVertices, int64(len(*stealBuf)))
+		ow.Trace(obs.EvSteal, int64(victim), int64(len(*stealBuf)))
 		probe.NonContig(int64(len(*stealBuf)) + 2) // move the loot
 		myQ.PushBatch((*stealBuf)[1:])
 		return graph.VID((*stealBuf)[0]), true
 	}
+	ow.Incr(obs.StealFailures)
 	// A fruitless scan costs one polling access before the processor
 	// sleeps; sleeping itself is free in the cost model, matching the
 	// paper's condition-variable design.
@@ -540,7 +586,7 @@ func (t *traversal) trySteal(tid int, r *xrand.Rand, myQ workQueue,
 // that observes sleepers == p) may therefore claim the next uncolored
 // vertex as a fresh root — that is how disconnected inputs become
 // spanning forests with exactly one root per component.
-func (t *traversal) idleOnce(tid int, myQ workQueue, fruitless int, probe *smpmodel.Probe) bool {
+func (t *traversal) idleOnce(tid int, myQ workQueue, fruitless int, probe *smpmodel.Probe, ow *obs.Worker) bool {
 	t.sleepers.Add(1)
 	defer t.sleepers.Add(-1)
 	if t.visited.Load() >= int64(t.n) || t.abort.Load() {
@@ -552,7 +598,10 @@ func (t *traversal) idleOnce(tid int, myQ workQueue, fruitless int, probe *smpmo
 	// "go to sleep for a duration"), so the transient idleness of
 	// startup and wind-down does not trip the threshold.
 	if th := t.o.FallbackThreshold; th > 0 && fruitless >= 8 && int(s) >= th {
-		t.abort.Store(true)
+		if t.abort.CompareAndSwap(false, true) {
+			ow.Incr(obs.FallbackTriggers)
+			ow.Trace(obs.EvFallback, int64(s), 0)
+		}
 		return false
 	}
 	if int(s) == t.o.NumProcs {
@@ -596,7 +645,9 @@ func (t *traversal) trySeedNextComponent(tid int, myQ workQueue, probe *smpmodel
 	if !t.claim(v, graph.None, tid) {
 		return false // unreachable at true quiescence, kept for safety
 	}
-	t.cursorRoots.Add(1)
+	ow := t.rec.Worker(tid)
+	ow.Incr(obs.SeededComponents)
+	ow.Trace(obs.EvComponentSeed, int64(v), 0)
 	myQ.Push(int32(v))
 	return true
 }
@@ -656,6 +707,7 @@ func (t *traversal) fallback() (spansv.Stats, error) {
 	edges, svStats, err := spansv.GraftFrom(t.g, d, spansv.Options{
 		NumProcs: t.o.NumProcs,
 		Model:    t.o.Model,
+		Obs:      t.rec,
 	})
 	if err != nil {
 		return svStats, fmt.Errorf("core: SV fallback: %w", err)

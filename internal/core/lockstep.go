@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"spantree/internal/graph"
+	"spantree/internal/obs"
 	"spantree/internal/xrand"
 )
 
@@ -31,6 +32,10 @@ import (
 func LockstepForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 	if opt.NumProcs < 1 {
 		return nil, Stats{}, fmt.Errorf("core: NumProcs = %d, need >= 1", opt.NumProcs)
+	}
+	if opt.Obs != nil && opt.Obs.NumWorkers() < opt.NumProcs {
+		return nil, Stats{}, fmt.Errorf("core: Obs has %d worker slots, need >= %d",
+			opt.Obs.NumWorkers(), opt.NumProcs)
 	}
 	o := opt.withDefaults()
 	if o.Deg2Eliminate {
@@ -86,32 +91,46 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 	for i, s := range seeds {
 		t.queues[i%o.NumProcs].Push(int32(s))
 		probe0.NonContig(1)
+		t.rec.Trace(0, obs.EvSeed, int64(s), int64(i%o.NumProcs))
 	}
 	o.Model.AddBarriers(1)
+	t.rec.AddBarrierEpisodes(1)
+	t.rec.Trace(-1, obs.EvBarrier, 1, 0)
 
 	// Step 2: round-robin lockstep traversal.
 	p := o.NumProcs
 	rngs := make([]*xrand.Rand, p)
+	workers := make([]*obs.Worker, p)
+	// The driver is single-goroutine, so the hot-path counters can batch
+	// in locals for the whole run and flush once before finishStats.
+	locals := make([]obs.Local, p)
 	for tid := range rngs {
 		rngs[tid] = xrand.New(o.Seed).Split(uint64(tid) + 1)
+		workers[tid] = t.rec.Worker(tid)
 	}
 	stealBuf := make([]int32, 0, 256)
 	idleStreak := make([]int, p)
+	seededRoots := 0
 
 	for t.visited.Load() < int64(t.n) && !t.abort.Load() {
 		idleThisRound := 0
 		patientIdlers := 0
 		for tid := 0; tid < p && t.visited.Load() < int64(t.n); tid++ {
 			probe := o.Model.Probe(tid)
+			ow := workers[tid]
 			myQ := t.queues[tid]
 			if v, ok := myQ.Pop(); ok {
 				probe.NonContig(2) // locked dequeue + load adjacency offset
-				t.process(graph.VID(v), tid, probe,
-					myQ, &t.verticesPerProc[tid].v, &t.edgesPerProc[tid].v)
+				t.process(graph.VID(v), tid, probe, myQ, &locals[tid])
 				idleStreak[tid] = 0
 				continue
 			}
+			if idleStreak[tid] == 0 {
+				ow.Incr(obs.IdleTransitions)
+				ow.Trace(obs.EvIdle, 0, 0)
+			}
 			if !o.NoSteal && p > 1 {
+				ow.Incr(obs.StealAttempts)
 				start := rngs[tid].Intn(p)
 				stole := false
 				for i := 0; i < p; i++ {
@@ -126,16 +145,16 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 					if len(stealBuf) == 0 {
 						continue
 					}
-					t.steals.Add(1)
-					t.stolen.Add(int64(len(stealBuf)))
+					ow.Incr(obs.StealSuccesses)
+					ow.Add(obs.StolenVertices, int64(len(stealBuf)))
+					ow.Trace(obs.EvSteal, int64(victim), int64(len(stealBuf)))
 					probe.NonContig(int64(len(stealBuf)) + 2)
 					// Process the first stolen vertex in this same turn:
 					// merely re-queuing the loot would let the next
 					// processor steal it back, livelocking a one-element
 					// frontier under round-robin scheduling.
 					myQ.PushBatch(stealBuf[1:])
-					t.process(graph.VID(stealBuf[0]), tid, probe,
-						myQ, &t.verticesPerProc[tid].v, &t.edgesPerProc[tid].v)
+					t.process(graph.VID(stealBuf[0]), tid, probe, myQ, &locals[tid])
 					stole = true
 					break
 				}
@@ -143,6 +162,7 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 					idleStreak[tid] = 0
 					continue
 				}
+				ow.Incr(obs.StealFailures)
 				probe.NonContig(1) // fruitless poll before sleeping
 			}
 			idleThisRound++
@@ -157,6 +177,8 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 		stats.LockstepRounds++
 		if th := o.FallbackThreshold; th > 0 && patientIdlers >= th {
 			t.abort.Store(true)
+			workers[0].Incr(obs.FallbackTriggers)
+			workers[0].Trace(obs.EvFallback, int64(patientIdlers), 0)
 			break
 		}
 		if idleThisRound == p {
@@ -164,9 +186,11 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 			// vertex this round, so the uncolored set is a union of whole
 			// components; seed the next one on a rotating processor.
 			if v, ok := t.nextUncolored(o.Model.Probe(0)); ok {
-				tid := int(t.cursorRoots.Load()) % p
+				tid := seededRoots % p
 				t.claim(v, graph.None, tid)
-				t.cursorRoots.Add(1)
+				seededRoots++
+				workers[tid].Incr(obs.SeededComponents)
+				workers[tid].Trace(obs.EvComponentSeed, int64(v), 0)
 				t.queues[tid].Push(int32(v))
 				for i := range idleStreak {
 					idleStreak[i] = 0
@@ -177,16 +201,13 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 		}
 	}
 	o.Model.AddBarriers(1)
-	t.recordSpan()
-
-	stats.Steals = t.steals.Load()
-	stats.StolenVertices = t.stolen.Load()
-	stats.FailedClaims = t.failedClaims.Load()
-	stats.CursorRoots = t.cursorRoots.Load()
-	for i := 0; i < p; i++ {
-		stats.VerticesPerProc[i] = t.verticesPerProc[i].v
-		stats.EdgesPerProc[i] = t.edgesPerProc[i].v
+	t.rec.AddBarrierEpisodes(1)
+	t.rec.Trace(-1, obs.EvBarrier, 2, 0)
+	for tid := range locals {
+		locals[tid].FlushTo(workers[tid])
 	}
+	t.recordSpan()
+	t.finishStats(&stats)
 	if t.abort.Load() {
 		stats.FallbackTriggered = true
 		svStats, err := t.fallback()

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 
+	"spantree/internal/obs"
 	"spantree/internal/smpmodel"
 	"spantree/internal/stats"
 )
@@ -67,6 +68,11 @@ type Config struct {
 	// Verify re-checks every computed forest with the independent
 	// verifier (on by default in the tools; costs one O(n+m) pass).
 	Verify bool
+	// Collector, when non-nil, receives one observability Report per
+	// instrumented measurement (the work-stealing and SV-family runs),
+	// labeled "algo/graph/p=N" — the metrics artifact cmd/benchfig
+	// writes for -metrics / -trace.
+	Collector *obs.Collector
 }
 
 func (c Config) withDefaults() Config {

@@ -6,6 +6,7 @@ import (
 
 	"spantree/internal/core"
 	"spantree/internal/graph"
+	"spantree/internal/obs"
 	"spantree/internal/smpmodel"
 	"spantree/internal/spanas"
 	"spantree/internal/spanhcs"
@@ -78,7 +79,7 @@ type wsConfig struct {
 // an error since it invalidates the whole experiment.
 func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (measurement, error) {
 	m := measurement{algo: kind.label(), p: p}
-	runOnce := func(model *smpmodel.Model) ([]graph.VID, string, error) {
+	runOnce := func(model *smpmodel.Model, rec *obs.Recorder) ([]graph.VID, string, error) {
 		switch kind {
 		case kindSeqBFS:
 			return spanseq.BFS(g, model.Probe(0)), "", nil
@@ -87,6 +88,7 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 				NumProcs: p,
 				UseLocks: kind == kindSVLocks,
 				Model:    model,
+				Obs:      rec,
 			})
 			return parent, fmt.Sprintf("iters=%d shortcuts=%d", st.Iterations, st.ShortcutRounds), err
 		case kindHCS:
@@ -106,6 +108,7 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 				NumProcs:      p,
 				Seed:          cfg.Seed,
 				Model:         model,
+				Obs:           rec,
 				NoSteal:       ws.noSteal,
 				NoStub:        ws.noStub,
 				StealOne:      ws.stealOne,
@@ -134,9 +137,31 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 		return nil, "", fmt.Errorf("harness: unknown algorithm kind %d", kind)
 	}
 
+	// instrumented reports whether this algorithm kind feeds the
+	// observability layer (only those runs produce a meaningful Report).
+	instrumented := kind == kindWS || kind == kindSV || kind == kindSVLocks
+	collect := func(rec *obs.Recorder, elapsed time.Duration) {
+		if rec == nil {
+			return
+		}
+		label := fmt.Sprintf("%s/%v/p=%d", m.algo, g, p)
+		meta := map[string]string{
+			"algo":  m.algo,
+			"graph": g.String(),
+			"p":     fmt.Sprint(p),
+			"mode":  cfg.Mode.String(),
+			"seed":  fmt.Sprint(cfg.Seed),
+		}
+		cfg.Collector.Collect(label, meta, elapsed.Nanoseconds(), rec)
+	}
+
 	if cfg.Mode == Modeled {
 		model := smpmodel.New(p)
-		parent, extra, err := runOnce(model)
+		var rec *obs.Recorder
+		if instrumented {
+			rec = cfg.Collector.NewRecorder(p)
+		}
+		parent, extra, err := runOnce(model, rec)
 		if err != nil {
 			return m, err
 		}
@@ -147,22 +172,34 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 		}
 		m.time = model.Time(cfg.Machine)
 		m.extra = extra
+		collect(rec, m.time)
 		return m, nil
 	}
 
-	// Wall-clock: repeat and keep the minimum.
+	// Wall-clock: repeat and keep the minimum. Only the first repetition
+	// is instrumented — a Recorder accumulates for its lifetime, so
+	// attaching one recorder to every repeat would conflate the runs.
 	best := time.Duration(0)
 	var extra string
+	var rec0 *obs.Recorder
+	var rec0Elapsed time.Duration
 	for rep := 0; rep < cfg.Repeats; rep++ {
+		var rec *obs.Recorder
+		if rep == 0 && instrumented {
+			rec = cfg.Collector.NewRecorder(p)
+		}
 		start := time.Now()
-		parent, e, err := runOnce(nil)
+		parent, e, err := runOnce(nil, rec)
 		elapsed := time.Since(start)
 		if err != nil {
 			return m, err
 		}
-		if rep == 0 && cfg.Verify {
-			if err := verify.Forest(g, parent); err != nil {
-				return m, fmt.Errorf("harness: %s p=%d on %v: %w", m.algo, p, g, err)
+		if rep == 0 {
+			rec0, rec0Elapsed = rec, elapsed
+			if cfg.Verify {
+				if err := verify.Forest(g, parent); err != nil {
+					return m, fmt.Errorf("harness: %s p=%d on %v: %w", m.algo, p, g, err)
+				}
 			}
 		}
 		if best == 0 || elapsed < best {
@@ -172,6 +209,7 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 	}
 	m.time = best
 	m.extra = extra
+	collect(rec0, rec0Elapsed)
 	return m, nil
 }
 

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Artifact is a file of Reports: what the CLI tools write for -metrics
+// and -trace, and what CI uploads as a build artifact. A single run
+// (cmd/spantree) produces one report; a benchmark sweep (cmd/benchfig)
+// produces one per (experiment, algorithm, p) measurement.
+type Artifact struct {
+	Schema        string   `json:"schema"`
+	SchemaVersion int      `json:"schema_version"`
+	Runs          []Report `json:"runs"`
+}
+
+// WriteFile writes the artifact as indented JSON, creating parent
+// directories (so "results/metrics.json" works from a fresh checkout).
+func (a *Artifact) WriteFile(path string) error {
+	a.Schema = Schema
+	a.SchemaVersion = SchemaVersion
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding artifact: %w", err)
+	}
+	data = append(data, '\n')
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("obs: creating %s: %w", dir, err)
+		}
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("obs: writing artifact: %w", err)
+	}
+	return nil
+}
+
+// ReadArtifact reads an artifact written by WriteFile (schema checked).
+func ReadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("obs: decoding %s: %w", path, err)
+	}
+	if a.Schema != Schema {
+		return nil, fmt.Errorf("obs: %s has schema %q, want %q", path, a.Schema, Schema)
+	}
+	return &a, nil
+}
+
+// Collector accumulates Reports from a sweep of runs (the experiment
+// harness adds one per measurement) and writes them as artifacts.
+// Safe for concurrent Add.
+type Collector struct {
+	// TraceCap, when > 0, makes NewRecorder enable tracing with this
+	// ring-buffer capacity.
+	TraceCap int
+
+	mu   sync.Mutex
+	runs []Report
+}
+
+// NewRecorder returns a fresh Recorder for one run of p workers,
+// tracing-enabled when the collector wants traces.
+func (c *Collector) NewRecorder(p int) *Recorder {
+	if c == nil {
+		return nil
+	}
+	if c.TraceCap > 0 {
+		return New(p, WithTrace(c.TraceCap))
+	}
+	return New(p)
+}
+
+// Collect snapshots rec into a report (with events when tracing was on)
+// and appends it to the collector. No-op when c or rec is nil.
+func (c *Collector) Collect(label string, meta map[string]string, elapsedNS int64, rec *Recorder) {
+	if c == nil || rec == nil {
+		return
+	}
+	rep := rec.NewReport(label, meta)
+	rep.ElapsedNS = elapsedNS
+	rep.Events = rec.Events()
+	c.mu.Lock()
+	c.runs = append(c.runs, rep)
+	c.mu.Unlock()
+}
+
+// Len returns the number of collected reports.
+func (c *Collector) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.runs)
+}
+
+// WriteMetrics writes all collected reports, stripped of their event
+// timelines, as one artifact.
+func (c *Collector) WriteMetrics(path string) error {
+	c.mu.Lock()
+	runs := make([]Report, len(c.runs))
+	copy(runs, c.runs)
+	c.mu.Unlock()
+	for i := range runs {
+		runs[i].Events = nil
+	}
+	a := &Artifact{Runs: runs}
+	return a.WriteFile(path)
+}
+
+// WriteTrace writes only the reports that carry events, with their
+// timelines, as one artifact.
+func (c *Collector) WriteTrace(path string) error {
+	c.mu.Lock()
+	var runs []Report
+	for _, r := range c.runs {
+		if len(r.Events) > 0 {
+			runs = append(runs, r)
+		}
+	}
+	c.mu.Unlock()
+	a := &Artifact{Runs: runs}
+	return a.WriteFile(path)
+}

@@ -1,0 +1,352 @@
+// Package obs is the unified observability layer of the repository: one
+// low-overhead recorder that every parallel component (the work-stealing
+// traversal in internal/core, the queues in internal/wsq, the barriers
+// in internal/barrier, the SV family via internal/par) reports into, and
+// one stable JSON schema (Report) that every tool emits, so each
+// benchmark run produces a comparable per-worker metrics artifact.
+//
+// The design follows the paper's evaluation needs: the argument for the
+// work-stealing algorithm is made in per-processor terms (load balance,
+// steal traffic, barrier episodes, the Helman-JáJá (T_M, T_C, B)
+// triplet), so the recorder keeps one cache-line padded slot of counters
+// per worker and aggregates them only at snapshot time — there is no
+// shared hot counter and therefore no coherence traffic between workers.
+//
+// # Concurrency contract
+//
+// Counter slots are single-writer: worker tid is the only goroutine that
+// may update Worker(tid)'s counters while the run is in flight (the
+// owner updates them with atomic load/store pairs, which is exactly as
+// cheap as a plain add on amd64/arm64 but keeps concurrent Snapshot
+// calls race-free). Snapshot may be called from any goroutine at any
+// time and sees a consistent-enough view for monitoring; the final
+// snapshot taken after the worker goroutines join is exact.
+//
+// All methods are nil-safe on both *Recorder and *Worker: a nil receiver
+// is a no-op sink, so instrumented code needs no "is observability on?"
+// branches beyond the receiver nil-check the calls themselves perform.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one per-worker counter.
+type Counter int
+
+// The per-worker counter set. VerticesClaimed/EdgesScanned measure
+// useful work (and therefore load balance), the three steal counters
+// measure the work-stealing protocol, QueueHighWater bounds queue memory
+// and reveals frontier shape, BarrierWaits and IdleTransitions count
+// synchronization episodes, and FallbackTriggers/SeededComponents count
+// the two quiescence-protocol outcomes.
+const (
+	// VerticesClaimed is the number of vertices this worker claimed
+	// (colored); for SV-family algorithms it counts grafts won.
+	VerticesClaimed Counter = iota
+	// EdgesScanned is the number of arcs this worker inspected.
+	EdgesScanned
+	// StealAttempts counts entries into the steal protocol (one full
+	// victim scan per attempt).
+	StealAttempts
+	// StealSuccesses counts attempts that obtained at least one vertex.
+	StealSuccesses
+	// StealFailures counts attempts that found nothing stealable.
+	StealFailures
+	// StolenVertices is the total number of vertices obtained by steals.
+	StolenVertices
+	// FailedClaims counts claim CASes lost to another worker — the
+	// paper's multiply-colored-vertex race events.
+	FailedClaims
+	// QueueHighWater is the maximum length this worker's queue reached.
+	QueueHighWater
+	// BarrierWaits counts barrier episodes this worker participated in.
+	BarrierWaits
+	// IdleTransitions counts busy-to-idle transitions (the worker ran
+	// out of local work and entered the steal/sleep protocol).
+	IdleTransitions
+	// FallbackTriggers counts times this worker tripped the idle
+	// detection threshold and aborted the traversal into the SV fallback.
+	FallbackTriggers
+	// SeededComponents counts components this worker seeded through the
+	// quiescence protocol.
+	SeededComponents
+
+	numCounters
+)
+
+// EventKind identifies one trace event type.
+type EventKind uint8
+
+const (
+	// EvSeed: a stub-tree vertex was distributed to a worker queue
+	// (A = vertex, B = destination worker).
+	EvSeed EventKind = iota
+	// EvSteal: a successful steal (A = victim worker, B = vertices moved).
+	EvSteal
+	// EvBarrier: a barrier episode completed (A = episode number).
+	EvBarrier
+	// EvFallback: the idle-detection threshold tripped (A = sleepers).
+	EvFallback
+	// EvComponentSeed: the quiescence protocol seeded a new component
+	// root (A = vertex).
+	EvComponentSeed
+	// EvIdle: a worker transitioned from busy to idle.
+	EvIdle
+)
+
+// String returns the schema name of the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvSeed:
+		return "seed"
+	case EvSteal:
+		return "steal"
+	case EvBarrier:
+		return "barrier"
+	case EvFallback:
+		return "fallback"
+	case EvComponentSeed:
+		return "component-seed"
+	case EvIdle:
+		return "idle"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one timestamped trace event.
+type Event struct {
+	// TNS is nanoseconds since the recorder was created.
+	TNS int64 `json:"t_ns"`
+	// Worker is the reporting worker id, or -1 for run-global events.
+	Worker int `json:"worker"`
+	// Kind is the event type (see EventKind.String for the names).
+	Kind string `json:"kind"`
+	// A and B are kind-specific arguments (documented per EventKind).
+	A int64 `json:"a,omitempty"`
+	B int64 `json:"b,omitempty"`
+}
+
+// slotPad rounds the counter array up to a multiple of two cache lines
+// so neighboring workers' slots never share a line.
+const slotPad = (128 - (numCounters*8)%128) % 128
+
+type workerSlot struct {
+	c [numCounters]atomic.Int64
+	_ [slotPad]byte
+}
+
+// trace is the bounded ring buffer of events. A mutex keeps it simple
+// and race-free; tracing is opt-in and event rates (steals, barriers,
+// seeds) are orders of magnitude below the vertex-processing rate, so
+// the lock is uncontended in practice.
+type trace struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int   // next slot to write (wraps)
+	total   int64 // events ever recorded
+	dropped int64 // events overwritten by wraparound
+}
+
+func (t *trace) add(e Event) {
+	t.mu.Lock()
+	if t.total >= int64(len(t.buf)) {
+		t.dropped++
+	}
+	t.buf[t.next] = e
+	t.next = (t.next + 1) % len(t.buf)
+	t.total++
+	t.mu.Unlock()
+}
+
+// events returns the buffered events in chronological order.
+func (t *trace) events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := int(t.total)
+	if n > len(t.buf) {
+		n = len(t.buf)
+	}
+	out := make([]Event, 0, n)
+	start := 0
+	if t.total > int64(len(t.buf)) {
+		start = t.next // oldest surviving event
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Recorder collects per-worker counters, run-global counters, and an
+// optional bounded event trace for one algorithm run. Create one fresh
+// Recorder per run; totals are cumulative for the Recorder's lifetime.
+type Recorder struct {
+	workers []workerSlot
+	tr      *trace
+	start   time.Time
+	// barrierEpisodes counts completed team-wide barrier episodes
+	// (run-global, distinct from per-worker BarrierWaits).
+	barrierEpisodes atomic.Int64
+}
+
+// Option configures a Recorder.
+type Option func(*Recorder)
+
+// WithTrace enables the event trace with a ring buffer of the given
+// capacity (minimum 64 when enabled; cap <= 0 leaves tracing off).
+func WithTrace(capacity int) Option {
+	return func(r *Recorder) {
+		if capacity <= 0 {
+			return
+		}
+		if capacity < 64 {
+			capacity = 64
+		}
+		r.tr = &trace{buf: make([]Event, capacity)}
+	}
+}
+
+// New returns a Recorder for p workers (p >= 1).
+func New(p int, opts ...Option) *Recorder {
+	if p < 1 {
+		p = 1
+	}
+	r := &Recorder{workers: make([]workerSlot, p), start: time.Now()}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// NumWorkers returns the number of per-worker slots (0 on nil).
+func (r *Recorder) NumWorkers() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.workers)
+}
+
+// TraceEnabled reports whether the recorder buffers trace events.
+func (r *Recorder) TraceEnabled() bool { return r != nil && r.tr != nil }
+
+// Worker returns the counter handle for worker tid, or nil (a no-op
+// sink) when r is nil or tid is out of range.
+func (r *Recorder) Worker(tid int) *Worker {
+	if r == nil || tid < 0 || tid >= len(r.workers) {
+		return nil
+	}
+	return &Worker{rec: r, slot: &r.workers[tid], tid: tid}
+}
+
+// AddBarrierEpisodes adds n completed team-wide barrier episodes.
+func (r *Recorder) AddBarrierEpisodes(n int64) {
+	if r == nil {
+		return
+	}
+	r.barrierEpisodes.Add(n)
+}
+
+// Trace records one event attributed to worker tid (-1 for run-global
+// events). No-op unless tracing is enabled.
+func (r *Recorder) Trace(tid int, kind EventKind, a, b int64) {
+	if r == nil || r.tr == nil {
+		return
+	}
+	r.tr.add(Event{
+		TNS:    time.Since(r.start).Nanoseconds(),
+		Worker: tid,
+		Kind:   kind.String(),
+		A:      a,
+		B:      b,
+	})
+}
+
+// Events returns the buffered trace events in chronological order
+// (nil when tracing is disabled).
+func (r *Recorder) Events() []Event {
+	if r == nil || r.tr == nil {
+		return nil
+	}
+	return r.tr.events()
+}
+
+// Worker is one worker's handle into its padded counter slot. The
+// zero-value-nil Worker is a no-op sink.
+type Worker struct {
+	rec  *Recorder
+	slot *workerSlot
+	tid  int
+}
+
+// Add adds delta to counter c. Single-writer: only the owning worker may
+// call Add/Incr/Max while the run is in flight.
+func (w *Worker) Add(c Counter, delta int64) {
+	if w == nil {
+		return
+	}
+	// Load+store instead of Add: the slot is single-writer, so this is
+	// race-free, and it avoids a LOCK-prefixed RMW on the hot path.
+	v := &w.slot.c[c]
+	v.Store(v.Load() + delta)
+}
+
+// Incr adds one to counter c.
+func (w *Worker) Incr(c Counter) { w.Add(c, 1) }
+
+// Max raises counter c to v if v is larger (for high-water marks).
+func (w *Worker) Max(c Counter, v int64) {
+	if w == nil {
+		return
+	}
+	p := &w.slot.c[c]
+	if v > p.Load() {
+		p.Store(v)
+	}
+}
+
+// Trace records one event attributed to this worker.
+func (w *Worker) Trace(kind EventKind, a, b int64) {
+	if w == nil {
+		return
+	}
+	w.rec.Trace(w.tid, kind, a, b)
+}
+
+// Get returns the current value of counter c (0 on nil).
+func (w *Worker) Get(c Counter) int64 {
+	if w == nil {
+		return 0
+	}
+	return w.slot.c[c].Load()
+}
+
+// Local is an unsynchronized counter batch for a worker's hot loop.
+// Even a single-writer atomic store is a full fence on amd64 (XCHG), so
+// per-vertex updates through Worker cost real time; a Local accumulates
+// in plain memory and FlushTo moves the batch into the worker's slots
+// at a coarser cadence. Concurrent Snapshot calls then see counters
+// that lag by at most one unflushed batch.
+type Local struct {
+	c [numCounters]int64
+}
+
+// Add adds delta to counter c in the local batch.
+func (l *Local) Add(c Counter, delta int64) { l.c[c] += delta }
+
+// Incr adds one to counter c in the local batch.
+func (l *Local) Incr(c Counter) { l.c[c]++ }
+
+// FlushTo moves the accumulated batch into w and resets the batch. A
+// nil w discards the batch.
+func (l *Local) FlushTo(w *Worker) {
+	for i, v := range l.c {
+		if v != 0 {
+			w.Add(Counter(i), v)
+			l.c[i] = 0
+		}
+	}
+}

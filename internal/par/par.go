@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"spantree/internal/barrier"
+	"spantree/internal/obs"
 	"spantree/internal/smpmodel"
 )
 
@@ -20,6 +21,7 @@ type Team struct {
 	p       int
 	bar     barrier.Barrier
 	model   *smpmodel.Model
+	obs     *obs.Recorder
 	scratch []pad64 // per-processor reduction slots
 }
 
@@ -48,6 +50,16 @@ func (t *Team) NumProcs() int { return t.p }
 // Model returns the team's cost model (possibly nil).
 func (t *Team) Model() *smpmodel.Model { return t.model }
 
+// Observe attaches an observability recorder to the team and its
+// barrier: barrier waits/episodes are recorded by the barrier, and each
+// Ctx exposes a per-processor counter handle via Ctx.Obs. Call before
+// Run. A nil recorder is a no-op sink.
+func (t *Team) Observe(rec *obs.Recorder) *Team {
+	t.obs = rec
+	t.bar.Observe(rec)
+	return t
+}
+
 // Run executes fn on all p virtual processors concurrently and waits for
 // all of them. Each invocation receives a Ctx bound to its processor id.
 // A panic on any processor is re-raised on the caller after all
@@ -64,7 +76,7 @@ func (t *Team) Run(fn func(c *Ctx)) {
 					panics[tid] = r
 				}
 			}()
-			fn(&Ctx{team: t, tid: tid, probe: t.model.Probe(tid)})
+			fn(&Ctx{team: t, tid: tid, probe: t.model.Probe(tid), obs: t.obs.Worker(tid)})
 		}(tid)
 	}
 	wg.Wait()
@@ -80,6 +92,7 @@ type Ctx struct {
 	team  *Team
 	tid   int
 	probe *smpmodel.Probe
+	obs   *obs.Worker
 }
 
 // TID returns the processor id in [0, NumProcs).
@@ -90,6 +103,10 @@ func (c *Ctx) NumProcs() int { return c.team.p }
 
 // Probe returns this processor's cost-model probe (nil-safe to use).
 func (c *Ctx) Probe() *smpmodel.Probe { return c.probe }
+
+// Obs returns this processor's observability counter handle (nil-safe
+// to use; a no-op sink when the team has no recorder attached).
+func (c *Ctx) Obs() *obs.Worker { return c.obs }
 
 // Barrier synchronizes all processors of the team and charges one
 // barrier to the cost model (recorded once, by processor 0).

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"spantree/internal/graph"
+	"spantree/internal/obs"
 	"spantree/internal/par"
 	"spantree/internal/smpmodel"
 	"spantree/internal/spanseq"
@@ -45,6 +46,10 @@ type Options struct {
 	UseLocks bool
 	// Model, when non-nil, accumulates Helman-JáJá cost counters.
 	Model *smpmodel.Model
+	// Obs, when non-nil, receives per-worker counters (EdgesScanned for
+	// election scans, VerticesClaimed for grafts won) and barrier
+	// waits/episodes from the team barrier.
+	Obs *obs.Recorder
 	// MaxIterations caps graft-and-shortcut iterations; 0 means n+2,
 	// which always suffices (every productive iteration removes at least
 	// one root). Tests use small caps to exercise early termination.
@@ -129,7 +134,7 @@ func GraftFrom(g *graph.Graph, d []int32, opt Options) ([]graph.Edge, Stats, err
 		locks = make([]sync.Mutex, n)
 	}
 
-	team := par.NewTeam(opt.NumProcs, opt.Model)
+	team := par.NewTeam(opt.NumProcs, opt.Model).Observe(opt.Obs)
 	edgeBufs := make([][]graph.Edge, opt.NumProcs)
 	iterations, rounds := 0, 0
 
@@ -152,6 +157,7 @@ func runSV(c *par.Ctx, g *graph.Graph, d []int32, winner []int64, locks []sync.M
 	edgeBufs [][]graph.Edge, maxIter int, iterations, rounds *int) {
 	n := g.NumVertices()
 	probe := c.Probe()
+	ow := c.Obs()
 	var myEdges []graph.Edge
 
 	// Initialize election slots in parallel.
@@ -162,12 +168,16 @@ func runSV(c *par.Ctx, g *graph.Graph, d []int32, winner []int64, locks []sync.M
 		// Phase A: election. For each arc (v,w), if root(w) < root(v) and
 		// root(v) is a star root, root(v) is a candidate to graft along
 		// this arc; the first CAS wins the election for that root.
+		// Counters batch in a local per phase: a per-vertex atomic store
+		// is a fence on the scan loop.
+		var lc obs.Local
 		c.ForStatic(n, func(vi int) {
 			v := graph.VID(vi)
 			probe.NonContig(1) // load D[v]
 			rv := d[v]
 			nb := g.Neighbors(v)
 			probe.Contig(int64(len(nb)))
+			lc.Add(obs.EdgesScanned, int64(len(nb)))
 			for _, w := range nb {
 				probe.NonContig(2) // load D[w]; check D[rv]
 				rw := d[w]
@@ -188,6 +198,7 @@ func runSV(c *par.Ctx, g *graph.Graph, d []int32, winner []int64, locks []sync.M
 				}
 			}
 		})
+		lc.FlushTo(ow)
 		c.Barrier()
 
 		// Phase B: apply the elected grafts. Values in d only decrease,
@@ -207,10 +218,12 @@ func runSV(c *par.Ctx, g *graph.Graph, d []int32, winner []int64, locks []sync.M
 			if target < int32(r) {
 				atomic.StoreInt32(&d[r], target)
 				myEdges = append(myEdges, graph.Edge{U: v, V: w})
+				lc.Incr(obs.VerticesClaimed) // one graft == one tree edge won
 				grafted = true
 			}
 			winner[r] = nobody
 		})
+		lc.FlushTo(ow)
 		anyGraft := c.ReduceOr(grafted)
 		if c.TID() == 0 {
 			*iterations = iter + 1

@@ -32,7 +32,17 @@ type StealHalf struct {
 	// size == tail-head under mu; a separate atomic mirror lets idle
 	// processors scan for victims without taking every lock.
 	size atomic.Int64
+	// high is the maximum live length the queue ever reached (under mu),
+	// the per-worker queue_high_water metric of the observability layer.
+	// Maintained only when track is set: the live-length check costs a
+	// few percent of traversal time, so it is pay-for-what-you-ask.
+	high  int
+	track bool
 }
+
+// TrackHighWater enables high-water accounting. Call before first use;
+// with it off (the default) HighWater reports 0.
+func (q *StealHalf) TrackHighWater(on bool) { q.track = on }
 
 // NewStealHalf returns an empty queue with the given initial capacity
 // (minimum 16).
@@ -56,6 +66,11 @@ func (q *StealHalf) Push(v int32) {
 	q.buf[q.tail] = v
 	q.tail++
 	q.size.Add(1)
+	if q.track {
+		if live := q.tail - q.head; live > q.high {
+			q.high = live
+		}
+	}
 	q.mu.Unlock()
 }
 
@@ -71,6 +86,11 @@ func (q *StealHalf) PushBatch(vs []int32) {
 	copy(q.buf[q.tail:], vs)
 	q.tail += len(vs)
 	q.size.Add(int64(len(vs)))
+	if q.track {
+		if live := q.tail - q.head; live > q.high {
+			q.high = live
+		}
+	}
 	q.mu.Unlock()
 }
 
@@ -92,6 +112,13 @@ func (q *StealHalf) compactOrGrow(extra int) {
 		copy(q.buf, q.buf[q.head:q.tail])
 	}
 	q.head, q.tail = 0, live
+}
+
+// HighWater returns the maximum length the queue ever reached.
+func (q *StealHalf) HighWater() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.high
 }
 
 // Pop removes and returns the front element, or ok == false when empty.
@@ -143,7 +170,16 @@ type ChaseLev struct {
 	top    atomic.Int64
 	bottom atomic.Int64
 	ring   atomic.Pointer[clRing]
+	// high mirrors StealHalf.high: the deque's maximum observed length.
+	// Owner-only writes, so a load-compare-store suffices. Maintained
+	// only when track is set (set before first use, read-only after).
+	high  atomic.Int64
+	track bool
 }
+
+// TrackHighWater enables high-water accounting. Call before first use;
+// with it off (the default) HighWater reports 0.
+func (d *ChaseLev) TrackHighWater(on bool) { d.track = on }
 
 type clRing struct {
 	mask int64
@@ -196,7 +232,15 @@ func (d *ChaseLev) Push(v int32) {
 	}
 	r.put(b, v)
 	d.bottom.Store(b + 1)
+	if d.track {
+		if n := b + 1 - t; n > d.high.Load() {
+			d.high.Store(n)
+		}
+	}
 }
+
+// HighWater returns the maximum length the deque ever reached.
+func (d *ChaseLev) HighWater() int { return int(d.high.Load()) }
 
 // Pop removes and returns the bottom element. Owner-only.
 func (d *ChaseLev) Pop() (int32, bool) {

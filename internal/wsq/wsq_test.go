@@ -361,3 +361,48 @@ func TestQuickStealHalfSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestHighWaterOptIn(t *testing.T) {
+	// Off by default: pushes are not charged for the accounting.
+	q := NewStealHalf(16)
+	for i := 0; i < 40; i++ {
+		q.Push(int32(i))
+	}
+	if hw := q.HighWater(); hw != 0 {
+		t.Errorf("untracked StealHalf high-water = %d, want 0", hw)
+	}
+
+	q = NewStealHalf(16)
+	q.TrackHighWater(true)
+	for i := 0; i < 40; i++ {
+		q.Push(int32(i))
+	}
+	for i := 0; i < 10; i++ {
+		q.Pop()
+	}
+	q.PushBatch([]int32{1, 2, 3})
+	if hw := q.HighWater(); hw != 40 {
+		t.Errorf("StealHalf high-water = %d, want 40", hw)
+	}
+
+	d := NewChaseLev(16)
+	for i := 0; i < 40; i++ {
+		d.Push(int32(i))
+	}
+	if hw := d.HighWater(); hw != 0 {
+		t.Errorf("untracked ChaseLev high-water = %d, want 0", hw)
+	}
+
+	d = NewChaseLev(16)
+	d.TrackHighWater(true)
+	for i := 0; i < 40; i++ {
+		d.Push(int32(i))
+	}
+	for i := 0; i < 30; i++ {
+		d.Pop()
+	}
+	d.Push(99)
+	if hw := d.HighWater(); hw != 40 {
+		t.Errorf("ChaseLev high-water = %d, want 40", hw)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"spantree/internal/conncomp"
 	"spantree/internal/core"
 	"spantree/internal/graph"
+	"spantree/internal/obs"
 	"spantree/internal/smpmodel"
 	"spantree/internal/spanas"
 	"spantree/internal/spanhcs"
@@ -150,6 +151,13 @@ type Options struct {
 	// Model, when non-nil, accumulates Helman-JáJá cost-model counters
 	// for the run (see the smpmodel package via Result.ModeledTime).
 	Model *smpmodel.Model
+	// Obs, when non-nil, is the observability recorder the run reports
+	// into: per-worker counters (work, steals, queue high-water, barrier
+	// waits) and, when the recorder has tracing enabled, an event
+	// timeline. Supported by the work-stealing algorithm and the SV
+	// family; create one fresh recorder per Find call with at least
+	// NumProcs worker slots.
+	Obs *obs.Recorder
 	// Verify re-checks the output against the independent verifier
 	// before returning (recommended in tests, off by default).
 	Verify bool
@@ -206,6 +214,7 @@ func Find(g *Graph, opt Options) (*Result, error) {
 			NumProcs:          p,
 			Seed:              opt.Seed,
 			Model:             opt.Model,
+			Obs:               opt.Obs,
 			Deg2Eliminate:     opt.Deg2Eliminate,
 			FallbackThreshold: opt.FallbackThreshold,
 		})
@@ -224,6 +233,7 @@ func Find(g *Graph, opt Options) (*Result, error) {
 			NumProcs: p,
 			UseLocks: opt.Algorithm == AlgSVLocks,
 			Model:    opt.Model,
+			Obs:      opt.Obs,
 		})
 		if err != nil {
 			return nil, err
