@@ -186,6 +186,20 @@ func BenchmarkAblationDeque(b *testing.B) {
 	})
 }
 
+// BenchmarkAblationChunk isolates the chunked owner hot path: ChunkSize
+// 1 reproduces the unbatched one-lock-op-per-vertex traversal, 64 is the
+// tuned batched default.
+func BenchmarkAblationChunk(b *testing.B) {
+	g := benchGraph("torus-random")
+	p := benchProcs()[len(benchProcs())-1]
+	b.Run("chunk1", func(b *testing.B) {
+		runFindBench(b, g, Options{Algorithm: AlgWorkStealing, NumProcs: p, Seed: 1, ChunkSize: 1})
+	})
+	b.Run("chunk64", func(b *testing.B) {
+		runFindBench(b, g, Options{Algorithm: AlgWorkStealing, NumProcs: p, Seed: 1, ChunkSize: 64})
+	})
+}
+
 // BenchmarkAblationSVLock compares CAS elections against per-root locks
 // in the SV baseline ("the locking approach intuitively is slow").
 func BenchmarkAblationSVLock(b *testing.B) {

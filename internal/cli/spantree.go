@@ -37,6 +37,7 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 		algoName  = fs.String("algo", "workstealing", "algorithm: workstealing, seqbfs, seqdfs, sequf, sv, svlocks, hcs, as, levelbfs")
 		procs     = fs.Int("p", runtime.GOMAXPROCS(0), "virtual processors for parallel algorithms")
 		deg2      = fs.Bool("deg2", false, "enable degree-2 elimination preprocessing")
+		chunk     = fs.Int("chunk", 0, "work-stealing queue drain chunk size (0 = tuned default, 1 = unbatched)")
 		fallback  = fs.Int("fallback", 0, "idle-detection threshold (0 disables the SV fallback)")
 		model     = fs.Bool("model", false, "report Helman-JáJá modeled cost (E4500 profile)")
 		noverify  = fs.Bool("noverify", false, "skip result verification")
@@ -82,6 +83,7 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 			Seed:              *seed,
 			Deg2Eliminate:     *deg2,
 			FallbackThreshold: *fallback,
+			ChunkSize:         *chunk,
 			Verify:            !*noverify,
 		}
 		if *model && rep == 0 {
@@ -195,11 +197,4 @@ func writeBinaryGraph(path string, g *spantree.Graph, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "wrote %s\n", path)
 	return nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -25,11 +25,24 @@
 // versus SV's O(log n) barriers and O((n log^2 n + m log n)/p) work.
 //
 // Unlike the 2004 pthreads code, vertex claiming uses a compare-and-swap
-// on the color array rather than racy plain writes: Go's memory model
-// requires synchronized access, and CAS preserves the algorithm's
-// properties while making "only one processor succeeds at setting the
-// vertex's parent" literal. The paper's multiply-colored-vertex events
-// surface here as failed claim CASes, which Stats counts.
+// rather than racy plain writes: Go's memory model requires synchronized
+// access, and CAS preserves the algorithm's properties while making
+// "only one processor succeeds at setting the vertex's parent" literal.
+// The CAS lands directly on the fused parent array (graph.None means
+// unclaimed; roots carry a self-parent sentinel until the end of the
+// run), so claiming a vertex is one non-contiguous access instead of the
+// color-load-plus-parent-write pair of a two-array port. The paper's
+// multiply-colored-vertex events surface here as failed claim CASes,
+// which Stats counts.
+//
+// The traversal hot path is batched: the owner drains its queue in
+// chunks of Options.ChunkSize vertices per lock acquisition, accumulates
+// newly claimed children in a private buffer that it flushes with one
+// PushBatch per chunk, and counts claimed vertices locally, publishing
+// to the shared progress counter at chunk boundaries and (mandatorily)
+// on every busy-to-idle transition — which is what keeps the quiescence
+// invariant "all processors asleep ⇒ the progress count is exact" true
+// by construction.
 package core
 
 import (
@@ -39,6 +52,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spantree/internal/barrier"
 	"spantree/internal/graph"
 	"spantree/internal/obs"
 	"spantree/internal/smpmodel"
@@ -46,6 +60,12 @@ import (
 	"spantree/internal/wsq"
 	"spantree/internal/xrand"
 )
+
+// DefaultChunkSize is the queue-drain chunk used when Options.ChunkSize
+// is unset: the owner pays ~2 lock operations per this many vertices.
+// Batching only amortizes once per-processor queue depth reaches this
+// order, so inputs with n/p well below it run in the startup regime.
+const DefaultChunkSize = 64
 
 // Options configures a run of the algorithm.
 type Options struct {
@@ -65,6 +85,13 @@ type Options struct {
 	// StubSteps is the length of the stub random walk; 0 means 2*p
 	// (the paper specifies O(p) steps).
 	StubSteps int
+
+	// ChunkSize is the number of vertices a processor drains from its
+	// queue per lock acquisition, and therefore also the flush cadence of
+	// the per-worker child and progress batches. <= 0 means
+	// DefaultChunkSize. A value of 1 reproduces the unbatched
+	// one-lock-op-per-vertex hot path (ablation).
+	ChunkSize int
 
 	// Deg2Eliminate enables the degree-2 vertex elimination preprocessing
 	// step described at the end of the paper's Section 2.
@@ -95,6 +122,9 @@ func (o *Options) withDefaults() Options {
 	out := *o
 	if out.StubSteps == 0 {
 		out.StubSteps = 2 * out.NumProcs
+	}
+	if out.ChunkSize <= 0 {
+		out.ChunkSize = DefaultChunkSize
 	}
 	if out.IdleSleep == 0 {
 		out.IdleSleep = 20 * time.Microsecond
@@ -203,6 +233,9 @@ type workQueue interface {
 	Push(v int32)
 	PushBatch(vs []int32)
 	Pop() (int32, bool)
+	// PopBatch moves up to len(dst) elements into dst (owner side),
+	// returning the count — the chunked drain of the hot path.
+	PopBatch(dst []int32) int
 	// StealInto moves one batch from the queue into buf, returning the
 	// extended slice (unchanged when nothing was stolen).
 	StealInto(buf []int32) []int32
@@ -216,6 +249,7 @@ type stealHalfQueue struct{ q *wsq.StealHalf }
 func (s stealHalfQueue) Push(v int32)                  { s.q.Push(v) }
 func (s stealHalfQueue) PushBatch(vs []int32)          { s.q.PushBatch(vs) }
 func (s stealHalfQueue) Pop() (int32, bool)            { return s.q.Pop() }
+func (s stealHalfQueue) PopBatch(dst []int32) int      { return s.q.PopBatch(dst) }
 func (s stealHalfQueue) StealInto(buf []int32) []int32 { return s.q.Steal(buf) }
 func (s stealHalfQueue) Len() int                      { return s.q.Len() }
 func (s stealHalfQueue) HighWater() int                { return s.q.HighWater() }
@@ -229,6 +263,20 @@ func (c chaseLevQueue) PushBatch(vs []int32) {
 	}
 }
 func (c chaseLevQueue) Pop() (int32, bool) { return c.q.Pop() }
+func (c chaseLevQueue) PopBatch(dst []int32) int {
+	// The Chase-Lev deque has no bulk owner op; the ablation drains one
+	// element per lock-free Pop.
+	n := 0
+	for n < len(dst) {
+		v, ok := c.q.Pop()
+		if !ok {
+			break
+		}
+		dst[n] = v
+		n++
+	}
+	return n
+}
 func (c chaseLevQueue) StealInto(buf []int32) []int32 {
 	if v, ok := c.q.Steal(); ok {
 		return append(buf, v)
@@ -240,10 +288,17 @@ func (c chaseLevQueue) HighWater() int { return c.q.HighWater() }
 
 // traversal holds the shared state of the work-stealing phase.
 type traversal struct {
-	g      *graph.Graph
-	o      Options
-	n      int
-	color  []int32 // 0 = unvisited, otherwise owner tid+1
+	g *graph.Graph
+	o Options
+	n int
+	// parent is the fused claim array: graph.None means unclaimed, any
+	// other value is the claimed parent. Roots hold a self-parent
+	// sentinel (parent[v] == v) while the traversal runs so they stay
+	// distinguishable from unclaimed vertices; normalizeRoots rewrites
+	// the sentinel to graph.None before the forest is returned. Fusing
+	// claim state into the parent array halves the non-contiguous
+	// accesses per scanned edge versus a separate color array and
+	// shrinks per-vertex state by 4 bytes.
 	parent []graph.VID
 	queues []workQueue
 	// span[v], in non-contiguous-access units, is the earliest virtual
@@ -281,7 +336,6 @@ func newTraversal(g *graph.Graph, o Options) *traversal {
 		g:      g,
 		o:      o,
 		n:      n,
-		color:  make([]int32, n),
 		parent: make([]graph.VID, n),
 		queues: make([]workQueue, o.NumProcs),
 		rec:    rec,
@@ -309,22 +363,39 @@ func newTraversal(g *graph.Graph, o Options) *traversal {
 	return t
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// claim attempts to acquire w with parent p by a CAS directly on the
+// fused parent array. Roots (p == graph.None) are claimed with the
+// self-parent sentinel so they remain distinguishable from unclaimed
+// vertices until normalizeRoots runs. The caller owns progress
+// counting: hot paths batch it, cold paths use claimSeq.
+func (t *traversal) claim(w, p graph.VID) bool {
+	if p == graph.None {
+		p = w
 	}
-	return b
+	return atomic.CompareAndSwapInt32(&t.parent[w], graph.None, p)
 }
 
-// claim attempts to color w for processor tid with parent p; it returns
-// true if this processor won the vertex.
-func (t *traversal) claim(w graph.VID, p graph.VID, tid int) bool {
-	if !atomic.CompareAndSwapInt32(&t.color[w], 0, int32(tid+1)) {
+// claimSeq is claim plus an immediate shared-progress update, for the
+// cold paths (stub walk, quiescence seeding) where batching buys
+// nothing.
+func (t *traversal) claimSeq(w, p graph.VID) bool {
+	if !t.claim(w, p) {
 		return false
 	}
-	t.parent[w] = p // only the CAS winner writes
 	t.visited.Add(1)
 	return true
+}
+
+// normalizeRoots rewrites the self-parent root sentinel of the fused
+// claim array back to graph.None, restoring the public forest
+// representation. One streaming pass, charged to processor 0.
+func (t *traversal) normalizeRoots() {
+	for v := range t.parent {
+		if t.parent[v] == graph.VID(v) {
+			t.parent[v] = graph.None
+		}
+	}
+	t.o.Model.Probe(0).Contig(int64(t.n))
 }
 
 // run executes both steps of the algorithm on g.
@@ -344,7 +415,7 @@ func run(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 	var seeds []graph.VID
 	if o.NoStub {
 		s := graph.VID(rootRand.Intn(t.n))
-		t.claim(s, graph.None, 0)
+		t.claimSeq(s, graph.None)
 		seeds = []graph.VID{s}
 	} else {
 		seeds = stubSpanningTree(t, rootRand, probe0)
@@ -361,21 +432,23 @@ func run(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 	t.rec.AddBarrierEpisodes(1)
 	t.rec.Trace(-1, obs.EvBarrier, 1, 0)
 
-	// Step 2: work-stealing graph traversal on p processors.
-	done := make(chan struct{})
+	// Step 2: work-stealing graph traversal on p processors. The final
+	// join is the paper's second barrier and runs through a real
+	// internal/barrier episode (workers plus this coordinator), which
+	// gives the work-stealing path per-worker barrier_waits just like
+	// the SV family.
+	bar := barrier.NewSense(o.NumProcs + 1)
+	bar.Observe(t.rec)
 	for tid := 0; tid < o.NumProcs; tid++ {
 		go func(tid int) {
-			defer func() { done <- struct{}{} }()
 			t.worker(tid)
+			bar.Wait(tid)
 		}(tid)
 	}
-	for i := 0; i < o.NumProcs; i++ {
-		<-done
-	}
+	bar.Wait(o.NumProcs) // the coordinator is the extra participant
 	o.Model.AddBarriers(1)
-	t.rec.AddBarrierEpisodes(1)
-	t.rec.Trace(-1, obs.EvBarrier, 2, 0)
 	t.recordSpan()
+	t.normalizeRoots()
 	t.finishStats(&stats)
 
 	if t.abort.Load() {
@@ -391,19 +464,42 @@ func run(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 	return t.parent, stats, nil
 }
 
-// worker is the per-processor traversal loop: drain own queue, steal,
-// and participate in the quiescence protocol when everything is empty.
+// worker is the per-processor traversal loop: drain own queue in chunks,
+// steal, and participate in the quiescence protocol when everything is
+// empty.
 func (t *traversal) worker(tid int) {
 	probe := t.o.Model.Probe(tid)
 	ow := t.rec.Worker(tid)
-	// Hot-path counters batch into a local and flush at the same 64-pop
-	// cadence as the scheduler yield; per-vertex atomic stores would put
-	// a fence (XCHG) on the claim loop.
+	// Hot-path counters batch into a local and flush at chunk boundaries;
+	// per-vertex atomic stores would put a fence (XCHG) on the claim loop.
 	var lc obs.Local
-	defer lc.FlushTo(ow)
 	myQ := t.queues[tid]
 	r := xrand.New(t.o.Seed).Split(uint64(tid) + 1)
 	stealBuf := make([]int32, 0, 256)
+	k := t.o.ChunkSize
+	// chunk receives the owner-side batched drain; out accumulates the
+	// children claimed while processing the chunk, flushed with a single
+	// PushBatch. Together they turn ~2 lock operations per vertex into ~2
+	// per chunk.
+	chunk := make([]int32, k)
+	out := make([]int32, 0, 4*k)
+	// pend is this worker's unpublished progress: vertices claimed since
+	// the last flush of the shared visited counter. It is flushed at every
+	// chunk boundary and — mandatorily — before entering the idle/steal
+	// phase, so whenever a worker is idle its contribution is fully
+	// published and "all p asleep ⇒ visited is exact" holds by
+	// construction.
+	var pend int64
+	flushVisited := func() {
+		if pend != 0 {
+			t.visited.Add(pend)
+			pend = 0
+		}
+	}
+	defer func() {
+		flushVisited()
+		lc.FlushTo(ow)
+	}()
 
 	// fruitless counts consecutive cycles in which neither the own queue
 	// nor stealing produced work. It is the "has slept for a duration"
@@ -413,13 +509,23 @@ func (t *traversal) worker(tid int) {
 	fruitless := 0
 	processed := 0
 	for t.visited.Load() < int64(t.n) && !t.abort.Load() {
-		v, ok := myQ.Pop()
-		if ok {
-			probe.NonContig(2) // locked dequeue + load adjacency offset
-			t.process(graph.VID(v), tid, probe, myQ, &lc)
+		nPop := myQ.PopBatch(chunk)
+		if nPop > 0 {
+			probe.NonContig(2) // one locked chunk dequeue
+			out = out[:0]
+			for _, v := range chunk[:nPop] {
+				probe.NonContig(1) // load adjacency offset
+				t.process(graph.VID(v), probe, &out, &lc, &pend)
+			}
+			if len(out) > 0 {
+				myQ.PushBatch(out)
+				probe.NonContig(2 + int64(len(out))) // one locked batch enqueue
+			}
+			flushVisited()
 			fruitless = 0
-			processed++
-			if processed&63 == 0 {
+			processed += nPop
+			if processed >= k {
+				processed = 0
 				lc.FlushTo(ow)
 				// Yield periodically so the protocol behaves the same on
 				// hosts with fewer cores than virtual processors: without
@@ -431,8 +537,10 @@ func (t *traversal) worker(tid int) {
 			continue
 		}
 		if fruitless == 0 {
-			// Busy-to-idle transition: local work ran dry; make the batch
-			// visible before the idle/steal phase.
+			// Busy-to-idle transition: local work ran dry; make the
+			// progress and counter batches visible before the idle/steal
+			// phase (the quiescence protocol depends on the former).
+			flushVisited()
 			lc.FlushTo(ow)
 			ow.Incr(obs.IdleTransitions)
 			ow.Trace(obs.EvIdle, 0, 0)
@@ -442,7 +550,13 @@ func (t *traversal) worker(tid int) {
 				// Process one stolen vertex immediately: a thief that only
 				// re-queued its loot could lose it to another thief before
 				// ever popping, livelocking a one-element frontier.
-				t.process(w, tid, probe, myQ, &lc)
+				out = out[:0]
+				t.process(w, probe, &out, &lc, &pend)
+				if len(out) > 0 {
+					myQ.PushBatch(out)
+					probe.NonContig(2 + int64(len(out)))
+				}
+				flushVisited()
 				fruitless = 0
 				continue
 			}
@@ -455,9 +569,11 @@ func (t *traversal) worker(tid int) {
 }
 
 // process scans v's neighbors, claiming the unvisited ones (Algorithm 1,
-// lines 2.2-2.7).
-func (t *traversal) process(v graph.VID, tid int, probe *smpmodel.Probe,
-	myQ workQueue, lc *obs.Local) {
+// lines 2.2-2.7). Claimed children are appended to out (the caller's
+// chunk-local buffer, flushed with one PushBatch) and counted in pend
+// (the caller's unpublished progress).
+func (t *traversal) process(v graph.VID, probe *smpmodel.Probe,
+	out *[]int32, lc *obs.Local, pend *int64) {
 	lc.Incr(obs.VerticesClaimed)
 	nb := t.g.Neighbors(v)
 	probe.Contig(int64(len(nb)))
@@ -469,16 +585,17 @@ func (t *traversal) process(v graph.VID, tid int, probe *smpmodel.Probe,
 		childSpan = t.span[v] + procCostNC(len(nb))
 	}
 	for _, w := range nb {
-		probe.NonContig(2) // load color[w]; write parent[w] / CAS
-		if atomic.LoadInt32(&t.color[w]) != 0 {
+		probe.NonContig(1) // fused claim-state load of parent[w]
+		if atomic.LoadInt32(&t.parent[w]) != graph.None {
 			continue
 		}
-		if t.claim(w, v, tid) {
-			probe.NonContig(3) // claim CAS + visited counter + locked enqueue
+		if t.claim(w, v) {
+			probe.NonContig(1) // winning claim CAS
 			if t.span != nil {
 				t.span[w] = childSpan
 			}
-			myQ.Push(int32(w))
+			*out = append(*out, int32(w))
+			*pend++
 		} else {
 			lc.Incr(obs.FailedClaims)
 		}
@@ -504,18 +621,23 @@ func (t *traversal) finishStats(stats *Stats) {
 }
 
 // procCostNC is the modeled non-contiguous cost of processing one vertex
-// of the given degree: a locked dequeue, two accesses per incident arc,
-// and the claim overhead for one child.
-func procCostNC(deg int) int64 { return 2 + 2*int64(deg) + 3 }
+// of the given degree on the batched hot path: the amortized share of the
+// chunked dequeue and batched enqueue locks, the adjacency offset load,
+// one fused claim-state access per incident arc, and the winning claim
+// CAS for one child.
+func procCostNC(deg int) int64 { return 4 + int64(deg) }
 
 // recordSpan reports the traversal's dependency span to the cost model.
+// It runs after the final join and before normalizeRoots, so claimed
+// vertices (roots included, via the self-parent sentinel) are exactly
+// those with parent != graph.None.
 func (t *traversal) recordSpan() {
 	if t.span == nil {
 		return
 	}
 	var max int64
 	for v := 0; v < t.n; v++ {
-		if atomic.LoadInt32(&t.color[v]) == 0 {
+		if t.parent[v] == graph.None {
 			continue
 		}
 		if s := t.span[v] + procCostNC(t.g.Degree(graph.VID(v))); s > max {
@@ -535,9 +657,13 @@ func (t *traversal) recordSpan() {
 // exists to catch.
 const minStealLen = 2
 
-// trySteal scans victims from a random starting point. On success it
-// queues all but the first stolen vertex and returns the first for the
-// caller to process directly.
+// trySteal picks a victim by size-biased two-choice sampling: probe two
+// random victims through the atomic Len mirror and steal from the longer
+// — the classic power-of-two-choices bias toward loaded queues without
+// scanning all p. When both samples are below minStealLen it falls back
+// to the full id-order scan from a random start, so a lone long queue is
+// still always found. On success it queues all but the first stolen
+// vertex and returns the first for the caller to process directly.
 func (t *traversal) trySteal(tid int, r *xrand.Rand, myQ workQueue,
 	stealBuf *[]int32, probe *smpmodel.Probe, ow *obs.Worker) (graph.VID, bool) {
 	p := t.o.NumProcs
@@ -545,6 +671,19 @@ func (t *traversal) trySteal(tid int, r *xrand.Rand, myQ workQueue,
 		return 0, false
 	}
 	ow.Incr(obs.StealAttempts)
+	// Two independent draws over the p-1 non-self victims (they may
+	// coincide); each Len probe is one polling access of the size mirror.
+	a := (tid + 1 + r.Intn(p-1)) % p
+	b := (tid + 1 + r.Intn(p-1)) % p
+	probe.NonContig(2)
+	if t.queues[b].Len() > t.queues[a].Len() {
+		a = b
+	}
+	if t.queues[a].Len() >= minStealLen {
+		if w, ok := t.stealFrom(a, myQ, stealBuf, probe, ow); ok {
+			return w, true
+		}
+	}
 	start := r.Intn(p)
 	for i := 0; i < p; i++ {
 		victim := (start + i) % p
@@ -554,17 +693,9 @@ func (t *traversal) trySteal(tid int, r *xrand.Rand, myQ workQueue,
 		if t.queues[victim].Len() < minStealLen {
 			continue
 		}
-		*stealBuf = (*stealBuf)[:0]
-		*stealBuf = t.queues[victim].StealInto(*stealBuf)
-		if len(*stealBuf) == 0 {
-			continue
+		if w, ok := t.stealFrom(victim, myQ, stealBuf, probe, ow); ok {
+			return w, true
 		}
-		ow.Incr(obs.StealSuccesses)
-		ow.Add(obs.StolenVertices, int64(len(*stealBuf)))
-		ow.Trace(obs.EvSteal, int64(victim), int64(len(*stealBuf)))
-		probe.NonContig(int64(len(*stealBuf)) + 2) // move the loot
-		myQ.PushBatch((*stealBuf)[1:])
-		return graph.VID((*stealBuf)[0]), true
 	}
 	ow.Incr(obs.StealFailures)
 	// A fruitless scan costs one polling access before the processor
@@ -572,6 +703,23 @@ func (t *traversal) trySteal(tid int, r *xrand.Rand, myQ workQueue,
 	// paper's condition-variable design.
 	probe.NonContig(1)
 	return 0, false
+}
+
+// stealFrom attempts one steal-half operation against victim, pushing
+// all but the first stolen vertex onto myQ and returning the first.
+func (t *traversal) stealFrom(victim int, myQ workQueue, stealBuf *[]int32,
+	probe *smpmodel.Probe, ow *obs.Worker) (graph.VID, bool) {
+	*stealBuf = (*stealBuf)[:0]
+	*stealBuf = t.queues[victim].StealInto(*stealBuf)
+	if len(*stealBuf) == 0 {
+		return 0, false
+	}
+	ow.Incr(obs.StealSuccesses)
+	ow.Add(obs.StolenVertices, int64(len(*stealBuf)))
+	ow.Trace(obs.EvSteal, int64(victim), int64(len(*stealBuf)))
+	probe.NonContig(int64(len(*stealBuf)) + 2) // move the loot
+	myQ.PushBatch((*stealBuf)[1:])
+	return graph.VID((*stealBuf)[0]), true
 }
 
 // idleOnce performs one quantum of the sleeping and quiescence protocol
@@ -642,7 +790,7 @@ func (t *traversal) trySeedNextComponent(tid int, myQ workQueue, probe *smpmodel
 	if !ok {
 		return false
 	}
-	if !t.claim(v, graph.None, tid) {
+	if !t.claimSeq(v, graph.None) {
 		return false // unreachable at true quiescence, kept for safety
 	}
 	ow := t.rec.Worker(tid)
@@ -660,7 +808,7 @@ func (t *traversal) nextUncolored(probe *smpmodel.Probe) (graph.VID, bool) {
 			return 0, false
 		}
 		probe.NonContig(1)
-		if atomic.LoadInt32(&t.color[i]) == 0 {
+		if atomic.LoadInt32(&t.parent[i]) == graph.None {
 			return graph.VID(i), true
 		}
 	}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"spantree/internal/gen"
+	"spantree/internal/graph"
+	"spantree/internal/verify"
+)
+
+// TestFusedClaimForests pins the fused parent-CAS claim representation:
+// on disconnected and chain inputs (the shapes that exercise quiescence
+// seeding and the deepest dependency chains), both drivers must still
+// produce valid forests, the self-parent root sentinel must never leak
+// into the returned array, and each component gets exactly one root.
+func TestFusedClaimForests(t *testing.T) {
+	inputs := []*graph.Graph{
+		gen.Chain(300),
+		graph.RandomRelabel(gen.Chain(300), 9),
+		graph.Union(gen.Chain(40), gen.Torus2D(6, 6), gen.Star(25), gen.Chain(1)),
+		graph.Union(gen.Random(80, 60, 3), gen.Cycle(12)), // random part is itself disconnected
+	}
+	for name, run := range drivers() {
+		for _, g := range inputs {
+			for _, chunk := range []int{0, 1, 2, 64} {
+				parent, _, err := run(g, Options{NumProcs: 4, Seed: 21, ChunkSize: chunk})
+				if err != nil {
+					t.Fatalf("%s %v chunk=%d: %v", name, g, chunk, err)
+				}
+				if err := verify.Forest(g, parent); err != nil {
+					t.Fatalf("%s %v chunk=%d: %v", name, g, chunk, err)
+				}
+				roots := 0
+				for v, pv := range parent {
+					if pv == graph.VID(v) {
+						t.Fatalf("%s %v chunk=%d: self-parent sentinel leaked at vertex %d", name, g, chunk, v)
+					}
+					if pv == graph.None {
+						roots++
+					}
+				}
+				if want := graph.NumComponents(g); roots != want {
+					t.Fatalf("%s %v chunk=%d: %d roots, want %d", name, g, chunk, roots, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLockstepChunkSizeInvariantForest pins that ChunkSize is purely a
+// cost-model parameter for the deterministic driver: the round-robin
+// schedule pops one vertex per turn regardless, so the forest and the
+// work distribution must be bit-identical across chunk sizes.
+func TestLockstepChunkSizeInvariantForest(t *testing.T) {
+	g := gen.Random(400, 700, 13)
+	base, baseStats, err := LockstepForest(g, Options{NumProcs: 4, Seed: 5, ChunkSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{2, 16, 64, 1024} {
+		parent, stats, err := LockstepForest(g, Options{NumProcs: 4, Seed: 5, ChunkSize: chunk})
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		for v := range parent {
+			if parent[v] != base[v] {
+				t.Fatalf("chunk=%d: parent[%d] = %d, differs from chunk=1's %d",
+					chunk, v, parent[v], base[v])
+			}
+		}
+		for i := range stats.VerticesPerProc {
+			if stats.VerticesPerProc[i] != baseStats.VerticesPerProc[i] {
+				t.Fatalf("chunk=%d: worker %d claimed %d vertices, chunk=1 claimed %d",
+					chunk, i, stats.VerticesPerProc[i], baseStats.VerticesPerProc[i])
+			}
+		}
+	}
+}
+
+// BenchmarkClaim isolates the claim-step layouts the tentpole fused: the
+// two-array port (load color[w], CAS color[w], write parent[w]) against
+// the fused representation (load parent[w], CAS parent[w]) over a
+// first-touch sweep of n vertices.
+func BenchmarkClaim(b *testing.B) {
+	const n = 1 << 16
+	b.Run("color-plus-parent", func(b *testing.B) {
+		color := make([]int32, n)
+		parent := make([]graph.VID, n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w := i & (n - 1)
+			if w == 0 {
+				b.StopTimer()
+				for j := range color {
+					color[j] = 0
+				}
+				b.StartTimer()
+			}
+			if atomic.LoadInt32(&color[w]) != 0 {
+				continue
+			}
+			if atomic.CompareAndSwapInt32(&color[w], 0, 1) {
+				parent[w] = graph.VID(w)
+			}
+		}
+	})
+	b.Run("fused-parent-cas", func(b *testing.B) {
+		parent := make([]graph.VID, n)
+		for j := range parent {
+			parent[j] = graph.None
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w := i & (n - 1)
+			if w == 0 {
+				b.StopTimer()
+				for j := range parent {
+					parent[j] = graph.None
+				}
+				b.StartTimer()
+			}
+			if atomic.LoadInt32(&parent[w]) != graph.None {
+				continue
+			}
+			atomic.CompareAndSwapInt32(&parent[w], graph.None, int32(w))
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 
 	"spantree/internal/graph"
 	"spantree/internal/obs"
+	"spantree/internal/smpmodel"
 	"spantree/internal/xrand"
 )
 
@@ -82,7 +83,7 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 	var seeds []graph.VID
 	if o.NoStub {
 		s := graph.VID(rootRand.Intn(t.n))
-		t.claim(s, graph.None, 0)
+		t.claimSeq(s, graph.None)
 		seeds = []graph.VID{s}
 	} else {
 		seeds = stubSpanningTree(t, rootRand, probe0)
@@ -109,8 +110,30 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 		workers[tid] = t.rec.Worker(tid)
 	}
 	stealBuf := make([]int32, 0, 256)
+	// out and pops mirror the concurrent hot path's batching: out is the
+	// chunk-local child buffer (the driver is single-goroutine, so one
+	// buffer serves every tid), and pops[tid] amortizes the chunked
+	// dequeue + batch-flush lock costs over ChunkSize pops even though the
+	// round-robin driver still pops one vertex per turn for determinism.
+	out := make([]int32, 0, 256)
+	pops := make([]int64, p)
 	idleStreak := make([]int, p)
 	seededRoots := 0
+
+	// processOne runs the batched process step for one vertex: children
+	// accumulate in out, are flushed with one PushBatch, and the progress
+	// batch publishes immediately (the single-goroutine driver has no
+	// concurrent readers to batch against).
+	processOne := func(tid int, v graph.VID, probe *smpmodel.Probe, myQ workQueue) {
+		out = out[:0]
+		var pend int64
+		t.process(v, probe, &out, &locals[tid], &pend)
+		if len(out) > 0 {
+			myQ.PushBatch(out)
+			probe.NonContig(int64(len(out))) // copied child slots
+		}
+		t.visited.Add(pend)
+	}
 
 	for t.visited.Load() < int64(t.n) && !t.abort.Load() {
 		idleThisRound := 0
@@ -120,8 +143,15 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 			ow := workers[tid]
 			myQ := t.queues[tid]
 			if v, ok := myQ.Pop(); ok {
-				probe.NonContig(2) // locked dequeue + load adjacency offset
-				t.process(graph.VID(v), tid, probe, myQ, &locals[tid])
+				// Charge the batched hot path's amortized costs: the lock
+				// pairs of one chunked dequeue plus one batch flush, spread
+				// over ChunkSize pops, then one offset load per vertex.
+				if pops[tid]%int64(o.ChunkSize) == 0 {
+					probe.NonContig(4)
+				}
+				pops[tid]++
+				probe.NonContig(1)
+				processOne(tid, graph.VID(v), probe, myQ)
 				idleStreak[tid] = 0
 				continue
 			}
@@ -154,7 +184,7 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 					// processor steal it back, livelocking a one-element
 					// frontier under round-robin scheduling.
 					myQ.PushBatch(stealBuf[1:])
-					t.process(graph.VID(stealBuf[0]), tid, probe, myQ, &locals[tid])
+					processOne(tid, graph.VID(stealBuf[0]), probe, myQ)
 					stole = true
 					break
 				}
@@ -187,7 +217,7 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 			// components; seed the next one on a rotating processor.
 			if v, ok := t.nextUncolored(o.Model.Probe(0)); ok {
 				tid := seededRoots % p
-				t.claim(v, graph.None, tid)
+				t.claimSeq(v, graph.None)
 				seededRoots++
 				workers[tid].Incr(obs.SeededComponents)
 				workers[tid].Trace(obs.EvComponentSeed, int64(v), 0)
@@ -207,6 +237,7 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 		locals[tid].FlushTo(workers[tid])
 	}
 	t.recordSpan()
+	t.normalizeRoots()
 	t.finishStats(&stats)
 	if t.abort.Load() {
 		stats.FallbackTriggered = true

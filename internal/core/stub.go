@@ -21,7 +21,7 @@ import (
 // with no neighbors.
 func stubSpanningTree(t *traversal, r *xrand.Rand, probe *smpmodel.Probe) []graph.VID {
 	start := graph.VID(r.Intn(t.n))
-	t.claim(start, graph.None, 0)
+	t.claimSeq(start, graph.None)
 	probe.NonContig(2)
 	stub := []graph.VID{start}
 	cur := start
@@ -33,8 +33,8 @@ func stubSpanningTree(t *traversal, r *xrand.Rand, probe *smpmodel.Probe) []grap
 		}
 		next := nb[r.Intn(len(nb))]
 		probe.NonContig(2)
-		if atomic.LoadInt32(&t.color[next]) == 0 {
-			t.claim(next, cur, 0)
+		if atomic.LoadInt32(&t.parent[next]) == graph.None {
+			t.claimSeq(next, cur)
 			stub = append(stub, next)
 		}
 		cur = next

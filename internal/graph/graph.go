@@ -73,13 +73,12 @@ func (g *Graph) HasEdge(u, v VID) bool {
 	if i < len(nb) && nb[i] == v {
 		return true
 	}
-	// Fallback for graphs with unsorted adjacency (not produced by the
-	// builders, but tolerated for robustness).
-	if !sort.SliceIsSorted(nb, func(a, b int) bool { return nb[a] < nb[b] }) {
-		for _, w := range nb {
-			if w == v {
-				return true
-			}
+	// A miss is authoritative only on sorted adjacency. Rather than pay a
+	// sortedness check plus a second pass for hand-built unsorted graphs
+	// (tolerated for robustness), fall back to one linear scan directly.
+	for _, w := range nb {
+		if w == v {
+			return true
 		}
 	}
 	return false

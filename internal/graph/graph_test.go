@@ -40,6 +40,27 @@ func TestBuilderCanonicalizes(t *testing.T) {
 	}
 }
 
+func TestHasEdgeUnsortedAdjacency(t *testing.T) {
+	// Hand-built CSR with deliberately unsorted neighbor lists: the
+	// binary search misses, so HasEdge must find the edge via the linear
+	// fallback scan.
+	g := &Graph{
+		Offs: []int64{0, 3, 4, 5, 6},
+		Adj:  []VID{3, 1, 2, 0, 0, 0},
+	}
+	for _, v := range []VID{1, 2, 3} {
+		if !g.HasEdge(0, v) {
+			t.Fatalf("HasEdge(0, %d) = false on unsorted adjacency", v)
+		}
+		if !g.HasEdge(v, 0) {
+			t.Fatalf("HasEdge(%d, 0) = false", v)
+		}
+	}
+	if g.HasEdge(1, 2) || g.HasEdge(0, 0) {
+		t.Fatal("unexpected edges present")
+	}
+}
+
 func TestBuilderPanicsOutOfRange(t *testing.T) {
 	defer func() {
 		if recover() == nil {

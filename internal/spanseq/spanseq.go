@@ -13,22 +13,25 @@ import (
 )
 
 // BFS computes a spanning forest by repeated breadth-first search. probe
-// may be nil; when set it is charged with the paper's operation counts
-// ("one non-contiguous memory access to visit each vertex, and two
-// non-contiguous accesses per edge").
+// may be nil; when set it is charged with the fused-array operation
+// counts: one non-contiguous access to visit each vertex, one per
+// directed arc (the visited-check reads parent[w] directly), and one per
+// discovered child (the parent write). The paper counts two accesses per
+// arc for a two-array BFS; the reproduction fuses the visited bit into
+// the parent array in both this baseline and the parallel traversal, so
+// the modeled speedup compares equal per-vertex layouts.
 func BFS(g *graph.Graph, probe *smpmodel.Probe) []graph.VID {
 	n := g.NumVertices()
 	parent := make([]graph.VID, n)
-	visited := make([]bool, n)
 	for i := range parent {
 		parent[i] = graph.None
 	}
 	queue := make([]graph.VID, 0, 1024)
 	for s := 0; s < n; s++ {
-		if visited[s] {
+		if parent[s] != graph.None {
 			continue
 		}
-		visited[s] = true
+		parent[s] = graph.VID(s) // self-parent root sentinel
 		queue = append(queue[:0], graph.VID(s))
 		for len(queue) > 0 {
 			v := queue[0]
@@ -37,16 +40,29 @@ func BFS(g *graph.Graph, probe *smpmodel.Probe) []graph.VID {
 			nb := g.Neighbors(v)
 			probe.Contig(int64(len(nb))) // stream the adjacency list
 			for _, w := range nb {
-				probe.NonContig(2) // check color[w]; set parent[w]
-				if !visited[w] {
-					visited[w] = true
+				probe.NonContig(1) // fused visited-check on parent[w]
+				if parent[w] == graph.None {
 					parent[w] = v
+					probe.NonContig(1) // claim: parent write
 					queue = append(queue, w)
 				}
 			}
 		}
 	}
+	normalizeRoots(parent, probe)
 	return parent
+}
+
+// normalizeRoots rewrites the self-parent root sentinel back to
+// graph.None, restoring the public forest representation (one streaming
+// pass, mirroring the parallel traversal's epilogue).
+func normalizeRoots(parent []graph.VID, probe *smpmodel.Probe) {
+	for v := range parent {
+		if parent[v] == graph.VID(v) {
+			parent[v] = graph.None
+		}
+	}
+	probe.Contig(int64(len(parent)))
 }
 
 // DFS computes a spanning forest by iterative depth-first search (an
@@ -55,16 +71,15 @@ func BFS(g *graph.Graph, probe *smpmodel.Probe) []graph.VID {
 func DFS(g *graph.Graph, probe *smpmodel.Probe) []graph.VID {
 	n := g.NumVertices()
 	parent := make([]graph.VID, n)
-	visited := make([]bool, n)
 	for i := range parent {
 		parent[i] = graph.None
 	}
 	stack := make([]graph.VID, 0, 1024)
 	for s := 0; s < n; s++ {
-		if visited[s] {
+		if parent[s] != graph.None {
 			continue
 		}
-		visited[s] = true
+		parent[s] = graph.VID(s) // self-parent root sentinel
 		stack = append(stack[:0], graph.VID(s))
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
@@ -73,15 +88,16 @@ func DFS(g *graph.Graph, probe *smpmodel.Probe) []graph.VID {
 			nb := g.Neighbors(v)
 			probe.Contig(int64(len(nb)))
 			for _, w := range nb {
-				probe.NonContig(2)
-				if !visited[w] {
-					visited[w] = true
+				probe.NonContig(1) // fused visited-check on parent[w]
+				if parent[w] == graph.None {
 					parent[w] = v
+					probe.NonContig(1) // claim: parent write
 					stack = append(stack, w)
 				}
 			}
 		}
 	}
+	normalizeRoots(parent, probe)
 	return parent
 }
 

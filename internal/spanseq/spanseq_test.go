@@ -87,16 +87,27 @@ func TestDFSDeepGraphNoOverflow(t *testing.T) {
 func TestProbeCharges(t *testing.T) {
 	g := gen.Random(200, 300, 2)
 	model := smpmodel.New(1)
-	BFS(g, model.Probe(0))
+	parent := BFS(g, model.Probe(0))
+	roots := 0
+	for _, p := range parent {
+		if p == graph.None {
+			roots++
+		}
+	}
 	c := model.Proc(0)
-	// The paper's counting: one non-contiguous access per vertex, two
-	// per directed arc.
-	wantNC := int64(g.NumVertices() + 2*len(g.Adj))
+	// Fused-array counting: one non-contiguous access per visited vertex,
+	// one per directed arc (the fused visited-check on parent[w]), and one
+	// per discovered child (the parent write). The paper's two-array BFS
+	// charges two per arc; fusing the visited bit into the parent array
+	// removes one of them.
+	n := g.NumVertices()
+	wantNC := int64(n + len(g.Adj) + (n - roots))
 	if c.NonContig != wantNC {
 		t.Fatalf("BFS charged %d non-contiguous accesses, want %d", c.NonContig, wantNC)
 	}
-	if c.Contig != int64(len(g.Adj)) {
-		t.Fatalf("BFS charged %d contiguous accesses, want %d", c.Contig, len(g.Adj))
+	// Adjacency streaming plus the root-normalization pass.
+	if c.Contig != int64(len(g.Adj)+n) {
+		t.Fatalf("BFS charged %d contiguous accesses, want %d", c.Contig, len(g.Adj)+n)
 	}
 }
 

@@ -7,7 +7,11 @@
 // steals part of the queue." StealHalf implements exactly that: a FIFO
 // ring buffer (the BFS queue of Algorithm 1) whose owner pushes at the
 // back and pops at the front, and whose thieves remove half the queue in
-// one locked operation.
+// one locked operation. The owner's hot path is chunked — PopBatch
+// drains up to a chunk per lock acquisition and PushBatch appends a
+// whole batch of children per lock acquisition — so the per-vertex
+// mutex traffic of a naive port amortizes to ~2 lock operations per
+// chunk.
 //
 // ChaseLev is the classic lock-free steal-one deque, provided as an
 // ablation point: the benchmark suite compares steal-half against
@@ -119,6 +123,33 @@ func (q *StealHalf) HighWater() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.high
+}
+
+// PopBatch removes up to len(dst) elements from the front of the queue
+// in one locked operation, copying them into dst and returning the
+// count (0 when the queue is empty or dst is empty). This is the
+// owner's chunked drain: one lock acquisition amortizes over the whole
+// chunk, and the atomic size mirror is updated once, so Len stays exact
+// at chunk boundaries. Elements moved into dst are no longer visible to
+// thieves, exactly as if the owner had popped them one by one.
+func (q *StealHalf) PopBatch(dst []int32) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	q.mu.Lock()
+	n := q.tail - q.head
+	if n == 0 {
+		q.mu.Unlock()
+		return 0
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	copy(dst, q.buf[q.head:q.head+n])
+	q.head += n
+	q.size.Add(-int64(n))
+	q.mu.Unlock()
+	return n
 }
 
 // Pop removes and returns the front element, or ok == false when empty.

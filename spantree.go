@@ -148,6 +148,11 @@ type Options struct {
 	// processors are simultaneously idle with nothing stealable, the run
 	// finishes with a Shiloach-Vishkin pass. 0 disables detection.
 	FallbackThreshold int
+	// ChunkSize is the number of vertices a work-stealing processor
+	// drains from its queue per lock acquisition (and the flush cadence
+	// of its batched child pushes and progress counts). 0 means a tuned
+	// default (64); 1 reproduces the unbatched per-vertex hot path.
+	ChunkSize int
 	// Model, when non-nil, accumulates Helman-JáJá cost-model counters
 	// for the run (see the smpmodel package via Result.ModeledTime).
 	Model *smpmodel.Model
@@ -217,6 +222,7 @@ func Find(g *Graph, opt Options) (*Result, error) {
 			Obs:               opt.Obs,
 			Deg2Eliminate:     opt.Deg2Eliminate,
 			FallbackThreshold: opt.FallbackThreshold,
+			ChunkSize:         opt.ChunkSize,
 		})
 		if err != nil {
 			return nil, err
