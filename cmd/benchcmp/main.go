@@ -1,0 +1,31 @@
+// Command benchcmp compares a freshly measured metrics artifact (the
+// spantree/obs/v1 JSON written by benchfig -metrics or spantree
+// -metrics) against a checked-in baseline and exits non-zero when
+// wall-clock time or the steal hit rate regresses beyond a tolerance.
+// It is the regression gate of the bench-smoke CI job and the nightly
+// paper-scale pipeline.
+//
+// Baselines:
+//
+//	results/BENCH_nightly_baseline.json   obs artifact, label-matched
+//	results/BENCH_hotpath.json            hot-path record, family-matched
+//
+// Usage:
+//
+//	benchcmp -baseline results/BENCH_nightly_baseline.json -current /tmp/metrics.json
+//	benchcmp -baseline results/BENCH_hotpath.json -current /tmp/metrics.json -wall-tol 3.0
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"spantree/internal/cli"
+)
+
+func main() {
+	if err := cli.RunBenchCmp(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,82 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"spantree/internal/obs"
+	"spantree/internal/stats"
+)
+
+// RunBenchCmp is the entry point of cmd/benchcmp: gate a freshly
+// measured metrics artifact against a checked-in baseline, failing on
+// wall-clock or steal-hit-rate regressions beyond the tolerances.
+func RunBenchCmp(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baseline  = fs.String("baseline", "", "baseline JSON: an obs metrics artifact or results/BENCH_hotpath.json")
+		current   = fs.String("current", "", "current metrics JSON (spantree/obs/v1, from benchfig -metrics)")
+		wallTol   = fs.Float64("wall-tol", 0.15, "allowed relative wall-clock slowdown (0.15 = +15%)")
+		stealTol  = fs.Float64("steal-tol", 0.15, "allowed relative steal-hit-rate drop")
+		minWallNS = fs.Int64("min-wall-ns", 1_000_000, "skip the wall gate for baseline timings under this (noise floor)")
+		wallNoise = fs.Int("wall-noise", 0, "tolerate this many entries over -wall-tol (scheduler-noise allowance; steal-rate breaches are never excused)")
+		wallHard  = fs.Float64("wall-hard", 0, "per-entry wall-clock bound the noise budget never excuses (0 disables)")
+		minSteal  = fs.Int64("min-steal-attempts", 0, "skip the steal-rate gate for baseline entries with fewer pooled attempts (small-sample noise floor)")
+		require   = fs.String("require", "", "comma-separated substrings that must each match a compared entry (guards against comparing nothing)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baseline == "" || *current == "" {
+		return fmt.Errorf("benchcmp: -baseline and -current are both required")
+	}
+
+	compare, err := stats.LoadBenchBaseline(*baseline)
+	if err != nil {
+		return err
+	}
+	cur, err := obs.ReadArtifact(*current)
+	if err != nil {
+		return err
+	}
+	res, err := compare(cur, stats.BenchCompareOptions{
+		WallTol:          *wallTol,
+		StealTol:         *stealTol,
+		MinWallNS:        *minWallNS,
+		WallNoiseBudget:  *wallNoise,
+		WallHardTol:      *wallHard,
+		MinStealAttempts: *minSteal,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, res.String())
+	if len(res.Comparisons) == 0 {
+		return fmt.Errorf("benchcmp: no baseline entry matched the current metrics — wrong files?")
+	}
+	for _, want := range strings.Split(*require, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		found := false
+		for _, c := range res.Comparisons {
+			if strings.Contains(c.Name, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("benchcmp: required entry %q was not compared", want)
+		}
+	}
+	if res.Failed() {
+		return fmt.Errorf("benchcmp: regression gate failed (wall tolerance %.0f%%, steal tolerance %.0f%%)",
+			100**wallTol, 100**stealTol)
+	}
+	fmt.Fprintf(stdout, "benchcmp: %d entries within tolerance\n", len(res.Comparisons))
+	return nil
+}

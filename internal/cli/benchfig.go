@@ -17,7 +17,7 @@ func RunBenchFig(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchfig", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig      = fs.String("fig", "all", "experiment to run: all, 3, 4, ablations, or an exact id")
+		fig      = fs.String("fig", "all", "experiments to run: all, 3, 4, ablations, an exact id, or a comma-separated list of those")
 		list     = fs.Bool("list", false, "list experiment ids and exit")
 		scale    = fs.Int("scale", 1<<16, "vertex budget per input graph (paper: 1048576)")
 		procs    = fs.String("procs", "1,2,4,8", "comma-separated processor counts for the Fig. 4 sweeps")
@@ -27,7 +27,9 @@ func RunBenchFig(args []string, stdout, stderr io.Writer) error {
 		repeats  = fs.Int("repeats", 3, "wall-clock repetitions (min reported)")
 		csv      = fs.Bool("csv", false, "emit tables as CSV")
 		strict   = fs.Bool("strict", false, "return an error if any shape check fails")
-		metrics  = fs.String("metrics", "", "write per-worker metrics JSON (one report per instrumented measurement) to this path")
+		chunk    = fs.Int("chunk", 0, "work-stealing drain chunk size: > 0 forces a fixed chunk; 0 keeps the adaptive controller")
+		chunkPol = fs.String("chunkpolicy", "", "work-stealing drain chunk policy: adaptive or fixed (default adaptive, or fixed when -chunk > 0)")
+		metrics  = fs.String("metrics", "", "write per-worker metrics JSON (one report per instrumented measurement and repetition) to this path")
 		trace    = fs.String("trace", "", "write event-trace JSON for the instrumented measurements to this path")
 		traceCap = fs.Int("tracecap", 1<<14, "per-run event ring-buffer capacity for -trace")
 	)
@@ -43,11 +45,17 @@ func RunBenchFig(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
+	policy, err := resolveChunkPolicy(*chunkPol, *chunk)
+	if err != nil {
+		return err
+	}
 	cfg := harness.Config{
-		Scale:   *scale,
-		Seed:    *seed,
-		Repeats: *repeats,
-		Verify:  true,
+		Scale:       *scale,
+		Seed:        *seed,
+		Repeats:     *repeats,
+		Verify:      true,
+		ChunkPolicy: policy,
+		ChunkSize:   *chunk,
 	}
 	if *metrics != "" || *trace != "" {
 		cfg.Collector = &obs.Collector{}
@@ -121,7 +129,29 @@ func RunBenchFig(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// selectExperiments resolves the -fig argument: a single selector or a
+// comma-separated list of selectors, deduplicated in first-seen order
+// (so the CI pipelines can ask for e.g. "fig3,fig4-torus,abl-chunk" in
+// one process).
 func selectExperiments(fig string) ([]string, error) {
+	parts := strings.Split(fig, ",")
+	if len(parts) > 1 {
+		seen := make(map[string]bool)
+		var ids []string
+		for _, part := range parts {
+			sub, err := selectExperiments(strings.TrimSpace(part))
+			if err != nil {
+				return nil, err
+			}
+			for _, id := range sub {
+				if !seen[id] {
+					seen[id] = true
+					ids = append(ids, id)
+				}
+			}
+		}
+		return ids, nil
+	}
 	switch fig {
 	case "all":
 		return harness.IDs(), nil

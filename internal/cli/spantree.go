@@ -37,7 +37,8 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 		algoName  = fs.String("algo", "workstealing", "algorithm: workstealing, seqbfs, seqdfs, sequf, sv, svlocks, hcs, as, levelbfs")
 		procs     = fs.Int("p", runtime.GOMAXPROCS(0), "virtual processors for parallel algorithms")
 		deg2      = fs.Bool("deg2", false, "enable degree-2 elimination preprocessing")
-		chunk     = fs.Int("chunk", 0, "work-stealing queue drain chunk size (0 = tuned default, 1 = unbatched)")
+		chunk     = fs.Int("chunk", 0, "work-stealing drain chunk size: > 0 forces a fixed chunk (1 = unbatched); 0 keeps the adaptive controller (where it caps growth)")
+		chunkPol  = fs.String("chunkpolicy", "", "work-stealing drain chunk policy: adaptive or fixed (default adaptive, or fixed when -chunk > 0)")
 		fallback  = fs.Int("fallback", 0, "idle-detection threshold (0 disables the SV fallback)")
 		model     = fs.Bool("model", false, "report Helman-JáJá modeled cost (E4500 profile)")
 		noverify  = fs.Bool("noverify", false, "skip result verification")
@@ -71,6 +72,10 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	policy, err := resolveChunkPolicy(*chunkPol, *chunk)
+	if err != nil {
+		return err
+	}
 
 	var best *spantree.Result
 	var costModel *smpmodel.Model
@@ -83,6 +88,7 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 			Seed:              *seed,
 			Deg2Eliminate:     *deg2,
 			FallbackThreshold: *fallback,
+			ChunkPolicy:       policy,
 			ChunkSize:         *chunk,
 			Verify:            !*noverify,
 		}
@@ -122,6 +128,8 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 	if ws := best.WorkStealing; ws != nil {
 		fmt.Fprintf(stdout, "workstealing: stub=%d steals=%d stolen=%d failedClaims=%d cursorRoots=%d imbalance=%.2f\n",
 			ws.StubSize, ws.Steals, ws.StolenVertices, ws.FailedClaims, ws.CursorRoots, ws.MaxLoadImbalance())
+		fmt.Fprintf(stdout, "chunk: policy=%v stealHitRate=%.3f grow=%d shrink=%d\n",
+			policy, ws.StealHitRate(), ws.ChunkGrow, ws.ChunkShrink)
 		if ws.FallbackTriggered {
 			fmt.Fprintf(stdout, "fallback: SV completion ran (%d grafts in %d iterations)\n",
 				ws.SVStats.Grafts, ws.SVStats.Iterations)
@@ -146,10 +154,11 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 	if rec != nil {
 		label := fmt.Sprintf("%s/%v/p=%d", best.Algorithm, g, *procs)
 		meta := map[string]string{
-			"algo":  best.Algorithm.String(),
-			"graph": g.String(),
-			"p":     fmt.Sprint(*procs),
-			"seed":  fmt.Sprint(*seed),
+			"algo":        best.Algorithm.String(),
+			"graph":       g.String(),
+			"p":           fmt.Sprint(*procs),
+			"seed":        fmt.Sprint(*seed),
+			"chunkpolicy": policy.String(),
 		}
 		rep := rec.NewReport(label, meta)
 		rep.ElapsedNS = recElapsed.Nanoseconds()
@@ -169,6 +178,20 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// resolveChunkPolicy maps the -chunkpolicy/-chunk flag pair onto a
+// ChunkPolicy: an explicit name wins, otherwise -chunk > 0 forces the
+// fixed policy (so existing `-chunk 64` invocations keep their exact
+// pre-adaptive behavior) and the default is adaptive.
+func resolveChunkPolicy(name string, chunk int) (spantree.ChunkPolicy, error) {
+	if name == "" {
+		if chunk > 0 {
+			return spantree.ChunkFixed, nil
+		}
+		return spantree.ChunkAdaptive, nil
+	}
+	return spantree.ParseChunkPolicy(name)
 }
 
 func loadOrGenerate(inPath, kind string, n, m, k int, seed uint64, randlabel bool) (*spantree.Graph, error) {

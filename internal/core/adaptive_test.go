@@ -1,0 +1,214 @@
+package core
+
+import (
+	"testing"
+
+	"spantree/internal/gen"
+	"spantree/internal/graph"
+	"spantree/internal/obs"
+	"spantree/internal/smpmodel"
+	"spantree/internal/verify"
+)
+
+// TestMinStealLenScaling pins the p-scaled steal threshold: max(2, p/2).
+// These exact values are load-bearing — lowering them reintroduces the
+// bursty re-idling on small graphs at high p, raising them starves
+// thieves on two-processor runs.
+func TestMinStealLenScaling(t *testing.T) {
+	want := map[int]int{1: 2, 2: 2, 3: 2, 4: 2, 5: 2, 6: 3, 8: 4, 16: 8, 32: 16}
+	for p, w := range want {
+		if got := minStealLen(p); got != w {
+			t.Errorf("minStealLen(%d) = %d, want %d", p, got, w)
+		}
+	}
+	// The traversal must wire it from NumProcs.
+	topt := Options{NumProcs: 8}
+	tr := newTraversal(gen.Chain(10), topt.withDefaults())
+	if tr.minSteal != 4 {
+		t.Errorf("traversal minSteal = %d at p=8, want 4", tr.minSteal)
+	}
+}
+
+// TestChunkPolicyNames pins the CLI vocabulary.
+func TestChunkPolicyNames(t *testing.T) {
+	if ChunkAdaptive.String() != "adaptive" || ChunkFixed.String() != "fixed" {
+		t.Fatalf("policy names: %v %v", ChunkAdaptive, ChunkFixed)
+	}
+	for _, name := range []string{"adaptive", "fixed"} {
+		cp, err := ParseChunkPolicy(name)
+		if err != nil || cp.String() != name {
+			t.Fatalf("ParseChunkPolicy(%q) = %v, %v", name, cp, err)
+		}
+	}
+	if _, err := ParseChunkPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy name accepted")
+	}
+	var zero ChunkPolicy
+	if zero != ChunkAdaptive {
+		t.Fatal("zero value is not the adaptive default")
+	}
+}
+
+// TestChunkControllerAdapts unit-tests the controller's dynamics:
+// doubling toward the cap while the queue is deep and steals succeed,
+// halving toward 1 on starvation or a shallow queue, and inertness
+// under the fixed policy.
+func TestChunkControllerAdapts(t *testing.T) {
+	var lc obs.Local
+	raw := Options{ChunkPolicy: ChunkAdaptive}
+	o := raw.withDefaults()
+	c := newChunkController(&o)
+	if c.chunk != AdaptiveInitChunk || c.max != AdaptiveMaxChunk {
+		t.Fatalf("adaptive start = %d cap %d, want %d cap %d", c.chunk, c.max, AdaptiveInitChunk, AdaptiveMaxChunk)
+	}
+	// Deep queue, no failed steals: doubles each decision up to the cap.
+	for i := 0; i < 20; i++ {
+		c.adapt(4*c.chunk, 0, &lc)
+	}
+	if c.chunk != AdaptiveMaxChunk || c.hi != AdaptiveMaxChunk {
+		t.Fatalf("deep queue reached chunk=%d hi=%d, want cap %d", c.chunk, c.hi, AdaptiveMaxChunk)
+	}
+	// A failed steal since the last decision halves, even with depth.
+	c.adapt(4*c.chunk, 1, &lc)
+	if c.chunk != AdaptiveMaxChunk/2 {
+		t.Fatalf("starvation did not shrink: chunk=%d", c.chunk)
+	}
+	// No new failures afterward: the same count does not re-shrink.
+	c.adapt(4*c.chunk, 1, &lc)
+	if c.chunk != AdaptiveMaxChunk {
+		t.Fatalf("recovery did not grow: chunk=%d", c.chunk)
+	}
+	// Shallow queue shrinks toward (and floors at) 1.
+	for i := 0; i < 20; i++ {
+		c.adapt(0, 1, &lc)
+	}
+	if c.chunk != 1 {
+		t.Fatalf("shallow queue floored at %d, want 1", c.chunk)
+	}
+
+	// ChunkSize caps adaptive growth and bounds the start.
+	raw = Options{ChunkPolicy: ChunkAdaptive, ChunkSize: 4}
+	o = raw.withDefaults()
+	c = newChunkController(&o)
+	if c.chunk != 4 || c.max != 4 {
+		t.Fatalf("capped start = %d/%d, want 4/4", c.chunk, c.max)
+	}
+
+	// Fixed: never moves.
+	raw = Options{ChunkPolicy: ChunkFixed, ChunkSize: 64}
+	o = raw.withDefaults()
+	c = newChunkController(&o)
+	c.adapt(10_000, 5, &lc)
+	c.adapt(0, 9, &lc)
+	if c.chunk != 64 || c.hi != 64 {
+		t.Fatalf("fixed controller moved: chunk=%d hi=%d", c.chunk, c.hi)
+	}
+}
+
+// TestAdaptiveQuiescenceExactOnDisconnected drives the invariant the
+// adaptive chunk must not break: progress counts are exact at every
+// busy-to-idle transition, so quiescence seeds exactly one root per
+// component — an undercount hangs the traversal, an overcount ends it
+// early with orphaned vertices. Run under -race this also checks the
+// controller adds no unsynchronized shared state.
+func TestAdaptiveQuiescenceExactOnDisconnected(t *testing.T) {
+	g := graph.Union(gen.Chain(500), gen.Torus2D(16, 16), gen.Star(120),
+		gen.Random(400, 300, 3), gen.Chain(1), gen.Cycle(64))
+	wantComps := graph.NumComponents(g)
+	for name, run := range drivers() {
+		for seed := uint64(0); seed < 8; seed++ {
+			parent, _, err := run(g, Options{NumProcs: 8, Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v", name, seed, err)
+			}
+			if err := verify.Forest(g, parent); err != nil {
+				t.Fatalf("%s seed=%d: %v", name, seed, err)
+			}
+			roots := 0
+			for _, pv := range parent {
+				if pv == graph.None {
+					roots++
+				}
+			}
+			if roots != wantComps {
+				t.Fatalf("%s seed=%d: %d roots, want %d — quiescence count drifted",
+					name, seed, roots, wantComps)
+			}
+		}
+	}
+}
+
+// TestAdaptiveObsCounters checks that the adaptive runtime reports its
+// activity: drains and drained vertices on both drivers, controller
+// growth on a deep-frontier input, and a high-water at least the
+// starting chunk. The fixed policy must report no controller steps.
+func TestAdaptiveObsCounters(t *testing.T) {
+	g := gen.Torus2D(64, 64)
+	for name, run := range drivers() {
+		rec := obs.New(2)
+		if _, _, err := run(g, Options{NumProcs: 2, Seed: 11, Obs: rec}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tot := rec.Snapshot().Totals
+		if tot.ChunkDrains == 0 || tot.DrainedVertices == 0 {
+			t.Errorf("%s: no drain accounting: %+v", name, tot)
+		}
+		if tot.DrainedVertices < tot.ChunkDrains {
+			t.Errorf("%s: %d vertices over %d drains", name, tot.DrainedVertices, tot.ChunkDrains)
+		}
+		if tot.ChunkGrow == 0 {
+			t.Errorf("%s: controller never grew on a deep torus frontier", name)
+		}
+		if tot.ChunkHighWater < AdaptiveInitChunk {
+			t.Errorf("%s: chunk high-water %d below the starting chunk %d",
+				name, tot.ChunkHighWater, AdaptiveInitChunk)
+		}
+		if tot.DrainHist == nil {
+			t.Errorf("%s: no drain-size histogram", name)
+		}
+
+		rec = obs.New(2)
+		if _, _, err := run(g, Options{NumProcs: 2, Seed: 11, Obs: rec, ChunkPolicy: ChunkFixed}); err != nil {
+			t.Fatalf("%s fixed: %v", name, err)
+		}
+		tot = rec.Snapshot().Totals
+		if tot.ChunkGrow != 0 || tot.ChunkShrink != 0 {
+			t.Errorf("%s fixed: controller stepped (grow=%d shrink=%d)", name, tot.ChunkGrow, tot.ChunkShrink)
+		}
+	}
+}
+
+// TestLockstepAdaptiveDeterministic pins that the adaptive controller
+// keeps the lockstep driver's determinism: two runs with equal options
+// produce identical forests, cost triplets, and controller counters.
+func TestLockstepAdaptiveDeterministic(t *testing.T) {
+	g := gen.GeoHier(2000, gen.DefaultGeoHierParams(), 9)
+	type outcome struct {
+		parent  []graph.VID
+		triplet string
+		totals  obs.Counters
+	}
+	runIt := func() outcome {
+		m := smpmodel.New(4)
+		rec := obs.New(4)
+		parent, _, err := LockstepForest(g, Options{NumProcs: 4, Seed: 17, Model: m, Obs: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{parent, m.Triplet(), rec.Snapshot().Totals}
+	}
+	a, b := runIt(), runIt()
+	for v := range a.parent {
+		if a.parent[v] != b.parent[v] {
+			t.Fatalf("forest differs at %d: %d vs %d", v, a.parent[v], b.parent[v])
+		}
+	}
+	if a.triplet != b.triplet {
+		t.Fatalf("cost triplet differs: %s vs %s", a.triplet, b.triplet)
+	}
+	if a.totals.ChunkDrains != b.totals.ChunkDrains ||
+		a.totals.ChunkGrow != b.totals.ChunkGrow ||
+		a.totals.ChunkShrink != b.totals.ChunkShrink {
+		t.Fatalf("controller counters differ: %+v vs %+v", a.totals, b.totals)
+	}
+}

@@ -36,13 +36,18 @@
 // which Stats counts.
 //
 // The traversal hot path is batched: the owner drains its queue in
-// chunks of Options.ChunkSize vertices per lock acquisition, accumulates
-// newly claimed children in a private buffer that it flushes with one
-// PushBatch per chunk, and counts claimed vertices locally, publishing
-// to the shared progress counter at chunk boundaries and (mandatorily)
-// on every busy-to-idle transition — which is what keeps the quiescence
-// invariant "all processors asleep ⇒ the progress count is exact" true
-// by construction.
+// chunks per lock acquisition, accumulates newly claimed children in a
+// private buffer that it flushes with one PushBatch per chunk, and
+// counts claimed vertices locally, publishing to the shared progress
+// counter at chunk boundaries and (mandatorily) on every busy-to-idle
+// transition — which is what keeps the quiescence invariant "all
+// processors asleep ⇒ the progress count is exact" true by construction.
+// The chunk itself is self-tuning by default (Options.ChunkPolicy): each
+// worker's controller grows it while the local queue is deep and steals
+// are succeeding and shrinks it toward 1 when thieves starve, so deep
+// regular frontiers get the lock amortization of a large chunk while
+// shallow or high-diameter frontiers keep their few vertices visible to
+// thieves. ChunkFixed with Options.ChunkSize restores the static chunk.
 package core
 
 import (
@@ -86,11 +91,19 @@ type Options struct {
 	// (the paper specifies O(p) steps).
 	StubSteps int
 
+	// ChunkPolicy selects how the queue-drain chunk is chosen. The zero
+	// value is ChunkAdaptive: a per-worker controller that grows the
+	// chunk while the local queue is deep and steals are succeeding and
+	// shrinks it toward 1 when thieves starve. ChunkFixed drains exactly
+	// ChunkSize vertices per lock acquisition.
+	ChunkPolicy ChunkPolicy
+
 	// ChunkSize is the number of vertices a processor drains from its
 	// queue per lock acquisition, and therefore also the flush cadence of
-	// the per-worker child and progress batches. <= 0 means
-	// DefaultChunkSize. A value of 1 reproduces the unbatched
-	// one-lock-op-per-vertex hot path (ablation).
+	// the per-worker child and progress batches. Under ChunkFixed, <= 0
+	// means DefaultChunkSize and 1 reproduces the unbatched
+	// one-lock-op-per-vertex hot path (ablation). Under ChunkAdaptive it
+	// caps the controller's growth (<= 0 means AdaptiveMaxChunk).
 	ChunkSize int
 
 	// Deg2Eliminate enables the degree-2 vertex elimination preprocessing
@@ -123,7 +136,10 @@ func (o *Options) withDefaults() Options {
 	if out.StubSteps == 0 {
 		out.StubSteps = 2 * out.NumProcs
 	}
-	if out.ChunkSize <= 0 {
+	// Under ChunkAdaptive, ChunkSize <= 0 is meaningful (the controller
+	// uses its own AdaptiveMaxChunk cap), so only the fixed policy
+	// defaults it.
+	if out.ChunkPolicy == ChunkFixed && out.ChunkSize <= 0 {
 		out.ChunkSize = DefaultChunkSize
 	}
 	if out.IdleSleep == 0 {
@@ -136,10 +152,16 @@ func (o *Options) withDefaults() Options {
 type Stats struct {
 	// StubSize is the number of vertices in the stub spanning tree.
 	StubSize int
-	// Steals counts successful steal operations; StolenVertices the
-	// total vertices moved.
+	// Steals counts successful steal operations; StealAttempts the
+	// entries into the steal protocol (so Steals/StealAttempts is the
+	// steal hit rate); StolenVertices the total vertices moved.
 	Steals         int64
+	StealAttempts  int64
 	StolenVertices int64
+	// ChunkGrow and ChunkShrink count the adaptive chunk controller's
+	// steps across all workers (both 0 under ChunkPolicy fixed).
+	ChunkGrow   int64
+	ChunkShrink int64
 	// FailedClaims counts CAS losses: a processor saw a vertex unvisited
 	// but another processor claimed it first — the paper's
 	// multiple-coloring race events ("less than ten vertices for a graph
@@ -162,6 +184,16 @@ type Stats struct {
 	// LockstepRounds is the number of simulation rounds executed when
 	// the deterministic lockstep driver ran (0 for concurrent runs).
 	LockstepRounds int64
+}
+
+// StealHitRate returns Steals/StealAttempts, the fraction of entries
+// into the steal protocol that obtained work (1.0 when no attempt was
+// made — an always-busy run has nothing to regress).
+func (s *Stats) StealHitRate() float64 {
+	if s.StealAttempts == 0 {
+		return 1
+	}
+	return float64(s.Steals) / float64(s.StealAttempts)
 }
 
 // MaxLoadImbalance returns max(VerticesPerProc)/mean, the headline
@@ -236,6 +268,10 @@ type workQueue interface {
 	// PopBatch moves up to len(dst) elements into dst (owner side),
 	// returning the count — the chunked drain of the hot path.
 	PopBatch(dst []int32) int
+	// PopBatchLen is PopBatch plus the post-drain queue length observed
+	// under the same synchronization, the adaptive controller's exact
+	// depth signal.
+	PopBatchLen(dst []int32) (n, remaining int)
 	// StealInto moves one batch from the queue into buf, returning the
 	// extended slice (unchanged when nothing was stolen).
 	StealInto(buf []int32) []int32
@@ -246,10 +282,13 @@ type workQueue interface {
 
 type stealHalfQueue struct{ q *wsq.StealHalf }
 
-func (s stealHalfQueue) Push(v int32)                  { s.q.Push(v) }
-func (s stealHalfQueue) PushBatch(vs []int32)          { s.q.PushBatch(vs) }
-func (s stealHalfQueue) Pop() (int32, bool)            { return s.q.Pop() }
-func (s stealHalfQueue) PopBatch(dst []int32) int      { return s.q.PopBatch(dst) }
+func (s stealHalfQueue) Push(v int32)             { s.q.Push(v) }
+func (s stealHalfQueue) PushBatch(vs []int32)     { s.q.PushBatch(vs) }
+func (s stealHalfQueue) Pop() (int32, bool)       { return s.q.Pop() }
+func (s stealHalfQueue) PopBatch(dst []int32) int { return s.q.PopBatch(dst) }
+func (s stealHalfQueue) PopBatchLen(dst []int32) (int, int) {
+	return s.q.PopBatchLen(dst)
+}
 func (s stealHalfQueue) StealInto(buf []int32) []int32 { return s.q.Steal(buf) }
 func (s stealHalfQueue) Len() int                      { return s.q.Len() }
 func (s stealHalfQueue) HighWater() int                { return s.q.HighWater() }
@@ -276,6 +315,11 @@ func (c chaseLevQueue) PopBatch(dst []int32) int {
 		n++
 	}
 	return n
+}
+func (c chaseLevQueue) PopBatchLen(dst []int32) (int, int) {
+	// No bulk owner op on the deque; the remaining length is a racy
+	// post-drain snapshot, which is all the ablation needs.
+	return c.PopBatch(dst), c.q.Len()
 }
 func (c chaseLevQueue) StealInto(buf []int32) []int32 {
 	if v, ok := c.q.Steal(); ok {
@@ -310,8 +354,18 @@ type traversal struct {
 	// model is attached.
 	span []int64
 
+	// minSteal is the smallest victim queue worth stealing from,
+	// minStealLen(p): the constant floor of 2 scaled by p/2 at high p.
+	minSteal int
+
 	visited atomic.Int64 // claimed vertices; == n means the forest is done
 	cursor  atomic.Int64 // next vertex the quiescence protocol inspects
+
+	// stealFail counts failed steal scans traversal-wide. The adaptive
+	// chunk controllers read it at drain boundaries: any movement since
+	// a worker's previous drain means thieves are starving and the owner
+	// should shrink its chunk to keep frontier visible in the queue.
+	stealFail atomic.Int64
 
 	sleepers atomic.Int32
 	abort    atomic.Bool // set when the fallback threshold trips
@@ -333,12 +387,13 @@ func newTraversal(g *graph.Graph, o Options) *traversal {
 		rec = obs.New(o.NumProcs)
 	}
 	t := &traversal{
-		g:      g,
-		o:      o,
-		n:      n,
-		parent: make([]graph.VID, n),
-		queues: make([]workQueue, o.NumProcs),
-		rec:    rec,
+		g:        g,
+		o:        o,
+		n:        n,
+		parent:   make([]graph.VID, n),
+		queues:   make([]workQueue, o.NumProcs),
+		minSteal: minStealLen(o.NumProcs),
+		rec:      rec,
 	}
 	for i := range t.parent {
 		t.parent[i] = graph.None
@@ -476,13 +531,14 @@ func (t *traversal) worker(tid int) {
 	myQ := t.queues[tid]
 	r := xrand.New(t.o.Seed).Split(uint64(tid) + 1)
 	stealBuf := make([]int32, 0, 256)
-	k := t.o.ChunkSize
+	ctrl := newChunkController(&t.o)
 	// chunk receives the owner-side batched drain; out accumulates the
 	// children claimed while processing the chunk, flushed with a single
 	// PushBatch. Together they turn ~2 lock operations per vertex into ~2
-	// per chunk.
-	chunk := make([]int32, k)
-	out := make([]int32, 0, 4*k)
+	// per chunk. Both buffers are sized for the controller's cap so the
+	// adaptive chunk can grow without reallocating.
+	chunk := make([]int32, ctrl.max)
+	out := make([]int32, 0, 4*ctrl.max)
 	// pend is this worker's unpublished progress: vertices claimed since
 	// the last flush of the shared visited counter. It is flushed at every
 	// chunk boundary and — mandatorily — before entering the idle/steal
@@ -498,6 +554,7 @@ func (t *traversal) worker(tid int) {
 	}
 	defer func() {
 		flushVisited()
+		ow.Max(obs.ChunkHighWater, int64(ctrl.hi))
 		lc.FlushTo(ow)
 	}()
 
@@ -509,9 +566,12 @@ func (t *traversal) worker(tid int) {
 	fruitless := 0
 	processed := 0
 	for t.visited.Load() < int64(t.n) && !t.abort.Load() {
-		nPop := myQ.PopBatch(chunk)
+		nPop, qrem := myQ.PopBatchLen(chunk[:ctrl.chunk])
 		if nPop > 0 {
 			probe.NonContig(2) // one locked chunk dequeue
+			lc.Incr(obs.ChunkDrains)
+			lc.Add(obs.DrainedVertices, int64(nPop))
+			lc.Incr(obs.DrainHistBucket(nPop))
 			out = out[:0]
 			for _, v := range chunk[:nPop] {
 				probe.NonContig(1) // load adjacency offset
@@ -522,16 +582,24 @@ func (t *traversal) worker(tid int) {
 				probe.NonContig(2 + int64(len(out))) // one locked batch enqueue
 			}
 			flushVisited()
+			// The children just flushed are queue depth too: the next
+			// drain size follows from the post-flush depth and the
+			// traversal-wide failed-steal count.
+			ctrl.adapt(qrem+len(out), t.stealFail.Load(), &lc)
 			fruitless = 0
 			processed += nPop
-			if processed >= k {
+			// The yield/flush cadence is deliberately NOT the controller's
+			// chunk: it exists so the protocol behaves the same on hosts
+			// with fewer cores than virtual processors (a busy goroutine
+			// holding its OS thread for a whole scheduler quantum means
+			// idle workers never observe stealable queues or starvation),
+			// and that visibility argument doesn't change when the
+			// controller shrinks. Tying it to an adaptively-shrunk chunk
+			// made serial-dependency inputs yield after every vertex —
+			// a 3x wall-clock penalty on the chain under oversubscription.
+			if processed >= DefaultChunkSize {
 				processed = 0
 				lc.FlushTo(ow)
-				// Yield periodically so the protocol behaves the same on
-				// hosts with fewer cores than virtual processors: without
-				// this, a busy goroutine can hold its OS thread for a
-				// whole scheduler quantum and idle workers never observe
-				// the intermediate states (stealable queues, starvation).
 				runtime.Gosched()
 			}
 			continue
@@ -611,6 +679,9 @@ func (t *traversal) finishStats(stats *Stats) {
 	}
 	snap := t.rec.Snapshot()
 	stats.Steals = snap.Totals.StealSuccesses
+	stats.StealAttempts = snap.Totals.StealAttempts
+	stats.ChunkGrow = snap.Totals.ChunkGrow
+	stats.ChunkShrink = snap.Totals.ChunkShrink
 	stats.StolenVertices = snap.Totals.StolenVertices
 	stats.FailedClaims = snap.Totals.FailedClaims
 	stats.CursorRoots = snap.Totals.SeededComponents
@@ -647,23 +718,16 @@ func (t *traversal) recordSpan() {
 	t.o.Model.AddSpanNC(max)
 }
 
-// minStealLen is the smallest victim queue worth stealing from. A
-// single in-flight vertex is left to its owner: ripping it would only
-// relocate the serial bottleneck while thrashing the queues. This is
-// also what makes the paper's starvation scenario real — "queues of the
-// busy processors may contain only a few elements (in extreme cases ...
-// only one element). In this case work awaits busy processors while idle
-// processors starve" — and therefore what the idle-detection fallback
-// exists to catch.
-const minStealLen = 2
-
 // trySteal picks a victim by size-biased two-choice sampling: probe two
 // random victims through the atomic Len mirror and steal from the longer
 // — the classic power-of-two-choices bias toward loaded queues without
-// scanning all p. When both samples are below minStealLen it falls back
-// to the full id-order scan from a random start, so a lone long queue is
-// still always found. On success it queues all but the first stolen
-// vertex and returns the first for the caller to process directly.
+// scanning all p. When both samples are below the p-scaled t.minSteal
+// threshold it falls back to the full id-order scan from a random start,
+// so a lone long queue is still always found. On success it queues all
+// but the first stolen vertex and returns the first for the caller to
+// process directly. A fully fruitless scan publishes to the shared
+// failed-steal count, which the owners' chunk controllers read as the
+// signal to shrink their drains and keep frontier visible.
 func (t *traversal) trySteal(tid int, r *xrand.Rand, myQ workQueue,
 	stealBuf *[]int32, probe *smpmodel.Probe, ow *obs.Worker) (graph.VID, bool) {
 	p := t.o.NumProcs
@@ -679,7 +743,7 @@ func (t *traversal) trySteal(tid int, r *xrand.Rand, myQ workQueue,
 	if t.queues[b].Len() > t.queues[a].Len() {
 		a = b
 	}
-	if t.queues[a].Len() >= minStealLen {
+	if t.queues[a].Len() >= t.minSteal {
 		if w, ok := t.stealFrom(a, myQ, stealBuf, probe, ow); ok {
 			return w, true
 		}
@@ -690,7 +754,7 @@ func (t *traversal) trySteal(tid int, r *xrand.Rand, myQ workQueue,
 		if victim == tid {
 			continue
 		}
-		if t.queues[victim].Len() < minStealLen {
+		if t.queues[victim].Len() < t.minSteal {
 			continue
 		}
 		if w, ok := t.stealFrom(victim, myQ, stealBuf, probe, ow); ok {
@@ -698,6 +762,7 @@ func (t *traversal) trySteal(tid int, r *xrand.Rand, myQ workQueue,
 		}
 	}
 	ow.Incr(obs.StealFailures)
+	t.stealFail.Add(1)
 	// A fruitless scan costs one polling access before the processor
 	// sleeps; sleeping itself is free in the cost model, matching the
 	// paper's condition-variable design.

@@ -21,58 +21,75 @@ func TestFusedClaimForests(t *testing.T) {
 		graph.Union(gen.Chain(40), gen.Torus2D(6, 6), gen.Star(25), gen.Chain(1)),
 		graph.Union(gen.Random(80, 60, 3), gen.Cycle(12)), // random part is itself disconnected
 	}
+	variants := []struct {
+		policy ChunkPolicy
+		chunk  int
+	}{
+		{ChunkAdaptive, 0}, {ChunkAdaptive, 2}, {ChunkAdaptive, 64},
+		{ChunkFixed, 1}, {ChunkFixed, 2}, {ChunkFixed, 64},
+	}
 	for name, run := range drivers() {
 		for _, g := range inputs {
-			for _, chunk := range []int{0, 1, 2, 64} {
-				parent, _, err := run(g, Options{NumProcs: 4, Seed: 21, ChunkSize: chunk})
+			for _, v := range variants {
+				tag := v.policy.String()
+				parent, _, err := run(g, Options{NumProcs: 4, Seed: 21, ChunkPolicy: v.policy, ChunkSize: v.chunk})
 				if err != nil {
-					t.Fatalf("%s %v chunk=%d: %v", name, g, chunk, err)
+					t.Fatalf("%s %v %s chunk=%d: %v", name, g, tag, v.chunk, err)
 				}
 				if err := verify.Forest(g, parent); err != nil {
-					t.Fatalf("%s %v chunk=%d: %v", name, g, chunk, err)
+					t.Fatalf("%s %v %s chunk=%d: %v", name, g, tag, v.chunk, err)
 				}
 				roots := 0
-				for v, pv := range parent {
-					if pv == graph.VID(v) {
-						t.Fatalf("%s %v chunk=%d: self-parent sentinel leaked at vertex %d", name, g, chunk, v)
+				for w, pv := range parent {
+					if pv == graph.VID(w) {
+						t.Fatalf("%s %v %s chunk=%d: self-parent sentinel leaked at vertex %d", name, g, tag, v.chunk, w)
 					}
 					if pv == graph.None {
 						roots++
 					}
 				}
 				if want := graph.NumComponents(g); roots != want {
-					t.Fatalf("%s %v chunk=%d: %d roots, want %d", name, g, chunk, roots, want)
+					t.Fatalf("%s %v %s chunk=%d: %d roots, want %d", name, g, tag, v.chunk, roots, want)
 				}
 			}
 		}
 	}
 }
 
-// TestLockstepChunkSizeInvariantForest pins that ChunkSize is purely a
-// cost-model parameter for the deterministic driver: the round-robin
-// schedule pops one vertex per turn regardless, so the forest and the
-// work distribution must be bit-identical across chunk sizes.
-func TestLockstepChunkSizeInvariantForest(t *testing.T) {
+// TestLockstepChunkInvariantForest pins that the drain chunk — fixed at
+// any size, or adaptive at any cap — is purely a cost-model parameter
+// for the deterministic driver: the round-robin schedule pops one
+// vertex per turn regardless, so the forest and the work distribution
+// must be bit-identical across every chunk configuration.
+func TestLockstepChunkInvariantForest(t *testing.T) {
 	g := gen.Random(400, 700, 13)
-	base, baseStats, err := LockstepForest(g, Options{NumProcs: 4, Seed: 5, ChunkSize: 1})
+	base, baseStats, err := LockstepForest(g, Options{NumProcs: 4, Seed: 5, ChunkPolicy: ChunkFixed, ChunkSize: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, chunk := range []int{2, 16, 64, 1024} {
-		parent, stats, err := LockstepForest(g, Options{NumProcs: 4, Seed: 5, ChunkSize: chunk})
+	variants := []struct {
+		policy ChunkPolicy
+		chunk  int
+	}{
+		{ChunkFixed, 2}, {ChunkFixed, 16}, {ChunkFixed, 64}, {ChunkFixed, 1024},
+		{ChunkAdaptive, 0}, {ChunkAdaptive, 8}, {ChunkAdaptive, 512},
+	}
+	for _, v := range variants {
+		tag := v.policy.String()
+		parent, stats, err := LockstepForest(g, Options{NumProcs: 4, Seed: 5, ChunkPolicy: v.policy, ChunkSize: v.chunk})
 		if err != nil {
-			t.Fatalf("chunk=%d: %v", chunk, err)
+			t.Fatalf("%s chunk=%d: %v", tag, v.chunk, err)
 		}
-		for v := range parent {
-			if parent[v] != base[v] {
-				t.Fatalf("chunk=%d: parent[%d] = %d, differs from chunk=1's %d",
-					chunk, v, parent[v], base[v])
+		for w := range parent {
+			if parent[w] != base[w] {
+				t.Fatalf("%s chunk=%d: parent[%d] = %d, differs from fixed-1's %d",
+					tag, v.chunk, w, parent[w], base[w])
 			}
 		}
 		for i := range stats.VerticesPerProc {
 			if stats.VerticesPerProc[i] != baseStats.VerticesPerProc[i] {
-				t.Fatalf("chunk=%d: worker %d claimed %d vertices, chunk=1 claimed %d",
-					chunk, i, stats.VerticesPerProc[i], baseStats.VerticesPerProc[i])
+				t.Fatalf("%s chunk=%d: worker %d claimed %d vertices, fixed-1 claimed %d",
+					tag, v.chunk, i, stats.VerticesPerProc[i], baseStats.VerticesPerProc[i])
 			}
 		}
 	}

@@ -110,13 +110,24 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 		workers[tid] = t.rec.Worker(tid)
 	}
 	stealBuf := make([]int32, 0, 256)
-	// out and pops mirror the concurrent hot path's batching: out is the
-	// chunk-local child buffer (the driver is single-goroutine, so one
-	// buffer serves every tid), and pops[tid] amortizes the chunked
-	// dequeue + batch-flush lock costs over ChunkSize pops even though the
+	// out and the per-tid chunk controllers mirror the concurrent hot
+	// path's batching: out is the chunk-local child buffer (the driver is
+	// single-goroutine, so one buffer serves every tid), and each tid runs
+	// the same chunkController as a concurrent worker even though the
 	// round-robin driver still pops one vertex per turn for determinism.
+	// The chunk is cost-model-only here — remaining[tid] counts down the
+	// pops left in the current virtual drain, and each boundary charges
+	// the amortized lock pairs of one chunked dequeue plus one batch
+	// flush and lets the controller resize from the queue depth and the
+	// traversal-wide failed-steal count. Forest output is therefore
+	// chunk-invariant by construction, while the modeled T_M/T_C charges
+	// track the adaptive schedule.
 	out := make([]int32, 0, 256)
-	pops := make([]int64, p)
+	ctrls := make([]chunkController, p)
+	remaining := make([]int, p)
+	for tid := range ctrls {
+		ctrls[tid] = newChunkController(&o)
+	}
 	idleStreak := make([]int, p)
 	seededRoots := 0
 
@@ -143,13 +154,26 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 			ow := workers[tid]
 			myQ := t.queues[tid]
 			if v, ok := myQ.Pop(); ok {
-				// Charge the batched hot path's amortized costs: the lock
-				// pairs of one chunked dequeue plus one batch flush, spread
-				// over ChunkSize pops, then one offset load per vertex.
-				if pops[tid]%int64(o.ChunkSize) == 0 {
+				// Charge the batched hot path's amortized costs: at each
+				// virtual chunk boundary, the lock pairs of one chunked
+				// dequeue plus one batch flush, then one offset load per
+				// vertex. The controller resizes the next virtual drain at
+				// the boundary, so the modeled charges follow the adaptive
+				// schedule (single-goroutine, hence still deterministic).
+				if remaining[tid] == 0 {
 					probe.NonContig(4)
+					ctrl := &ctrls[tid]
+					ctrl.adapt(myQ.Len(), t.stealFail.Load(), &locals[tid])
+					drained := myQ.Len() + 1 // this pop plus what the drain would take
+					if drained > ctrl.chunk {
+						drained = ctrl.chunk
+					}
+					remaining[tid] = drained
+					locals[tid].Incr(obs.ChunkDrains)
+					locals[tid].Add(obs.DrainedVertices, int64(drained))
+					locals[tid].Incr(obs.DrainHistBucket(drained))
 				}
-				pops[tid]++
+				remaining[tid]--
 				probe.NonContig(1)
 				processOne(tid, graph.VID(v), probe, myQ)
 				idleStreak[tid] = 0
@@ -158,6 +182,9 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 			if idleStreak[tid] == 0 {
 				ow.Incr(obs.IdleTransitions)
 				ow.Trace(obs.EvIdle, 0, 0)
+				// Busy-to-idle ends the current virtual drain, mirroring the
+				// concurrent worker's mandatory flush on the same transition.
+				remaining[tid] = 0
 			}
 			if !o.NoSteal && p > 1 {
 				ow.Incr(obs.StealAttempts)
@@ -168,7 +195,7 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 					if victim == tid {
 						continue
 					}
-					if t.queues[victim].Len() < minStealLen {
+					if t.queues[victim].Len() < t.minSteal {
 						continue
 					}
 					stealBuf = t.queues[victim].StealInto(stealBuf[:0])
@@ -193,6 +220,7 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 					continue
 				}
 				ow.Incr(obs.StealFailures)
+				t.stealFail.Add(1)
 				probe.NonContig(1) // fruitless poll before sleeping
 			}
 			idleThisRound++
@@ -234,6 +262,7 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 	t.rec.AddBarrierEpisodes(1)
 	t.rec.Trace(-1, obs.EvBarrier, 2, 0)
 	for tid := range locals {
+		workers[tid].Max(obs.ChunkHighWater, int64(ctrls[tid].hi))
 		locals[tid].FlushTo(workers[tid])
 	}
 	t.recordSpan()

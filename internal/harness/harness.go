@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 
+	"spantree/internal/core"
 	"spantree/internal/obs"
 	"spantree/internal/smpmodel"
 	"spantree/internal/stats"
@@ -68,6 +69,12 @@ type Config struct {
 	// Verify re-checks every computed forest with the independent
 	// verifier (on by default in the tools; costs one O(n+m) pass).
 	Verify bool
+	// ChunkPolicy and ChunkSize configure the work-stealing drain chunk
+	// for every experiment that does not force its own (the chunk-size
+	// ablations do). The zero values are the core defaults: adaptive
+	// policy, default growth cap.
+	ChunkPolicy core.ChunkPolicy
+	ChunkSize   int
 	// Collector, when non-nil, receives one observability Report per
 	// instrumented measurement (the work-stealing and SV-family runs),
 	// labeled "algo/graph/p=N" — the metrics artifact cmd/benchfig

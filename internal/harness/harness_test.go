@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"spantree/internal/gen"
+	"spantree/internal/obs"
 	"spantree/internal/smpmodel"
 )
 
@@ -27,6 +29,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig4-chain-seq", "fig4-chain-random",
 		"abl-nosteal", "abl-nostub", "abl-stealone", "abl-svlock",
 		"abl-deg2", "abl-fallback", "abl-hcs", "abl-machine", "abl-family", "abl-barriers", "abl-stublen",
+		"abl-chunk",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -112,6 +115,45 @@ func TestWallClockMode(t *testing.T) {
 	// Wall-clock mode never emits modeled shape checks.
 	for _, c := range rep.Checks {
 		t.Fatalf("wall-clock mode produced check %q", c.Name)
+	}
+}
+
+func TestWallClockPerRepetitionReports(t *testing.T) {
+	// Every wall-clock repetition must produce its own report: one
+	// recorder shared across repeats would accumulate, making rep k's
+	// counters k+1 times a single run's. Equal labels plus distinct
+	// "rep" meta is also what cmd/benchcmp's min-over-reps relies on.
+	cfg := quickCfg().withDefaults()
+	cfg.Mode = WallClock
+	cfg.Repeats = 3
+	cfg.Collector = &obs.Collector{}
+	g, err := gen.Generate(gen.Spec{Kind: "random", N: 1 << 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := measure(cfg, g, kindWS, 4, wsConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	runs := cfg.Collector.Runs()
+	if len(runs) != cfg.Repeats {
+		t.Fatalf("collected %d reports, want one per repetition (%d)", len(runs), cfg.Repeats)
+	}
+	seen := make(map[string]bool)
+	for i, r := range runs {
+		if r.Label != runs[0].Label {
+			t.Errorf("report %d label %q differs from %q", i, r.Label, runs[0].Label)
+		}
+		rep := r.Meta["rep"]
+		if seen[rep] {
+			t.Errorf("duplicate rep meta %q", rep)
+		}
+		seen[rep] = true
+		if got, want := r.Snapshot.Totals.VerticesClaimed, runs[0].Snapshot.Totals.VerticesClaimed; got != want {
+			t.Errorf("rep %s claimed %d vertices, rep 0 claimed %d — recorder state leaked across repetitions", rep, got, want)
+		}
+		if r.ElapsedNS <= 0 {
+			t.Errorf("rep %s has no elapsed time", rep)
+		}
 	}
 }
 

@@ -71,6 +71,19 @@ type wsConfig struct {
 	deg2        bool
 	fallbackAtP bool // threshold = max(1, p-1): force-detect pathologies
 	stubSteps   int  // 0 = the default 2p
+	// forceChunk overrides cfg.ChunkPolicy/ChunkSize with chunkPolicy and
+	// chunkSize — the chunk ablations pin their variants regardless of
+	// what the CLI asked for globally.
+	forceChunk  bool
+	chunkPolicy core.ChunkPolicy
+	chunkSize   int
+	// statsOut, when non-nil, receives the run's core.Stats for
+	// ablations that check steal hit rates and controller activity. In
+	// wall-clock mode the scheduler counters (steals, attempts, chunk
+	// grow/shrink) are summed across repetitions — a hit rate computed
+	// from one repetition's handful of attempts is binomial noise —
+	// while the remaining fields reflect the final repetition.
+	statsOut *core.Stats
 }
 
 // measure runs one algorithm at one processor count and returns its
@@ -114,6 +127,12 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 				StealOne:      ws.stealOne,
 				Deg2Eliminate: ws.deg2,
 				StubSteps:     ws.stubSteps,
+				ChunkPolicy:   cfg.ChunkPolicy,
+				ChunkSize:     cfg.ChunkSize,
+			}
+			if ws.forceChunk {
+				opt.ChunkPolicy = ws.chunkPolicy
+				opt.ChunkSize = ws.chunkSize
 			}
 			if ws.fallbackAtP {
 				opt.FallbackThreshold = maxInt(1, p-1)
@@ -128,6 +147,14 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 			} else {
 				parent, st, err = core.SpanningForest(g, opt)
 			}
+			if ws.statsOut != nil {
+				prev := *ws.statsOut
+				*ws.statsOut = st
+				ws.statsOut.Steals += prev.Steals
+				ws.statsOut.StealAttempts += prev.StealAttempts
+				ws.statsOut.ChunkGrow += prev.ChunkGrow
+				ws.statsOut.ChunkShrink += prev.ChunkShrink
+			}
 			extra := fmt.Sprintf("steals=%d imbalance=%.2f", st.Steals, st.MaxLoadImbalance())
 			if st.FallbackTriggered {
 				extra += " fallback=yes"
@@ -140,7 +167,7 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 	// instrumented reports whether this algorithm kind feeds the
 	// observability layer (only those runs produce a meaningful Report).
 	instrumented := kind == kindWS || kind == kindSV || kind == kindSVLocks
-	collect := func(rec *obs.Recorder, elapsed time.Duration) {
+	collect := func(rec *obs.Recorder, elapsed time.Duration, rep int) {
 		if rec == nil {
 			return
 		}
@@ -151,6 +178,7 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 			"p":     fmt.Sprint(p),
 			"mode":  cfg.Mode.String(),
 			"seed":  fmt.Sprint(cfg.Seed),
+			"rep":   fmt.Sprint(rep),
 		}
 		cfg.Collector.Collect(label, meta, elapsed.Nanoseconds(), rec)
 	}
@@ -172,20 +200,21 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 		}
 		m.time = model.Time(cfg.Machine)
 		m.extra = extra
-		collect(rec, m.time)
+		collect(rec, m.time, 0)
 		return m, nil
 	}
 
-	// Wall-clock: repeat and keep the minimum. Only the first repetition
-	// is instrumented — a Recorder accumulates for its lifetime, so
-	// attaching one recorder to every repeat would conflate the runs.
+	// Wall-clock: repeat and keep the minimum. Every repetition gets its
+	// own fresh Recorder (a Recorder accumulates for its lifetime, so one
+	// recorder across repeats would conflate the runs) and contributes
+	// its own same-label report, distinguished by meta "rep" — consumers
+	// that want the best repetition take the minimum elapsed_ns over
+	// equal labels, which is exactly what cmd/benchcmp does.
 	best := time.Duration(0)
 	var extra string
-	var rec0 *obs.Recorder
-	var rec0Elapsed time.Duration
 	for rep := 0; rep < cfg.Repeats; rep++ {
 		var rec *obs.Recorder
-		if rep == 0 && instrumented {
+		if instrumented {
 			rec = cfg.Collector.NewRecorder(p)
 		}
 		start := time.Now()
@@ -194,14 +223,12 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 		if err != nil {
 			return m, err
 		}
-		if rep == 0 {
-			rec0, rec0Elapsed = rec, elapsed
-			if cfg.Verify {
-				if err := verify.Forest(g, parent); err != nil {
-					return m, fmt.Errorf("harness: %s p=%d on %v: %w", m.algo, p, g, err)
-				}
+		if rep == 0 && cfg.Verify {
+			if err := verify.Forest(g, parent); err != nil {
+				return m, fmt.Errorf("harness: %s p=%d on %v: %w", m.algo, p, g, err)
 			}
 		}
+		collect(rec, elapsed, rep)
 		if best == 0 || elapsed < best {
 			best = elapsed
 		}
@@ -209,7 +236,6 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 	}
 	m.time = best
 	m.extra = extra
-	collect(rec0, rec0Elapsed)
 	return m, nil
 }
 

@@ -93,6 +93,16 @@ func (c *Collector) Collect(label string, meta map[string]string, elapsedNS int6
 	c.mu.Unlock()
 }
 
+// Runs returns a copy of the collected reports, in collection order.
+func (c *Collector) Runs() []Report {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Report(nil), c.runs...)
+}
+
 // Len returns the number of collected reports.
 func (c *Collector) Len() int {
 	if c == nil {

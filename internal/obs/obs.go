@@ -74,9 +74,49 @@ const (
 	// SeededComponents counts components this worker seeded through the
 	// quiescence protocol.
 	SeededComponents
+	// ChunkDrains counts owner-side chunked queue drains that obtained at
+	// least one vertex (one locked PopBatch each).
+	ChunkDrains
+	// DrainedVertices is the total vertices those drains obtained;
+	// DrainedVertices/ChunkDrains is the mean effective drain chunk.
+	DrainedVertices
+	// ChunkGrow and ChunkShrink count the adaptive chunk controller's
+	// growth and shrink steps (0 under ChunkPolicy fixed).
+	ChunkGrow
+	ChunkShrink
+	// ChunkHighWater is the largest drain chunk this worker's controller
+	// reached (the configured chunk itself under ChunkPolicy fixed).
+	ChunkHighWater
+	// DrainHist0..DrainHist7 are the log2 histogram of effective drain
+	// sizes: bucket i counts drains that obtained [2^i, 2^(i+1)) vertices,
+	// with the last bucket open-ended (>= 128). Use DrainHistBucket to map
+	// a drain size to its bucket.
+	DrainHist0
+	DrainHist1
+	DrainHist2
+	DrainHist3
+	DrainHist4
+	DrainHist5
+	DrainHist6
+	DrainHist7
 
 	numCounters
 )
+
+// DrainHistBuckets is the number of effective-drain-size histogram
+// buckets (log2, last bucket open-ended).
+const DrainHistBuckets = int(DrainHist7-DrainHist0) + 1
+
+// DrainHistBucket returns the histogram counter for a drain that
+// obtained n vertices (n >= 1).
+func DrainHistBucket(n int) Counter {
+	b := Counter(0)
+	for n > 1 && b < DrainHist7-DrainHist0 {
+		n >>= 1
+		b++
+	}
+	return DrainHist0 + b
+}
 
 // EventKind identifies one trace event type.
 type EventKind uint8

@@ -28,11 +28,23 @@ type Counters struct {
 	IdleTransitions  int64 `json:"idle_transitions"`
 	FallbackTriggers int64 `json:"fallback_triggers"`
 	SeededComponents int64 `json:"seeded_components"`
+	// The chunked-drain counters were added with the adaptive runtime
+	// (schema grows additively); omitempty keeps reports from algorithms
+	// without a drain loop (the SV family) unchanged.
+	ChunkDrains     int64 `json:"chunk_drains,omitempty"`
+	DrainedVertices int64 `json:"drained_vertices,omitempty"`
+	ChunkGrow       int64 `json:"chunk_grow,omitempty"`
+	ChunkShrink     int64 `json:"chunk_shrink,omitempty"`
+	ChunkHighWater  int64 `json:"chunk_high_water,omitempty"`
+	// DrainHist is the log2 histogram of effective drain sizes (bucket i
+	// counts drains of [2^i, 2^(i+1)) vertices, last bucket open-ended);
+	// nil when no drain ran.
+	DrainHist []int64 `json:"drain_hist,omitempty"`
 }
 
 // countersFrom maps the counter array into the named JSON fields.
 func countersFrom(c *[numCounters]int64) Counters {
-	return Counters{
+	out := Counters{
 		VerticesClaimed:  c[VerticesClaimed],
 		EdgesScanned:     c[EdgesScanned],
 		StealAttempts:    c[StealAttempts],
@@ -45,7 +57,22 @@ func countersFrom(c *[numCounters]int64) Counters {
 		IdleTransitions:  c[IdleTransitions],
 		FallbackTriggers: c[FallbackTriggers],
 		SeededComponents: c[SeededComponents],
+		ChunkDrains:      c[ChunkDrains],
+		DrainedVertices:  c[DrainedVertices],
+		ChunkGrow:        c[ChunkGrow],
+		ChunkShrink:      c[ChunkShrink],
+		ChunkHighWater:   c[ChunkHighWater],
 	}
+	for b := 0; b < DrainHistBuckets; b++ {
+		if c[DrainHist0+Counter(b)] != 0 {
+			out.DrainHist = make([]int64, DrainHistBuckets)
+			for i := 0; i < DrainHistBuckets; i++ {
+				out.DrainHist[i] = c[DrainHist0+Counter(i)]
+			}
+			break
+		}
+	}
+	return out
 }
 
 // WorkerCounters is one worker's counter set plus its id.
@@ -55,8 +82,9 @@ type WorkerCounters struct {
 }
 
 // Snapshot is a point-in-time aggregation of a Recorder. Totals sums
-// every counter across workers except QueueHighWater, which takes the
-// maximum (a sum of high-water marks has no meaning).
+// every counter across workers except the high-water marks
+// (QueueHighWater, ChunkHighWater), which take the maximum (a sum of
+// high-water marks has no meaning).
 type Snapshot struct {
 	NumWorkers      int              `json:"num_workers"`
 	BarrierEpisodes int64            `json:"barrier_episodes"`
@@ -82,7 +110,8 @@ func (r *Recorder) Snapshot() Snapshot {
 		var vals [numCounters]int64
 		for c := Counter(0); c < numCounters; c++ {
 			vals[c] = r.workers[tid].c[c].Load()
-			if c == QueueHighWater {
+			if c == QueueHighWater || c == ChunkHighWater {
+				// A sum of high-water marks has no meaning; aggregate by max.
 				if vals[c] > totals[c] {
 					totals[c] = vals[c]
 				}

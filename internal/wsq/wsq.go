@@ -133,14 +133,23 @@ func (q *StealHalf) HighWater() int {
 // at chunk boundaries. Elements moved into dst are no longer visible to
 // thieves, exactly as if the owner had popped them one by one.
 func (q *StealHalf) PopBatch(dst []int32) int {
+	n, _ := q.PopBatchLen(dst)
+	return n
+}
+
+// PopBatchLen is PopBatch plus the post-drain queue length, read under
+// the same lock acquisition. The adaptive chunk controller sizes its
+// next drain from the remaining depth, and reading it here gives an
+// exact signal without a second synchronized probe of the size mirror.
+func (q *StealHalf) PopBatchLen(dst []int32) (n, remaining int) {
 	if len(dst) == 0 {
-		return 0
+		return 0, q.Len()
 	}
 	q.mu.Lock()
-	n := q.tail - q.head
+	n = q.tail - q.head
 	if n == 0 {
 		q.mu.Unlock()
-		return 0
+		return 0, 0
 	}
 	if n > len(dst) {
 		n = len(dst)
@@ -148,8 +157,9 @@ func (q *StealHalf) PopBatch(dst []int32) int {
 	copy(dst, q.buf[q.head:q.head+n])
 	q.head += n
 	q.size.Add(-int64(n))
+	remaining = q.tail - q.head
 	q.mu.Unlock()
-	return n
+	return n, remaining
 }
 
 // Pop removes and returns the front element, or ok == false when empty.

@@ -130,6 +130,23 @@ func Algorithms() []Algorithm {
 	}
 }
 
+// ChunkPolicy selects how a work-stealing processor's queue-drain chunk
+// is chosen; see the core package for the controller's behavior.
+type ChunkPolicy = core.ChunkPolicy
+
+const (
+	// ChunkAdaptive (the default) grows and shrinks each processor's
+	// drain chunk at run time from queue depth and steal pressure.
+	ChunkAdaptive = core.ChunkAdaptive
+	// ChunkFixed drains exactly Options.ChunkSize vertices per lock
+	// acquisition.
+	ChunkFixed = core.ChunkFixed
+)
+
+// ParseChunkPolicy converts a CLI name ("adaptive" or "fixed") into a
+// ChunkPolicy.
+func ParseChunkPolicy(s string) (ChunkPolicy, error) { return core.ParseChunkPolicy(s) }
+
 // Options configures Find.
 type Options struct {
 	// Algorithm selects the algorithm; the zero value is the paper's
@@ -148,10 +165,18 @@ type Options struct {
 	// processors are simultaneously idle with nothing stealable, the run
 	// finishes with a Shiloach-Vishkin pass. 0 disables detection.
 	FallbackThreshold int
+	// ChunkPolicy selects how the work-stealing drain chunk is chosen.
+	// The zero value, ChunkAdaptive, lets each processor tune its own
+	// chunk at run time (growing while its queue is deep and steals
+	// succeed, shrinking when thieves starve); ChunkFixed drains exactly
+	// ChunkSize vertices per lock acquisition.
+	ChunkPolicy ChunkPolicy
 	// ChunkSize is the number of vertices a work-stealing processor
 	// drains from its queue per lock acquisition (and the flush cadence
-	// of its batched child pushes and progress counts). 0 means a tuned
-	// default (64); 1 reproduces the unbatched per-vertex hot path.
+	// of its batched child pushes and progress counts). Under ChunkFixed,
+	// 0 means a tuned default (64) and 1 reproduces the unbatched
+	// per-vertex hot path; under ChunkAdaptive it caps the controller's
+	// growth (0 means the default cap, 256).
 	ChunkSize int
 	// Model, when non-nil, accumulates Helman-JáJá cost-model counters
 	// for the run (see the smpmodel package via Result.ModeledTime).
@@ -222,6 +247,7 @@ func Find(g *Graph, opt Options) (*Result, error) {
 			Obs:               opt.Obs,
 			Deg2Eliminate:     opt.Deg2Eliminate,
 			FallbackThreshold: opt.FallbackThreshold,
+			ChunkPolicy:       opt.ChunkPolicy,
 			ChunkSize:         opt.ChunkSize,
 		})
 		if err != nil {
