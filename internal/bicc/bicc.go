@@ -10,13 +10,32 @@
 // the goroutine stack. The spanning-forest connection is direct: the DFS
 // tree is a spanning tree of each component, low-links are computed
 // against it, and every non-tree edge is a back edge.
+//
+// ComputeP parallelizes across connected components on the shared
+// dynamic scheduler: components are vertex- and edge-disjoint, so the
+// per-vertex and per-edge arrays can be shared while each component's
+// DFS runs independently. Component ids are renumbered afterward to the
+// exact sequence the sequential scan would produce, so Compute and
+// ComputeP return identical results.
 package bicc
 
 import (
 	"sort"
 
 	"spantree/internal/graph"
+	"spantree/internal/par"
 )
+
+// Options configures a parallel run.
+type Options struct {
+	// NumProcs is the number of virtual processors p (>= 1).
+	NumProcs int
+	// ChunkPolicy and ChunkSize configure the shared dynamic scheduler
+	// (par.ForDynamic) distributing whole components to workers — the
+	// same -chunk knobs as every other parallel algorithm here.
+	ChunkPolicy par.ChunkPolicy
+	ChunkSize   int
+}
 
 // Result holds the biconnected decomposition of a graph.
 type Result struct {
@@ -53,6 +72,27 @@ func (r *Result) IsArticulation(v graph.VID) bool {
 
 // Compute returns the biconnected decomposition of g.
 func Compute(g *graph.Graph) *Result {
+	return ComputeP(g, Options{NumProcs: 1})
+}
+
+// biccScratch is the shared per-vertex working state. Connected
+// components partition the vertices, so concurrent component DFSs touch
+// disjoint slots and the arrays can be shared without synchronization.
+type biccScratch struct {
+	disc       []int32 // discovery time, 0 = unvisited (local to the component)
+	low        []int32 // low-link
+	parent     []graph.VID
+	childCount []int32 // DFS children of each vertex
+	isArt      []bool
+}
+
+// ComputeP returns the biconnected decomposition of g, distributing
+// whole connected components over p virtual processors. The result is
+// identical to Compute's.
+func ComputeP(g *graph.Graph, opt Options) *Result {
+	if opt.NumProcs < 1 {
+		opt.NumProcs = 1
+	}
 	n := g.NumVertices()
 	edges := g.Edges()
 	edgeIndex := make(map[graph.Edge]int, len(edges))
@@ -68,98 +108,57 @@ func Compute(g *graph.Graph) *Result {
 		res.CompOfEdge[i] = -1
 	}
 
-	disc := make([]int32, n) // discovery time, 0 = unvisited
-	low := make([]int32, n)  // low-link
-	parent := make([]graph.VID, n)
-	childCount := make([]int32, n) // DFS children of each vertex
-	isArt := make([]bool, n)
-	for i := range parent {
-		parent[i] = graph.None
+	sc := &biccScratch{
+		disc:       make([]int32, n),
+		low:        make([]int32, n),
+		parent:     make([]graph.VID, n),
+		childCount: make([]int32, n),
+		isArt:      make([]bool, n),
+	}
+	for i := range sc.parent {
+		sc.parent[i] = graph.None
 	}
 
-	// Explicit DFS stack: frame = (vertex, index into its neighbor list).
-	type frame struct {
-		v  graph.VID
-		ni int
-	}
-	var stack []frame
-	// Edge stack for component extraction.
-	var estack []graph.Edge
-	time := int32(0)
-	comp := int32(0)
-
-	popComponent := func(until graph.Edge) {
-		for len(estack) > 0 {
-			e := estack[len(estack)-1]
-			estack = estack[:len(estack)-1]
-			res.CompOfEdge[edgeIndex[e]] = comp
-			if e == until {
-				break
-			}
-		}
-		comp++
+	// One work item per connected component, started from its smallest
+	// vertex — the same start the sequential ascending scan would pick,
+	// so each component's local DFS numbering matches the sequential one.
+	compOf, numComps := graph.Components(g)
+	starts := make([]graph.VID, numComps)
+	for v := n - 1; v >= 0; v-- {
+		starts[compOf[v]] = graph.VID(v)
 	}
 
-	for s := 0; s < n; s++ {
-		if disc[s] != 0 {
-			continue
-		}
-		time++
-		disc[s] = time
-		low[s] = time
-		stack = append(stack[:0], frame{graph.VID(s), 0})
-		for len(stack) > 0 {
-			f := &stack[len(stack)-1]
-			v := f.v
-			nb := g.Neighbors(v)
-			if f.ni < len(nb) {
-				w := nb[f.ni]
-				f.ni++
-				switch {
-				case disc[w] == 0:
-					// Tree edge: descend.
-					parent[w] = v
-					childCount[v]++
-					time++
-					disc[w] = time
-					low[w] = time
-					estack = append(estack, graph.Edge{U: v, V: w}.Canon())
-					stack = append(stack, frame{w, 0})
-				case w != parent[v] && disc[w] < disc[v]:
-					// Back edge (visited ancestor): push once, update low.
-					estack = append(estack, graph.Edge{U: v, V: w}.Canon())
-					if disc[w] < low[v] {
-						low[v] = disc[w]
-					}
-				}
-				continue
-			}
-			// Done with v: propagate low-link into the parent and close
-			// components at articulation boundaries.
-			stack = stack[:len(stack)-1]
-			p := parent[v]
-			if p == graph.None {
-				continue
-			}
-			if low[v] < low[p] {
-				low[p] = low[v]
-			}
-			if low[v] >= disc[p] {
-				// p separates v's subtree: everything pushed since the
-				// tree edge {p,v} forms one biconnected component.
-				popComponent(graph.Edge{U: p, V: v}.Canon())
-				if parent[p] != graph.None || childCount[p] > 1 {
-					isArt[p] = true
-				}
-			}
-			if low[v] > disc[p] {
-				res.Bridges = append(res.Bridges, graph.Edge{U: p, V: v}.Canon())
-			}
+	// Per-component outputs, merged deterministically after the run.
+	blockCount := make([]int32, numComps)
+	bridgesOf := make([][]graph.Edge, numComps)
+
+	team := par.NewTeam(opt.NumProcs, nil).Chunk(opt.ChunkPolicy, opt.ChunkSize)
+	team.Run(func(c *par.Ctx) {
+		c.ForDynamic(numComps, func(ci int) {
+			blockCount[ci], bridgesOf[ci] = dfsComponent(g, starts[ci], sc, res.CompOfEdge, edgeIndex)
+		})
+	})
+
+	// Renumber each component's local block ids into the global sequence
+	// the sequential scan produces: components in smallest-vertex order
+	// (exactly graph.Components' id order) own contiguous id blocks.
+	base := make([]int32, numComps)
+	total := int32(0)
+	for ci := 0; ci < numComps; ci++ {
+		base[ci] = total
+		total += blockCount[ci]
+	}
+	res.NumComponents = int(total)
+	for i := range res.CompOfEdge {
+		if res.CompOfEdge[i] >= 0 {
+			res.CompOfEdge[i] += base[compOf[edges[i].U]]
 		}
 	}
-	res.NumComponents = int(comp)
+	for _, bs := range bridgesOf {
+		res.Bridges = append(res.Bridges, bs...)
+	}
 	for v := 0; v < n; v++ {
-		if isArt[v] {
+		if sc.isArt[v] {
 			res.ArticulationPoints = append(res.ArticulationPoints, graph.VID(v))
 		}
 	}
@@ -170,4 +169,89 @@ func Compute(g *graph.Graph) *Result {
 		return res.Bridges[i].V < res.Bridges[j].V
 	})
 	return res
+}
+
+// dfsComponent runs the iterative Hopcroft-Tarjan DFS over one connected
+// component, writing component-local block ids into compOfEdge and cut
+// vertices into sc.isArt. It returns the number of blocks found and the
+// component's bridges.
+func dfsComponent(g *graph.Graph, s graph.VID, sc *biccScratch,
+	compOfEdge []int32, edgeIndex map[graph.Edge]int) (int32, []graph.Edge) {
+	// Explicit DFS stack: frame = (vertex, index into its neighbor list).
+	type frame struct {
+		v  graph.VID
+		ni int
+	}
+	var stack []frame
+	// Edge stack for component extraction.
+	var estack []graph.Edge
+	var bridges []graph.Edge
+	time := int32(0)
+	comp := int32(0)
+
+	popComponent := func(until graph.Edge) {
+		for len(estack) > 0 {
+			e := estack[len(estack)-1]
+			estack = estack[:len(estack)-1]
+			compOfEdge[edgeIndex[e]] = comp
+			if e == until {
+				break
+			}
+		}
+		comp++
+	}
+
+	time++
+	sc.disc[s] = time
+	sc.low[s] = time
+	stack = append(stack, frame{s, 0})
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		v := f.v
+		nb := g.Neighbors(v)
+		if f.ni < len(nb) {
+			w := nb[f.ni]
+			f.ni++
+			switch {
+			case sc.disc[w] == 0:
+				// Tree edge: descend.
+				sc.parent[w] = v
+				sc.childCount[v]++
+				time++
+				sc.disc[w] = time
+				sc.low[w] = time
+				estack = append(estack, graph.Edge{U: v, V: w}.Canon())
+				stack = append(stack, frame{w, 0})
+			case w != sc.parent[v] && sc.disc[w] < sc.disc[v]:
+				// Back edge (visited ancestor): push once, update low.
+				estack = append(estack, graph.Edge{U: v, V: w}.Canon())
+				if sc.disc[w] < sc.low[v] {
+					sc.low[v] = sc.disc[w]
+				}
+			}
+			continue
+		}
+		// Done with v: propagate low-link into the parent and close
+		// components at articulation boundaries.
+		stack = stack[:len(stack)-1]
+		p := sc.parent[v]
+		if p == graph.None {
+			continue
+		}
+		if sc.low[v] < sc.low[p] {
+			sc.low[p] = sc.low[v]
+		}
+		if sc.low[v] >= sc.disc[p] {
+			// p separates v's subtree: everything pushed since the
+			// tree edge {p,v} forms one biconnected component.
+			popComponent(graph.Edge{U: p, V: v}.Canon())
+			if sc.parent[p] != graph.None || sc.childCount[p] > 1 {
+				sc.isArt[p] = true
+			}
+		}
+		if sc.low[v] > sc.disc[p] {
+			bridges = append(bridges, graph.Edge{U: p, V: v}.Canon())
+		}
+	}
+	return comp, bridges
 }

@@ -1,6 +1,7 @@
 package bicc
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -251,5 +252,31 @@ func TestDeepChainNoStackOverflow(t *testing.T) {
 	res := Compute(gen.Chain(1 << 18))
 	if res.NumComponents != 1<<18-1 {
 		t.Fatalf("deep chain blocks = %d", res.NumComponents)
+	}
+}
+
+// TestComputePMatchesSequential pins the determinism contract of the
+// component-parallel driver: whatever p, the decomposition — block ids
+// included — is byte-identical to the sequential scan's, because each
+// component's DFS starts from the same smallest vertex and the local
+// block ids are renumbered in smallest-vertex component order.
+func TestComputePMatchesSequential(t *testing.T) {
+	g := graph.Union(gen.Chain(300), gen.Cycle(64), gen.Star(40),
+		randomSparse(7, 120, 200), gen.Chain(1), gen.Complete(6))
+	want := Compute(g)
+	for _, p := range []int{2, 3, 4, 8} {
+		got := ComputeP(g, Options{NumProcs: p})
+		if got.NumComponents != want.NumComponents {
+			t.Fatalf("p=%d: %d blocks, want %d", p, got.NumComponents, want.NumComponents)
+		}
+		if !reflect.DeepEqual(got.CompOfEdge, want.CompOfEdge) {
+			t.Fatalf("p=%d: CompOfEdge differs", p)
+		}
+		if !reflect.DeepEqual(got.ArticulationPoints, want.ArticulationPoints) {
+			t.Fatalf("p=%d: articulation points differ", p)
+		}
+		if !reflect.DeepEqual(got.Bridges, want.Bridges) {
+			t.Fatalf("p=%d: bridges differ", p)
+		}
 	}
 }

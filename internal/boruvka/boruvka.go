@@ -41,6 +41,11 @@ type Options struct {
 	Weight WeightFunc
 	// Model, when non-nil, accumulates Helman-JáJá cost counters.
 	Model *smpmodel.Model
+	// ChunkPolicy and ChunkSize configure the shared dynamic scheduler
+	// (par.ForDynamic) running the propose/apply/flatten sweeps — the
+	// degree-weighted propose sweep is where skewed inputs profit.
+	ChunkPolicy par.ChunkPolicy
+	ChunkSize   int
 }
 
 // Stats reports what a run did.
@@ -118,7 +123,7 @@ func MinimumSpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, err
 		best[i].weight = math.Inf(1)
 	}
 
-	team := par.NewTeam(opt.NumProcs, opt.Model)
+	team := par.NewTeam(opt.NumProcs, opt.Model).Chunk(opt.ChunkPolicy, opt.ChunkSize)
 	edgeBufs := make([][]graph.Edge, opt.NumProcs)
 	weightBufs := make([]float64, opt.NumProcs)
 	rounds := 0
@@ -145,7 +150,7 @@ func MinimumSpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, err
 
 		for round := 0; ; round++ {
 			// Phase A: every arc proposes to its component's election.
-			c.ForStatic(n, func(vi int) {
+			c.ForDynamic(n, func(vi int) {
 				v := graph.VID(vi)
 				probe.NonContig(1)
 				rv := d[v]
@@ -169,7 +174,7 @@ func MinimumSpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, err
 			// root (the classic symmetric-breaking rule; the resulting
 			// hook graph is acyclic).
 			merged := false
-			c.ForStatic(n, func(ri int) {
+			c.ForDynamic(n, func(ri int) {
 				r := int32(ri)
 				probe.NonContig(1)
 				if d[r] != r || math.IsInf(best[r].weight, 1) {
@@ -201,7 +206,7 @@ func MinimumSpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, err
 			// Phase C: flatten to stars and reset elections.
 			for {
 				changed := false
-				c.ForStatic(n, func(vi int) {
+				c.ForDynamic(n, func(vi int) {
 					v := graph.VID(vi)
 					probe.NonContig(2)
 					dv := atomic.LoadInt32(&d[v])
@@ -215,7 +220,7 @@ func MinimumSpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, err
 					break
 				}
 			}
-			c.ForStatic(n, func(i int) {
+			c.ForDynamic(n, func(i int) {
 				best[i].weight = math.Inf(1)
 			})
 			c.Barrier()

@@ -27,8 +27,8 @@ func RunBenchFig(args []string, stdout, stderr io.Writer) error {
 		repeats  = fs.Int("repeats", 3, "wall-clock repetitions (min reported)")
 		csv      = fs.Bool("csv", false, "emit tables as CSV")
 		strict   = fs.Bool("strict", false, "return an error if any shape check fails")
-		chunk    = fs.Int("chunk", 0, "work-stealing drain chunk size: > 0 forces a fixed chunk; 0 keeps the adaptive controller")
-		chunkPol = fs.String("chunkpolicy", "", "work-stealing drain chunk policy: adaptive or fixed (default adaptive, or fixed when -chunk > 0)")
+		chunk    = fs.Int("chunk", 0, "drain chunk size for every parallel algorithm: > 0 forces a fixed chunk; 0 keeps the adaptive controller")
+		chunkPol = fs.String("chunkpolicy", "", "drain chunk policy for every parallel algorithm: adaptive or fixed (default adaptive, or fixed when -chunk > 0)")
 		metrics  = fs.String("metrics", "", "write per-worker metrics JSON (one report per instrumented measurement and repetition) to this path")
 		trace    = fs.String("trace", "", "write event-trace JSON for the instrumented measurements to this path")
 		traceCap = fs.Int("tracecap", 1<<14, "per-run event ring-buffer capacity for -trace")

@@ -37,8 +37,8 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 		algoName  = fs.String("algo", "workstealing", "algorithm: workstealing, seqbfs, seqdfs, sequf, sv, svlocks, hcs, as, levelbfs")
 		procs     = fs.Int("p", runtime.GOMAXPROCS(0), "virtual processors for parallel algorithms")
 		deg2      = fs.Bool("deg2", false, "enable degree-2 elimination preprocessing")
-		chunk     = fs.Int("chunk", 0, "work-stealing drain chunk size: > 0 forces a fixed chunk (1 = unbatched); 0 keeps the adaptive controller (where it caps growth)")
-		chunkPol  = fs.String("chunkpolicy", "", "work-stealing drain chunk policy: adaptive or fixed (default adaptive, or fixed when -chunk > 0)")
+		chunk     = fs.Int("chunk", 0, "drain chunk size for every parallel algorithm: > 0 forces a fixed chunk (1 = unbatched); 0 keeps the adaptive controller (where it caps growth)")
+		chunkPol  = fs.String("chunkpolicy", "", "drain chunk policy for every parallel algorithm: adaptive or fixed (default adaptive, or fixed when -chunk > 0)")
 		fallback  = fs.Int("fallback", 0, "idle-detection threshold (0 disables the SV fallback)")
 		model     = fs.Bool("model", false, "report Helman-JáJá modeled cost (E4500 profile)")
 		noverify  = fs.Bool("noverify", false, "skip result verification")

@@ -1,10 +1,13 @@
 package core
 
-import (
-	"fmt"
+// The adaptive chunk controller, chunk policy, and p-scaled steal
+// threshold were grown here and then extracted into internal/sched so
+// the whole tree — this traversal and every parallel-for on the par
+// substrate — runs one implementation of chunk control and steal
+// policy. This file keeps the core-level names as aliases for
+// compatibility (the public spantree package re-exports them).
 
-	"spantree/internal/obs"
-)
+import "spantree/internal/sched"
 
 // ChunkPolicy selects how a worker's queue-drain chunk is chosen.
 //
@@ -13,133 +16,34 @@ import (
 // traffic but hides up to a chunk's worth of frontier from thieves (the
 // drained vertices plus the not-yet-flushed children), while a small
 // chunk keeps work visible at a per-vertex lock cost. No fixed value
-// fits all graph families — deep regular frontiers (torus, geometric)
-// want the cap, shallow or high-diameter frontiers (chains, small
-// inputs at high p) want ~1 — so the default is a per-worker controller
-// that moves between the two regimes at run time.
-type ChunkPolicy int
+// fits all graph families, so the default is a per-worker controller
+// that moves between the two regimes at run time. See sched.ChunkPolicy.
+type ChunkPolicy = sched.ChunkPolicy
 
 const (
-	// ChunkAdaptive is the default policy: each worker grows its drain
-	// chunk (doubling, up to the cap) while its queue stays deep and no
-	// steal attempt is failing, and shrinks it (halving, toward 1) when
-	// thieves report failed steals or the queue runs shallow.
-	ChunkAdaptive ChunkPolicy = iota
+	// ChunkAdaptive is the default policy: grow the drain chunk while
+	// the queue stays deep and no steal against this worker is failing,
+	// shrink it on starvation or a shallow queue.
+	ChunkAdaptive = sched.ChunkAdaptive
 	// ChunkFixed drains exactly Options.ChunkSize vertices per lock
 	// acquisition — the pre-adaptive behavior, selected by the CLIs'
 	// -chunk flag and used by the chunk-size ablations.
-	ChunkFixed
-)
+	ChunkFixed = sched.ChunkFixed
 
-// String returns the CLI name of the policy.
-func (cp ChunkPolicy) String() string {
-	if cp == ChunkFixed {
-		return "fixed"
-	}
-	return "adaptive"
-}
+	// AdaptiveInitChunk is the drain chunk an adaptive worker starts from.
+	AdaptiveInitChunk = sched.AdaptiveInitChunk
+	// AdaptiveMaxChunk is the adaptive controller's default growth cap
+	// (Options.ChunkSize overrides it when set).
+	AdaptiveMaxChunk = sched.AdaptiveMaxChunk
+)
 
 // ParseChunkPolicy converts a CLI name into a ChunkPolicy.
-func ParseChunkPolicy(s string) (ChunkPolicy, error) {
-	switch s {
-	case "adaptive":
-		return ChunkAdaptive, nil
-	case "fixed":
-		return ChunkFixed, nil
-	}
-	return 0, fmt.Errorf("core: unknown chunk policy %q (want adaptive or fixed)", s)
-}
-
-const (
-	// AdaptiveInitChunk is the drain chunk an adaptive worker starts
-	// from: small enough that shallow frontiers never hide more than a
-	// few vertices from thieves, three doublings from the fixed default.
-	AdaptiveInitChunk = 8
-	// AdaptiveMaxChunk is the adaptive controller's default growth cap
-	// (Options.ChunkSize overrides it when set). Deep regular frontiers
-	// reach it within ~5 doublings, beyond which the lock cost per
-	// vertex is already down in the noise.
-	AdaptiveMaxChunk = 256
-)
+func ParseChunkPolicy(s string) (ChunkPolicy, error) { return sched.ParseChunkPolicy(s) }
 
 // minStealLen returns the smallest victim queue worth stealing from at
-// processor count p: max(2, p/2). The floor of 2 leaves a single
-// in-flight vertex to its owner — ripping it would only relocate the
-// serial bottleneck while thrashing the queues. The p/2 scaling
-// addresses the bursty re-idling seen at high p on small graphs: with
-// many thieves, halving a 2-element queue hands each of them at most
-// one vertex, which they exhaust immediately and re-idle, so the
-// steal threshold must grow with the number of mouths a steal feeds.
-// This is also what makes the paper's starvation scenario real —
-// "queues of the busy processors may contain only a few elements (in
-// extreme cases ... only one element). In this case work awaits busy
-// processors while idle processors starve" — and therefore what the
-// idle-detection fallback exists to catch.
-func minStealLen(p int) int {
-	if m := p / 2; m > 2 {
-		return m
-	}
-	return 2
-}
+// processor count p. See sched.MinStealLen for the rationale.
+func minStealLen(p int) int { return sched.MinStealLen(p) }
 
-// chunkController adapts one worker's drain chunk between lock-cost
-// amortization (big chunks) and frontier visibility for thieves (small
-// chunks). It is consulted once per drain, entirely from worker-local
-// state plus one atomic load of the traversal-wide failed-steal count,
-// so it adds no coherence traffic to the hot path.
-type chunkController struct {
-	chunk int // next drain size
-	max   int // growth cap (== chunk under ChunkFixed)
-	hi    int // largest chunk reached (ChunkHighWater)
-	fixed bool
-	// lastFail is the traversal-wide failed-steal count observed at the
-	// previous decision; any movement since means thieves are starving.
-	lastFail int64
-}
-
-func newChunkController(o *Options) chunkController {
-	if o.ChunkPolicy == ChunkFixed {
-		k := o.ChunkSize
-		return chunkController{chunk: k, max: k, hi: k, fixed: true}
-	}
-	max := o.ChunkSize
-	if max <= 0 {
-		max = AdaptiveMaxChunk
-	}
-	c := AdaptiveInitChunk
-	if c > max {
-		c = max
-	}
-	return chunkController{chunk: c, max: max, hi: c}
-}
-
-// adapt updates the drain chunk after a drain: qlen is the worker's
-// post-flush queue depth and failNow the traversal-wide failed-steal
-// count. Shrinking halves toward 1 whenever a steal failed since the
-// last decision (work must become visible to thieves) or the queue is
-// too shallow to fill the current chunk; growing doubles toward the cap
-// only while the queue is deep enough to fill several chunks AND no
-// steal is failing. Grow/shrink steps land in the observability batch.
-func (c *chunkController) adapt(qlen int, failNow int64, lc *obs.Local) {
-	if c.fixed {
-		return
-	}
-	starved := failNow != c.lastFail
-	c.lastFail = failNow
-	switch {
-	case starved || qlen < c.chunk:
-		if c.chunk > 1 {
-			c.chunk >>= 1
-			lc.Incr(obs.ChunkShrink)
-		}
-	case qlen >= 4*c.chunk && c.chunk < c.max:
-		c.chunk <<= 1
-		if c.chunk > c.max {
-			c.chunk = c.max
-		}
-		if c.chunk > c.hi {
-			c.hi = c.chunk
-		}
-		lc.Incr(obs.ChunkGrow)
-	}
+func newChunkController(o *Options) sched.Controller {
+	return sched.NewController(o.ChunkPolicy, o.ChunkSize)
 }

@@ -49,59 +49,22 @@ func TestChunkPolicyNames(t *testing.T) {
 	}
 }
 
-// TestChunkControllerAdapts unit-tests the controller's dynamics:
-// doubling toward the cap while the queue is deep and steals succeed,
-// halving toward 1 on starvation or a shallow queue, and inertness
-// under the fixed policy.
-func TestChunkControllerAdapts(t *testing.T) {
-	var lc obs.Local
-	raw := Options{ChunkPolicy: ChunkAdaptive}
+// The chunk controller's dynamics tests moved with the controller to
+// internal/sched (TestControllerAdapts); what stays here is the wiring:
+// the traversal must build its controllers from Options and its
+// per-victim failed-steal signal with one slot per processor.
+func TestControllerWiring(t *testing.T) {
+	raw := Options{ChunkPolicy: ChunkAdaptive, ChunkSize: 4}
 	o := raw.withDefaults()
 	c := newChunkController(&o)
-	if c.chunk != AdaptiveInitChunk || c.max != AdaptiveMaxChunk {
-		t.Fatalf("adaptive start = %d cap %d, want %d cap %d", c.chunk, c.max, AdaptiveInitChunk, AdaptiveMaxChunk)
+	if c.Chunk() != 4 || c.Max() != 4 {
+		t.Fatalf("ChunkSize cap not wired: %d/%d, want 4/4", c.Chunk(), c.Max())
 	}
-	// Deep queue, no failed steals: doubles each decision up to the cap.
-	for i := 0; i < 20; i++ {
-		c.adapt(4*c.chunk, 0, &lc)
-	}
-	if c.chunk != AdaptiveMaxChunk || c.hi != AdaptiveMaxChunk {
-		t.Fatalf("deep queue reached chunk=%d hi=%d, want cap %d", c.chunk, c.hi, AdaptiveMaxChunk)
-	}
-	// A failed steal since the last decision halves, even with depth.
-	c.adapt(4*c.chunk, 1, &lc)
-	if c.chunk != AdaptiveMaxChunk/2 {
-		t.Fatalf("starvation did not shrink: chunk=%d", c.chunk)
-	}
-	// No new failures afterward: the same count does not re-shrink.
-	c.adapt(4*c.chunk, 1, &lc)
-	if c.chunk != AdaptiveMaxChunk {
-		t.Fatalf("recovery did not grow: chunk=%d", c.chunk)
-	}
-	// Shallow queue shrinks toward (and floors at) 1.
-	for i := 0; i < 20; i++ {
-		c.adapt(0, 1, &lc)
-	}
-	if c.chunk != 1 {
-		t.Fatalf("shallow queue floored at %d, want 1", c.chunk)
-	}
-
-	// ChunkSize caps adaptive growth and bounds the start.
-	raw = Options{ChunkPolicy: ChunkAdaptive, ChunkSize: 4}
-	o = raw.withDefaults()
-	c = newChunkController(&o)
-	if c.chunk != 4 || c.max != 4 {
-		t.Fatalf("capped start = %d/%d, want 4/4", c.chunk, c.max)
-	}
-
-	// Fixed: never moves.
-	raw = Options{ChunkPolicy: ChunkFixed, ChunkSize: 64}
-	o = raw.withDefaults()
-	c = newChunkController(&o)
-	c.adapt(10_000, 5, &lc)
-	c.adapt(0, 9, &lc)
-	if c.chunk != 64 || c.hi != 64 {
-		t.Fatalf("fixed controller moved: chunk=%d hi=%d", c.chunk, c.hi)
+	topt := Options{NumProcs: 8}
+	tr := newTraversal(gen.Chain(10), topt.withDefaults())
+	tr.fail.Record(7)
+	if tr.fail.Load(7) != 1 || tr.fail.Load(0) != 0 {
+		t.Fatal("per-victim fail signal not wired per processor")
 	}
 }
 

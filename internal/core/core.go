@@ -60,6 +60,7 @@ import (
 	"spantree/internal/barrier"
 	"spantree/internal/graph"
 	"spantree/internal/obs"
+	"spantree/internal/sched"
 	"spantree/internal/smpmodel"
 	"spantree/internal/spansv"
 	"spantree/internal/wsq"
@@ -70,7 +71,7 @@ import (
 // is unset: the owner pays ~2 lock operations per this many vertices.
 // Batching only amortizes once per-processor queue depth reaches this
 // order, so inputs with n/p well below it run in the startup regime.
-const DefaultChunkSize = 64
+const DefaultChunkSize = sched.DefaultChunkSize
 
 // Options configures a run of the algorithm.
 type Options struct {
@@ -361,11 +362,13 @@ type traversal struct {
 	visited atomic.Int64 // claimed vertices; == n means the forest is done
 	cursor  atomic.Int64 // next vertex the quiescence protocol inspects
 
-	// stealFail counts failed steal scans traversal-wide. The adaptive
-	// chunk controllers read it at drain boundaries: any movement since
-	// a worker's previous drain means thieves are starving and the owner
-	// should shrink its chunk to keep frontier visible in the queue.
-	stealFail atomic.Int64
+	// fail is the per-victim failed-steal signal. Thieves whose full
+	// scan comes up empty charge the specific workers still hoarding
+	// sub-threshold queues; each owner's adaptive chunk controller reads
+	// only its own slot at drain boundaries, so starvation shrinks the
+	// drains of the workers actually being raided while well-fed workers
+	// elsewhere keep their full lock amortization.
+	fail *sched.FailSignal
 
 	sleepers atomic.Int32
 	abort    atomic.Bool // set when the fallback threshold trips
@@ -393,6 +396,7 @@ func newTraversal(g *graph.Graph, o Options) *traversal {
 		parent:   make([]graph.VID, n),
 		queues:   make([]workQueue, o.NumProcs),
 		minSteal: minStealLen(o.NumProcs),
+		fail:     sched.NewFailSignal(o.NumProcs),
 		rec:      rec,
 	}
 	for i := range t.parent {
@@ -537,8 +541,8 @@ func (t *traversal) worker(tid int) {
 	// PushBatch. Together they turn ~2 lock operations per vertex into ~2
 	// per chunk. Both buffers are sized for the controller's cap so the
 	// adaptive chunk can grow without reallocating.
-	chunk := make([]int32, ctrl.max)
-	out := make([]int32, 0, 4*ctrl.max)
+	chunk := make([]int32, ctrl.Max())
+	out := make([]int32, 0, 4*ctrl.Max())
 	// pend is this worker's unpublished progress: vertices claimed since
 	// the last flush of the shared visited counter. It is flushed at every
 	// chunk boundary and — mandatorily — before entering the idle/steal
@@ -554,7 +558,7 @@ func (t *traversal) worker(tid int) {
 	}
 	defer func() {
 		flushVisited()
-		ow.Max(obs.ChunkHighWater, int64(ctrl.hi))
+		ow.Max(obs.ChunkHighWater, int64(ctrl.HighWater()))
 		lc.FlushTo(ow)
 	}()
 
@@ -566,7 +570,7 @@ func (t *traversal) worker(tid int) {
 	fruitless := 0
 	processed := 0
 	for t.visited.Load() < int64(t.n) && !t.abort.Load() {
-		nPop, qrem := myQ.PopBatchLen(chunk[:ctrl.chunk])
+		nPop, qrem := myQ.PopBatchLen(chunk[:ctrl.Chunk()])
 		if nPop > 0 {
 			probe.NonContig(2) // one locked chunk dequeue
 			lc.Incr(obs.ChunkDrains)
@@ -583,9 +587,9 @@ func (t *traversal) worker(tid int) {
 			}
 			flushVisited()
 			// The children just flushed are queue depth too: the next
-			// drain size follows from the post-flush depth and the
-			// traversal-wide failed-steal count.
-			ctrl.adapt(qrem+len(out), t.stealFail.Load(), &lc)
+			// drain size follows from the post-flush depth and the failed
+			// steals charged against this worker specifically.
+			ctrl.Adapt(qrem+len(out), t.fail.Load(tid), &lc)
 			fruitless = 0
 			processed += nPop
 			// The yield/flush cadence is deliberately NOT the controller's
@@ -725,9 +729,12 @@ func (t *traversal) recordSpan() {
 // threshold it falls back to the full id-order scan from a random start,
 // so a lone long queue is still always found. On success it queues all
 // but the first stolen vertex and returns the first for the caller to
-// process directly. A fully fruitless scan publishes to the shared
-// failed-steal count, which the owners' chunk controllers read as the
-// signal to shrink their drains and keep frontier visible.
+// process directly. A fully fruitless scan charges a failed steal
+// against each victim still holding a non-empty sub-threshold queue —
+// those are the workers hiding frontier in their drains — and their
+// chunk controllers read their own slot as the signal to shrink and
+// keep work visible. Empty victims are not charged (they are starving
+// too), and neither is the thief itself.
 func (t *traversal) trySteal(tid int, r *xrand.Rand, myQ workQueue,
 	stealBuf *[]int32, probe *smpmodel.Probe, ow *obs.Worker) (graph.VID, bool) {
 	p := t.o.NumProcs
@@ -762,7 +769,15 @@ func (t *traversal) trySteal(tid int, r *xrand.Rand, myQ workQueue,
 		}
 	}
 	ow.Incr(obs.StealFailures)
-	t.stealFail.Add(1)
+	for i := 0; i < p; i++ {
+		victim := (start + i) % p
+		if victim == tid {
+			continue
+		}
+		if l := t.queues[victim].Len(); l > 0 && l < t.minSteal {
+			t.fail.Record(victim)
+		}
+	}
 	// A fruitless scan costs one polling access before the processor
 	// sleeps; sleeping itself is free in the cost model, matching the
 	// paper's condition-variable design.

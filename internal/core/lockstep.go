@@ -5,6 +5,7 @@ import (
 
 	"spantree/internal/graph"
 	"spantree/internal/obs"
+	"spantree/internal/sched"
 	"spantree/internal/smpmodel"
 	"spantree/internal/xrand"
 )
@@ -113,17 +114,17 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 	// out and the per-tid chunk controllers mirror the concurrent hot
 	// path's batching: out is the chunk-local child buffer (the driver is
 	// single-goroutine, so one buffer serves every tid), and each tid runs
-	// the same chunkController as a concurrent worker even though the
+	// the same sched.Controller as a concurrent worker even though the
 	// round-robin driver still pops one vertex per turn for determinism.
 	// The chunk is cost-model-only here — remaining[tid] counts down the
 	// pops left in the current virtual drain, and each boundary charges
 	// the amortized lock pairs of one chunked dequeue plus one batch
 	// flush and lets the controller resize from the queue depth and the
-	// traversal-wide failed-steal count. Forest output is therefore
+	// failed steals charged against that tid. Forest output is therefore
 	// chunk-invariant by construction, while the modeled T_M/T_C charges
 	// track the adaptive schedule.
 	out := make([]int32, 0, 256)
-	ctrls := make([]chunkController, p)
+	ctrls := make([]sched.Controller, p)
 	remaining := make([]int, p)
 	for tid := range ctrls {
 		ctrls[tid] = newChunkController(&o)
@@ -163,10 +164,10 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 				if remaining[tid] == 0 {
 					probe.NonContig(4)
 					ctrl := &ctrls[tid]
-					ctrl.adapt(myQ.Len(), t.stealFail.Load(), &locals[tid])
+					ctrl.Adapt(myQ.Len(), t.fail.Load(tid), &locals[tid])
 					drained := myQ.Len() + 1 // this pop plus what the drain would take
-					if drained > ctrl.chunk {
-						drained = ctrl.chunk
+					if drained > ctrl.Chunk() {
+						drained = ctrl.Chunk()
 					}
 					remaining[tid] = drained
 					locals[tid].Incr(obs.ChunkDrains)
@@ -220,7 +221,17 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 					continue
 				}
 				ow.Incr(obs.StealFailures)
-				t.stealFail.Add(1)
+				// Per-victim charge, as in the concurrent scan: only the
+				// workers still hoarding sub-threshold queues shrink.
+				for i := 0; i < p; i++ {
+					victim := (start + i) % p
+					if victim == tid {
+						continue
+					}
+					if l := t.queues[victim].Len(); l > 0 && l < t.minSteal {
+						t.fail.Record(victim)
+					}
+				}
 				probe.NonContig(1) // fruitless poll before sleeping
 			}
 			idleThisRound++
@@ -262,7 +273,7 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 	t.rec.AddBarrierEpisodes(1)
 	t.rec.Trace(-1, obs.EvBarrier, 2, 0)
 	for tid := range locals {
-		workers[tid].Max(obs.ChunkHighWater, int64(ctrls[tid].hi))
+		workers[tid].Max(obs.ChunkHighWater, int64(ctrls[tid].HighWater()))
 		locals[tid].FlushTo(workers[tid])
 	}
 	t.recordSpan()

@@ -98,23 +98,25 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 			return spanseq.BFS(g, model.Probe(0)), "", nil
 		case kindSV, kindSVLocks:
 			parent, st, err := spansv.SpanningForest(g, spansv.Options{
-				NumProcs: p,
-				UseLocks: kind == kindSVLocks,
-				Model:    model,
-				Obs:      rec,
+				NumProcs:    p,
+				UseLocks:    kind == kindSVLocks,
+				Model:       model,
+				Obs:         rec,
+				ChunkPolicy: cfg.ChunkPolicy,
+				ChunkSize:   cfg.ChunkSize,
 			})
 			return parent, fmt.Sprintf("iters=%d shortcuts=%d", st.Iterations, st.ShortcutRounds), err
 		case kindHCS:
-			parent, st, err := spanhcs.SpanningForest(g, spanhcs.Options{NumProcs: p, Model: model})
+			parent, st, err := spanhcs.SpanningForest(g, spanhcs.Options{NumProcs: p, Model: model, ChunkPolicy: cfg.ChunkPolicy, ChunkSize: cfg.ChunkSize})
 			return parent, fmt.Sprintf("iters=%d shortcuts=%d", st.Iterations, st.ShortcutRounds), err
 		case kindAS:
-			parent, st, err := spanas.SpanningForest(g, spanas.Options{NumProcs: p, Model: model})
+			parent, st, err := spanas.SpanningForest(g, spanas.Options{NumProcs: p, Model: model, ChunkPolicy: cfg.ChunkPolicy, ChunkSize: cfg.ChunkSize})
 			return parent, fmt.Sprintf("iters=%d hooks=%d+%d", st.Iterations, st.ConditionalHooks, st.UnconditionalHooks), err
 		case kindRM:
-			parent, st, err := spanrm.SpanningForest(g, spanrm.Options{NumProcs: p, Seed: cfg.Seed, Model: model})
+			parent, st, err := spanrm.SpanningForest(g, spanrm.Options{NumProcs: p, Seed: cfg.Seed, Model: model, ChunkPolicy: cfg.ChunkPolicy, ChunkSize: cfg.ChunkSize})
 			return parent, fmt.Sprintf("rounds=%d", st.Rounds), err
 		case kindLevelBFS:
-			parent, st, err := spanlevel.SpanningForest(g, spanlevel.Options{NumProcs: p, Model: model})
+			parent, st, err := spanlevel.SpanningForest(g, spanlevel.Options{NumProcs: p, Model: model, ChunkPolicy: cfg.ChunkPolicy, ChunkSize: cfg.ChunkSize})
 			return parent, fmt.Sprintf("levels=%d", st.Levels), err
 		case kindWS:
 			opt := core.Options{

@@ -1,0 +1,275 @@
+package par
+
+// This file is the shared dynamic execution layer: a work-stealing
+// parallel-for over index ranges with the adaptive chunking, p-scaled
+// steal threshold, and per-victim starvation signal of internal/sched —
+// the same runtime discipline as the work-stealing traversal in
+// internal/core, exposed to every algorithm in the tree. Porting a hot
+// loop from ForStatic to ForDynamic is a one-line change; the chunk
+// policy of the -chunk flag then governs it like everything else.
+//
+// Scheduling works on contiguous index ranges, not queued items: each
+// worker starts from its static block of [0, n) held in a per-worker
+// range slot, drains the front of its own slot in controller-sized
+// chunks, and when empty raids the other slots, moving the upper half
+// of a victim's remaining range into its own slot (steal-half, as in
+// wsq, but O(1) on ranges). A slot is a mutex-guarded [lo, hi) plus an
+// atomic size mirror so thieves can scan victims without touching their
+// locks — the same two-step probe the traversal queues use.
+//
+// Like ForStatic, ForDynamic has no entry or exit barrier: a worker
+// returns when its slot is empty and no victim has a stealable surplus,
+// so callers pair it with Barrier exactly as before and the modeled
+// barrier count B is unchanged by a port. Ranges still in shallow slots
+// at that point are finished by their owners (a worker never abandons a
+// non-empty slot), which keeps the exactly-once guarantee without a
+// termination protocol. Because there is no barrier, a slot is tagged
+// with its owner's call number and thieves validate the tag under the
+// victim's lock: a worker that has already raced ahead into the next
+// ForDynamic call publishes a new tag, and stragglers of the previous
+// call simply stop stealing from it.
+//
+// Determinism contract: with a cost model attached, ForDynamic runs
+// each worker's static block in controller-sized chunks with no
+// stealing, charging the same per-drain costs the real path would pay
+// (T_M += 2 noncontiguous accesses per drain boundary, as in the
+// traversal's batched hot path). Modeled figures therefore stay
+// reproducible run-to-run — the lockstep-driver rule, applied to the
+// substrate — while wall-clock runs (nil model) get the full
+// work-stealing path.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"spantree/internal/obs"
+	"spantree/internal/sched"
+)
+
+// Re-exports: algorithm packages configure chunking through par without
+// importing the scheduling layer directly.
+type ChunkPolicy = sched.ChunkPolicy
+
+const (
+	ChunkAdaptive = sched.ChunkAdaptive
+	ChunkFixed    = sched.ChunkFixed
+	// DefaultChunkSize is the fixed-policy default drain chunk.
+	DefaultChunkSize = sched.DefaultChunkSize
+)
+
+// ParseChunkPolicy converts a CLI name ("adaptive", "fixed") into a
+// ChunkPolicy.
+func ParseChunkPolicy(s string) (ChunkPolicy, error) { return sched.ParseChunkPolicy(s) }
+
+// dynSlot is one worker's shareable range of the iteration space.
+// lo/hi/tag are guarded by mu; size mirrors hi-lo for lock-free victim
+// scans and tag is additionally readable without mu for the thief-side
+// starvation charge. Padded out so neighboring workers' slots don't
+// false-share.
+type dynSlot struct {
+	mu     sync.Mutex
+	lo, hi int
+	tag    atomic.Int64
+	size   atomic.Int64
+	_      [4]int64
+}
+
+type dynCtrl struct {
+	c     sched.Controller
+	calls int64 // this worker's ForDynamic invocation count (the slot tag)
+	init  bool
+	_     [4]int64
+}
+
+// dynState is the per-team half of the dynamic layer.
+type dynState struct {
+	slots  []dynSlot
+	ctrls  []dynCtrl
+	fail   *sched.FailSignal
+	policy sched.ChunkPolicy
+	size   int
+}
+
+func (d *dynState) init(p int) {
+	d.slots = make([]dynSlot, p)
+	d.ctrls = make([]dynCtrl, p)
+	d.fail = sched.NewFailSignal(p)
+}
+
+// Chunk selects the team's chunk policy and size (the -chunk knobs) for
+// ForDynamic loops. Call before Run, like Observe; the zero
+// configuration is the adaptive policy with the default growth cap.
+func (t *Team) Chunk(policy ChunkPolicy, size int) *Team {
+	t.dyn.policy = policy
+	t.dyn.size = size
+	return t
+}
+
+// ctrl returns this worker's persistent chunk controller, creating it
+// on first use so a controller's learned chunk size carries across the
+// ForDynamic calls of one team (phases of one algorithm run).
+func (c *Ctx) ctrl() *dynCtrl {
+	dc := &c.team.dyn.ctrls[c.tid]
+	if !dc.init {
+		dc.c = sched.NewController(c.team.dyn.policy, c.team.dyn.size)
+		dc.init = true
+	}
+	return dc
+}
+
+// ForDynamic runs body(i) for every i in [0, n) across the team with
+// work-stealing and adaptive chunking. All processors must call it
+// collectively with the same n and an equivalent body; each i is
+// executed exactly once, by whichever worker claims it. Like ForStatic
+// there is no implied barrier — pair with Barrier as needed.
+func (c *Ctx) ForDynamic(n int, body func(i int)) {
+	dc := c.ctrl()
+	dc.calls++
+	if n <= 0 {
+		return
+	}
+	var lc obs.Local
+	if c.team.model != nil {
+		c.forDynamicModeled(n, body, dc, &lc)
+	} else {
+		c.forDynamicSteal(n, body, dc, &lc)
+	}
+	c.obs.Max(obs.ChunkHighWater, int64(dc.c.HighWater()))
+	lc.FlushTo(c.obs)
+}
+
+// forDynamicModeled is the deterministic path used whenever a cost
+// model is attached: the worker keeps its static block (so T_M is a
+// pure function of input and p, never of steal timing) but pays the
+// dynamic layer's drain cadence — 2 noncontiguous accesses per chunk
+// boundary — and runs the real controller against its own remaining
+// range, so modeled runs exercise and report the same chunk dynamics.
+func (c *Ctx) forDynamicModeled(n int, body func(i int), dc *dynCtrl, lc *obs.Local) {
+	lo, hi := c.Block(n)
+	for lo < hi {
+		k := dc.c.Chunk()
+		if k > hi-lo {
+			k = hi - lo
+		}
+		c.probe.NonContig(2)
+		lc.Incr(obs.ChunkDrains)
+		lc.Add(obs.DrainedVertices, int64(k))
+		lc.Incr(obs.DrainHistBucket(k))
+		for i := lo; i < lo+k; i++ {
+			body(i)
+		}
+		lo += k
+		dc.c.Adapt(hi-lo, 0, lc)
+	}
+}
+
+// forDynamicSteal is the wall-clock path: drain the front of the own
+// slot in controller-sized chunks; when empty, raid the other slots for
+// the upper half of a victim's range.
+func (c *Ctx) forDynamicSteal(n int, body func(i int), dc *dynCtrl, lc *obs.Local) {
+	d := &c.team.dyn
+	p := c.team.p
+	minSteal := sched.MinStealLen(p)
+	my := &d.slots[c.tid]
+
+	lo, hi := c.Block(n)
+	my.mu.Lock()
+	my.lo, my.hi = lo, hi
+	my.tag.Store(dc.calls)
+	my.size.Store(int64(hi - lo))
+	my.mu.Unlock()
+
+	for {
+		// Drain the own slot to empty.
+		for {
+			my.mu.Lock()
+			k := dc.c.Chunk()
+			if rem := my.hi - my.lo; k > rem {
+				k = rem
+			}
+			lo = my.lo
+			my.lo += k
+			rem := my.hi - my.lo
+			my.size.Store(int64(rem))
+			my.mu.Unlock()
+			if k == 0 {
+				break
+			}
+			lc.Incr(obs.ChunkDrains)
+			lc.Add(obs.DrainedVertices, int64(k))
+			lc.Incr(obs.DrainHistBucket(k))
+			for i := lo; i < lo+k; i++ {
+				body(i)
+			}
+			dc.c.Adapt(rem, d.fail.Load(c.tid), lc)
+		}
+		if p == 1 || !c.dynSteal(dc, minSteal, lc) {
+			return
+		}
+	}
+}
+
+// dynSteal scans the other workers' slots for a range worth taking and
+// moves the upper half of the first such range into this worker's slot.
+// It retries while some victim shows a stealable surplus (a lost lock
+// race is not starvation) and returns false once every victim is empty
+// or too shallow to raid — charging, per the per-victim discipline, one
+// failed steal against exactly the workers still holding sub-threshold
+// work, since only their drain chunks hide frontier from thieves.
+func (c *Ctx) dynSteal(dc *dynCtrl, minSteal int, lc *obs.Local) bool {
+	d := &c.team.dyn
+	p := c.team.p
+	for {
+		anyDeep := false
+		for off := 1; off < p; off++ {
+			v := (c.tid + off) % p
+			vs := &d.slots[v]
+			// Lock-free probe; the tag filter keeps a straggler from
+			// spinning on workers already gone ahead into a later call.
+			if int(vs.size.Load()) < minSteal || vs.tag.Load() != dc.calls {
+				continue
+			}
+			anyDeep = true
+			lc.Incr(obs.StealAttempts)
+			vs.mu.Lock()
+			rem := vs.hi - vs.lo
+			if vs.tag.Load() != dc.calls || rem < minSteal {
+				vs.mu.Unlock()
+				continue
+			}
+			mid := vs.lo + rem/2
+			stolenLo, stolenHi := mid, vs.hi
+			vs.hi = mid
+			vs.size.Store(int64(mid - vs.lo))
+			vs.mu.Unlock()
+
+			my := &d.slots[c.tid]
+			my.mu.Lock()
+			my.lo, my.hi = stolenLo, stolenHi
+			my.size.Store(int64(stolenHi - stolenLo))
+			my.mu.Unlock()
+			lc.Incr(obs.StealSuccesses)
+			return true
+		}
+		if !anyDeep {
+			// Fully fruitless pass: every matching slot is below the
+			// steal threshold. Whoever still holds items is hiding them
+			// in a too-large chunk — tell their controllers.
+			starving := false
+			for off := 1; off < p; off++ {
+				v := (c.tid + off) % p
+				vs := &d.slots[v]
+				if vs.size.Load() > 0 && vs.tag.Load() == dc.calls {
+					d.fail.Record(v)
+					starving = true
+				}
+			}
+			if starving {
+				lc.Incr(obs.StealFailures)
+			}
+			return false
+		}
+		runtime.Gosched()
+	}
+}

@@ -8,21 +8,22 @@ package par
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"spantree/internal/barrier"
 	"spantree/internal/obs"
 	"spantree/internal/smpmodel"
 )
 
-// Team is a reusable group of p virtual processors sharing a barrier and
-// reduction scratch space. Create one per algorithm invocation.
+// Team is a reusable group of p virtual processors sharing a barrier,
+// reduction scratch space, and the dynamic-scheduling state of
+// ForDynamic. Create one per algorithm invocation.
 type Team struct {
 	p       int
 	bar     barrier.Barrier
 	model   *smpmodel.Model
 	obs     *obs.Recorder
 	scratch []pad64 // per-processor reduction slots
+	dyn     dynState
 }
 
 type pad64 struct {
@@ -36,12 +37,14 @@ func NewTeam(p int, model *smpmodel.Model) *Team {
 	if p < 1 {
 		panic(fmt.Sprintf("par: NewTeam(%d) needs p >= 1", p))
 	}
-	return &Team{
+	t := &Team{
 		p:       p,
 		bar:     barrier.NewDissemination(p),
 		model:   model,
 		scratch: make([]pad64, p),
 	}
+	t.dyn.init(p)
+	return t
 }
 
 // NumProcs returns the team size.
@@ -148,41 +151,6 @@ func (c *Ctx) ForStatic(n int, body func(i int)) {
 	lo, hi := c.Block(n)
 	for i := lo; i < hi; i++ {
 		body(i)
-	}
-}
-
-// Counter is a shared chunk dispenser for dynamically scheduled loops.
-type Counter struct {
-	next atomic.Int64
-}
-
-// NewCounter returns a dispenser starting at 0.
-func NewCounter() *Counter { return &Counter{} }
-
-// Next reserves chunk items and returns the start index.
-func (d *Counter) Next(chunk int) int64 {
-	return d.next.Add(int64(chunk)) - int64(chunk)
-}
-
-// ForDynamic runs body(i) for i in [0, n), handing out chunks of the
-// given size from the shared dispenser d. All processors of the team
-// must call it with the same n, chunk and dispenser.
-func (c *Ctx) ForDynamic(d *Counter, n, chunk int, body func(i int)) {
-	if chunk < 1 {
-		chunk = 1
-	}
-	for {
-		lo := d.Next(chunk)
-		if lo >= int64(n) {
-			return
-		}
-		hi := lo + int64(chunk)
-		if hi > int64(n) {
-			hi = int64(n)
-		}
-		for i := lo; i < hi; i++ {
-			body(int(i))
-		}
 	}
 }
 

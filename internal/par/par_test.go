@@ -1,6 +1,7 @@
 package par
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -96,17 +97,107 @@ func TestForStaticPartitions(t *testing.T) {
 
 func TestForDynamicPartitions(t *testing.T) {
 	const n = 1000
-	for _, chunk := range []int{0, 1, 7, 64, 5000} {
-		team := NewTeam(4, nil)
-		d := NewCounter()
-		hits := make([]int32, n)
-		team.Run(func(c *Ctx) {
-			c.ForDynamic(d, n, chunk, func(i int) { atomic.AddInt32(&hits[i], 1) })
-		})
-		for i, h := range hits {
-			if h != 1 {
-				t.Fatalf("chunk=%d: index %d visited %d times", chunk, i, h)
+	for _, cfg := range []struct {
+		policy ChunkPolicy
+		size   int
+	}{
+		{ChunkAdaptive, 0}, {ChunkAdaptive, 4},
+		{ChunkFixed, 1}, {ChunkFixed, 7}, {ChunkFixed, 64}, {ChunkFixed, 5000},
+	} {
+		for _, p := range []int{1, 3, 4, 8} {
+			team := NewTeam(p, nil).Chunk(cfg.policy, cfg.size)
+			hits := make([]int32, n)
+			team.Run(func(c *Ctx) {
+				c.ForDynamic(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("%v/%d p=%d: index %d visited %d times",
+						cfg.policy, cfg.size, p, i, h)
+				}
 			}
+		}
+	}
+}
+
+// TestForDynamicBackToBack covers the barrier-free contract: two
+// consecutive ForDynamic calls with no Barrier between them must still
+// visit every index of both loops exactly once, with cross-call steals
+// rejected by the slot tags.
+func TestForDynamicBackToBack(t *testing.T) {
+	const n = 2000
+	for rep := 0; rep < 20; rep++ {
+		team := NewTeam(8, nil)
+		a := make([]int32, n)
+		b := make([]int32, n)
+		team.Run(func(c *Ctx) {
+			c.ForDynamic(n, func(i int) { atomic.AddInt32(&a[i], 1) })
+			c.ForDynamic(n, func(i int) { atomic.AddInt32(&b[i], 1) })
+		})
+		for i := 0; i < n; i++ {
+			if a[i] != 1 || b[i] != 1 {
+				t.Fatalf("rep %d: index %d visited a=%d b=%d times", rep, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestForDynamicStealsFromSkew pins the point of the port: with all the
+// work piled on one worker's static block (everyone else's body is a
+// no-op region), the other workers must actually steal some of it.
+func TestForDynamicStealsFromSkew(t *testing.T) {
+	const n = 1 << 14
+	team := NewTeam(4, nil)
+	var who [n]int32
+	team.Run(func(c *Ctx) {
+		c.ForDynamic(n, func(i int) {
+			// Skew: only indices in worker 0's static block cost
+			// anything. The Gosched makes the skew observable even on a
+			// single-CPU box, where goroutines interleave only at yield
+			// points — without it the loaded worker can run its whole
+			// block before any thief gets scheduled.
+			if lo, hi := BlockRange(n, 4, 0); i >= lo && i < hi {
+				runtime.Gosched()
+			}
+			atomic.StoreInt32(&who[i], int32(c.TID())+1)
+		})
+	})
+	lo, hi := BlockRange(n, 4, 0)
+	stolen := 0
+	for i := lo; i < hi; i++ {
+		if who[i] == 0 {
+			t.Fatalf("index %d never executed", i)
+		}
+		if who[i] != 1 {
+			stolen++
+		}
+	}
+	if stolen == 0 {
+		t.Fatal("no work migrated off the loaded worker")
+	}
+}
+
+// TestForDynamicModeledDeterministic pins the determinism contract:
+// with a model attached the per-processor T_M charge is identical
+// run-to-run (no stealing on the modeled path).
+func TestForDynamicModeledDeterministic(t *testing.T) {
+	const n, p = 5000, 4
+	charge := func() [p]int64 {
+		model := smpmodel.New(p)
+		team := NewTeam(p, model)
+		team.Run(func(c *Ctx) {
+			c.ForDynamic(n, func(i int) { c.Probe().NonContig(1) })
+		})
+		var out [p]int64
+		for tid := 0; tid < p; tid++ {
+			out[tid] = model.Proc(tid).NonContig
+		}
+		return out
+	}
+	first := charge()
+	for rep := 0; rep < 5; rep++ {
+		if got := charge(); got != first {
+			t.Fatalf("modeled charge varied: %v vs %v", got, first)
 		}
 	}
 }

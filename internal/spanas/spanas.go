@@ -43,6 +43,10 @@ type Options struct {
 	// MaxIterations caps iterations; 0 means 2n+4 (always sufficient:
 	// every iteration either hooks or halves some tree height).
 	MaxIterations int
+	// ChunkPolicy and ChunkSize configure the shared dynamic scheduler
+	// (par.ForDynamic) running the detect/hook/jump sweeps.
+	ChunkPolicy par.ChunkPolicy
+	ChunkSize   int
 }
 
 // Stats reports what a run did.
@@ -94,7 +98,7 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 	changed := make([]int32, n)
 	winner := make([]int64, n)
 
-	team := par.NewTeam(opt.NumProcs, opt.Model)
+	team := par.NewTeam(opt.NumProcs, opt.Model).Chunk(opt.ChunkPolicy, opt.ChunkSize)
 	edgeBufs := make([][]graph.Edge, opt.NumProcs)
 	condBufs := make([]int, opt.NumProcs)
 	uncondBufs := make([]int, opt.NumProcs)
@@ -103,12 +107,12 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 	// detectStars recomputes star[v] for all v: v is in a star iff its
 	// root's whole tree has depth <= 1. Classic three-pass detection.
 	detectStars := func(c *par.Ctx, probe *smpmodel.Probe) {
-		c.ForStatic(n, func(i int) {
+		c.ForDynamic(n, func(i int) {
 			star[i] = 1
 			probe.NonContig(1)
 		})
 		c.Barrier()
-		c.ForStatic(n, func(vi int) {
+		c.ForDynamic(n, func(vi int) {
 			v := graph.VID(vi)
 			probe.NonContig(2)
 			dv := d[v]
@@ -122,7 +126,7 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 			}
 		})
 		c.Barrier()
-		c.ForStatic(n, func(vi int) {
+		c.ForDynamic(n, func(vi int) {
 			v := graph.VID(vi)
 			probe.NonContig(1)
 			if atomic.LoadInt32(&star[d[v]]) == 0 {
@@ -136,7 +140,7 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 	// sub-step rule.
 	hookStep := func(c *par.Ctx, probe *smpmodel.Probe, unconditional bool,
 		myEdges *[]graph.Edge, hooks *int) bool {
-		c.ForStatic(n, func(vi int) {
+		c.ForDynamic(n, func(vi int) {
 			v := graph.VID(vi)
 			probe.NonContig(2)
 			if atomic.LoadInt32(&star[v]) == 0 {
@@ -166,7 +170,7 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 		})
 		c.Barrier()
 		hooked := false
-		c.ForStatic(n, func(ri int) {
+		c.ForDynamic(n, func(ri int) {
 			r := graph.VID(ri)
 			probe.NonContig(1)
 			arc := winner[r]
@@ -199,11 +203,11 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 			condBufs[c.TID()] = cond
 			uncondBufs[c.TID()] = uncond
 		}()
-		c.ForStatic(n, func(i int) { winner[i] = nobody })
+		c.ForDynamic(n, func(i int) { winner[i] = nobody })
 		c.Barrier()
 
 		for iter := 0; iter < maxIter; iter++ {
-			c.ForStatic(n, func(i int) {
+			c.ForDynamic(n, func(i int) {
 				changed[i] = 0
 				probe.NonContig(1)
 			})
@@ -218,7 +222,7 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 
 			// One pointer-jump per iteration.
 			changed := false
-			c.ForStatic(n, func(vi int) {
+			c.ForDynamic(n, func(vi int) {
 				v := graph.VID(vi)
 				probe.NonContig(2)
 				dv := atomic.LoadInt32(&d[v])

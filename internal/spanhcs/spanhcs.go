@@ -30,6 +30,10 @@ type Options struct {
 	Model *smpmodel.Model
 	// MaxIterations caps iterations; 0 means n+2 (always sufficient).
 	MaxIterations int
+	// ChunkPolicy and ChunkSize configure the shared dynamic scheduler
+	// (par.ForDynamic) running the propose/apply/shortcut sweeps.
+	ChunkPolicy par.ChunkPolicy
+	ChunkSize   int
 }
 
 // Stats reports what a run did.
@@ -83,20 +87,20 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 	keys := make([]int64, n)
 	arcs := make([]int64, n)
 
-	team := par.NewTeam(opt.NumProcs, opt.Model)
+	team := par.NewTeam(opt.NumProcs, opt.Model).Chunk(opt.ChunkPolicy, opt.ChunkSize)
 	edgeBufs := make([][]graph.Edge, opt.NumProcs)
 	iterations, rounds := 0, 0
 
 	team.Run(func(c *par.Ctx) {
 		probe := c.Probe()
 		var myEdges []graph.Edge
-		c.ForStatic(n, func(i int) { keys[i] = none })
+		c.ForDynamic(n, func(i int) { keys[i] = none })
 		c.Barrier()
 
 		for iter := 0; iter < maxIter; iter++ {
 			// Phase A: every arc proposes; each root keeps the minimum
 			// target root seen (atomic min on keys[rv]).
-			c.ForStatic(n, func(vi int) {
+			c.ForDynamic(n, func(vi int) {
 				v := graph.VID(vi)
 				probe.NonContig(1)
 				rv := d[v]
@@ -130,7 +134,7 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 			// root; any such arc is a correct graft even if it is not the
 			// exact minimum, preserving HCS's invariants.
 			grafted := false
-			c.ForStatic(n, func(ri int) {
+			c.ForDynamic(n, func(ri int) {
 				r := graph.VID(ri)
 				probe.NonContig(1)
 				if atomic.LoadInt64(&keys[r]) == none {
@@ -157,7 +161,7 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 			// Phase C: full shortcut to stars by pointer jumping.
 			for {
 				changed := false
-				c.ForStatic(n, func(vi int) {
+				c.ForDynamic(n, func(vi int) {
 					v := graph.VID(vi)
 					probe.NonContig(2)
 					dv := atomic.LoadInt32(&d[v])

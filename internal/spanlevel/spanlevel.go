@@ -28,6 +28,10 @@ type Options struct {
 	NumProcs int
 	// Model, when non-nil, accumulates Helman-JáJá cost counters.
 	Model *smpmodel.Model
+	// ChunkPolicy and ChunkSize configure the shared dynamic scheduler
+	// (par.ForDynamic) used for the per-level frontier expansion.
+	ChunkPolicy par.ChunkPolicy
+	ChunkSize   int
 }
 
 // Stats reports what a run did.
@@ -60,7 +64,7 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 	}
 
 	p := opt.NumProcs
-	team := par.NewTeam(p, opt.Model)
+	team := par.NewTeam(p, opt.Model).Chunk(opt.ChunkPolicy, opt.ChunkSize)
 	frontier := make([]graph.VID, 0, 1024)
 	// next collects each processor's discoveries; they are concatenated
 	// after the level barrier.
@@ -84,7 +88,7 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 			team.Run(func(c *par.Ctx) {
 				probe := c.Probe()
 				mine := nextBufs[c.TID()][:0]
-				c.ForStatic(len(frontier), func(i int) {
+				c.ForDynamic(len(frontier), func(i int) {
 					v := frontier[i]
 					probe.NonContig(1)
 					nb := g.Neighbors(v)

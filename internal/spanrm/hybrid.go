@@ -19,6 +19,10 @@ type HybridOptions struct {
 	// MatingRounds is the number of random-mating rounds to run before
 	// handing the contracted graph to Shiloach-Vishkin; 0 means 3.
 	MatingRounds int
+	// ChunkPolicy and ChunkSize configure the shared dynamic scheduler
+	// for both the mating sweeps and the SV completion.
+	ChunkPolicy par.ChunkPolicy
+	ChunkSize   int
 }
 
 // HybridStats reports what a hybrid run did.
@@ -52,7 +56,7 @@ func HybridSpanningForest(g *graph.Graph, opt HybridOptions) ([]graph.VID, Hybri
 	winner := make([]int64, n)
 	coin := make([]bool, n)
 
-	team := par.NewTeam(opt.NumProcs, nil)
+	team := par.NewTeam(opt.NumProcs, nil).Chunk(opt.ChunkPolicy, opt.ChunkSize)
 	edgeBufs := make([][]graph.Edge, opt.NumProcs)
 	var stats HybridStats
 	stats.MatingRounds = rounds
@@ -60,15 +64,15 @@ func HybridSpanningForest(g *graph.Graph, opt HybridOptions) ([]graph.VID, Hybri
 	team.Run(func(c *par.Ctx) {
 		var myEdges []graph.Edge
 		defer func() { edgeBufs[c.TID()] = myEdges }()
-		c.ForStatic(n, func(i int) { winner[i] = nobody })
+		c.ForDynamic(n, func(i int) { winner[i] = nobody })
 		c.Barrier()
 
 		for round := 0; round < rounds; round++ {
-			c.ForStatic(n, func(vi int) {
+			c.ForDynamic(n, func(vi int) {
 				coin[vi] = flip(opt.Seed, uint64(round), uint64(vi))
 			})
 			c.Barrier()
-			c.ForStatic(n, func(vi int) {
+			c.ForDynamic(n, func(vi int) {
 				v := graph.VID(vi)
 				rv := d[v]
 				if d[rv] != rv || coin[rv] {
@@ -85,7 +89,7 @@ func HybridSpanningForest(g *graph.Graph, opt HybridOptions) ([]graph.VID, Hybri
 				}
 			})
 			c.Barrier()
-			c.ForStatic(n, func(ri int) {
+			c.ForDynamic(n, func(ri int) {
 				r := graph.VID(ri)
 				arc := winner[r]
 				if arc == nobody {
@@ -99,7 +103,7 @@ func HybridSpanningForest(g *graph.Graph, opt HybridOptions) ([]graph.VID, Hybri
 			c.Barrier()
 			for {
 				changed := false
-				c.ForStatic(n, func(vi int) {
+				c.ForDynamic(n, func(vi int) {
 					v := graph.VID(vi)
 					dv := atomic.LoadInt32(&d[v])
 					ddv := atomic.LoadInt32(&d[dv])
@@ -123,7 +127,8 @@ func HybridSpanningForest(g *graph.Graph, opt HybridOptions) ([]graph.VID, Hybri
 
 	// Completion: SV grafts the remaining components. The mating phase
 	// left d as rooted stars, which is exactly GraftFrom's precondition.
-	svEdges, svStats, err := spansv.GraftFrom(g, d, spansv.Options{NumProcs: opt.NumProcs})
+	svEdges, svStats, err := spansv.GraftFrom(g, d, spansv.Options{
+		NumProcs: opt.NumProcs, ChunkPolicy: opt.ChunkPolicy, ChunkSize: opt.ChunkSize})
 	if err != nil {
 		return nil, stats, fmt.Errorf("spanrm: hybrid SV completion: %w", err)
 	}

@@ -34,6 +34,10 @@ type Options struct {
 	// MaxRounds caps mating rounds; 0 means 4*ceil(log2 n)+32, far above
 	// the expected need (the cap exists to bound pathological seeds).
 	MaxRounds int
+	// ChunkPolicy and ChunkSize configure the shared dynamic scheduler
+	// (par.ForDynamic) running the coin/election/hook/flatten sweeps.
+	ChunkPolicy par.ChunkPolicy
+	ChunkSize   int
 }
 
 // Stats reports what a run did.
@@ -76,7 +80,7 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 	coin := make([]bool, n) // true = heads: this root accepts hooks
 	winner := make([]int64, n)
 
-	team := par.NewTeam(opt.NumProcs, opt.Model)
+	team := par.NewTeam(opt.NumProcs, opt.Model).Chunk(opt.ChunkPolicy, opt.ChunkSize)
 	edgeBufs := make([][]graph.Edge, opt.NumProcs)
 	rounds := 0
 	stalled := false
@@ -85,14 +89,14 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 		probe := c.Probe()
 		var myEdges []graph.Edge
 		defer func() { edgeBufs[c.TID()] = myEdges }()
-		c.ForStatic(n, func(i int) { winner[i] = nobody })
+		c.ForDynamic(n, func(i int) { winner[i] = nobody })
 		c.Barrier()
 
 		for round := 0; round < maxRounds; round++ {
 			// Phase 0: every root flips a coin. Flips are a deterministic
 			// function of (seed, round, vertex) so the result does not
 			// depend on which processor owns the vertex.
-			c.ForStatic(n, func(vi int) {
+			c.ForDynamic(n, func(vi int) {
 				probe.NonContig(1)
 				coin[vi] = flip(opt.Seed, uint64(round), uint64(vi))
 			})
@@ -100,7 +104,7 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 
 			// Phase 1: election. Arcs from tails-components to
 			// heads-components propose; first CAS per tails-root wins.
-			c.ForStatic(n, func(vi int) {
+			c.ForDynamic(n, func(vi int) {
 				v := graph.VID(vi)
 				probe.NonContig(1)
 				rv := d[v]
@@ -125,7 +129,7 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 
 			// Phase 2: apply hooks (tails root -> heads root).
 			hooked := false
-			c.ForStatic(n, func(ri int) {
+			c.ForDynamic(n, func(ri int) {
 				r := graph.VID(ri)
 				probe.NonContig(1)
 				arc := winner[r]
@@ -147,7 +151,7 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 			// Phase 3: flatten to stars.
 			for {
 				changed := false
-				c.ForStatic(n, func(vi int) {
+				c.ForDynamic(n, func(vi int) {
 					v := graph.VID(vi)
 					probe.NonContig(2)
 					dv := atomic.LoadInt32(&d[v])
@@ -167,7 +171,7 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 			// explicitly test for remaining cross arcs.
 			if !anyHook {
 				remaining := false
-				c.ForStatic(n, func(vi int) {
+				c.ForDynamic(n, func(vi int) {
 					v := graph.VID(vi)
 					probe.NonContig(1)
 					for _, w := range g.Neighbors(v) {

@@ -54,6 +54,12 @@ type Options struct {
 	// which always suffices (every productive iteration removes at least
 	// one root). Tests use small caps to exercise early termination.
 	MaxIterations int
+	// ChunkPolicy and ChunkSize configure the shared dynamic scheduler
+	// (par.ForDynamic) that runs the election, graft, and shortcut
+	// sweeps — the same -chunk knobs as the work-stealing traversal. The
+	// zero values select the adaptive policy with its default cap.
+	ChunkPolicy par.ChunkPolicy
+	ChunkSize   int
 }
 
 // Stats reports what a run did.
@@ -134,7 +140,8 @@ func GraftFrom(g *graph.Graph, d []int32, opt Options) ([]graph.Edge, Stats, err
 		locks = make([]sync.Mutex, n)
 	}
 
-	team := par.NewTeam(opt.NumProcs, opt.Model).Observe(opt.Obs)
+	team := par.NewTeam(opt.NumProcs, opt.Model).Observe(opt.Obs).
+		Chunk(opt.ChunkPolicy, opt.ChunkSize)
 	edgeBufs := make([][]graph.Edge, opt.NumProcs)
 	iterations, rounds := 0, 0
 
@@ -161,7 +168,7 @@ func runSV(c *par.Ctx, g *graph.Graph, d []int32, winner []int64, locks []sync.M
 	var myEdges []graph.Edge
 
 	// Initialize election slots in parallel.
-	c.ForStatic(n, func(i int) { winner[i] = nobody })
+	c.ForDynamic(n, func(i int) { winner[i] = nobody })
 	c.Barrier()
 
 	for iter := 0; iter < maxIter; iter++ {
@@ -169,9 +176,11 @@ func runSV(c *par.Ctx, g *graph.Graph, d []int32, winner []int64, locks []sync.M
 		// root(v) is a star root, root(v) is a candidate to graft along
 		// this arc; the first CAS wins the election for that root.
 		// Counters batch in a local per phase: a per-vertex atomic store
-		// is a fence on the scan loop.
+		// is a fence on the scan loop. The sweep is degree-weighted work,
+		// so it runs on the dynamic scheduler: a worker whose block holds
+		// the hubs of a skewed input sheds the surplus to thieves.
 		var lc obs.Local
-		c.ForStatic(n, func(vi int) {
+		c.ForDynamic(n, func(vi int) {
 			v := graph.VID(vi)
 			probe.NonContig(1) // load D[v]
 			rv := d[v]
@@ -205,7 +214,7 @@ func runSV(c *par.Ctx, g *graph.Graph, d []int32, winner []int64, locks []sync.M
 		// so reading d[w] while other roots are being grafted still
 		// yields a label strictly below r: grafting stays acyclic.
 		grafted := false
-		c.ForStatic(n, func(ri int) {
+		c.ForDynamic(n, func(ri int) {
 			r := graph.VID(ri)
 			probe.NonContig(1)
 			arc := winner[r]
@@ -237,7 +246,7 @@ func runSV(c *par.Ctx, g *graph.Graph, d []int32, winner []int64, locks []sync.M
 		// where SV's extra log n factor of non-contiguous accesses lives.
 		for {
 			changed := false
-			c.ForStatic(n, func(vi int) {
+			c.ForDynamic(n, func(vi int) {
 				v := graph.VID(vi)
 				probe.NonContig(2) // load D[v], load D[D[v]]
 				dv := atomic.LoadInt32(&d[v])

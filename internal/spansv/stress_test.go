@@ -1,0 +1,109 @@
+package spansv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spantree/internal/gen"
+	"spantree/internal/graph"
+	"spantree/internal/par"
+	"spantree/internal/verify"
+)
+
+// These tests are the data-race certificate for SV on the shared dynamic
+// scheduler (par.ForDynamic), in the style of the wsq batch stress
+// tests: run the real concurrent scheduler — range publishing, chunked
+// drains, steal-half on index ranges — under -race across policies and
+// processor counts, and model-check the results against sequential
+// references that do not depend on the schedule.
+
+// TestSVDynamicSchedulerStress drives the full graft-and-shortcut loop
+// on skewed and multi-component inputs with every chunk policy. The
+// hub-heavy star slabs concentrate the election sweep's work in a few
+// indices, which is exactly the shape that makes thieves raid the
+// loaded worker's range.
+func TestSVDynamicSchedulerStress(t *testing.T) {
+	g := graph.Union(gen.Star(4000), gen.Torus2D(32, 32), gen.Chain(700),
+		gen.Random(1500, 2500, 5), gen.Star(900), gen.Chain(1))
+	wantComps := graph.NumComponents(g)
+	cfgs := []struct {
+		policy par.ChunkPolicy
+		size   int
+	}{
+		{par.ChunkAdaptive, 0}, {par.ChunkAdaptive, 4},
+		{par.ChunkFixed, 1}, {par.ChunkFixed, 64},
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		for _, c := range cfgs {
+			for rep := 0; rep < 3; rep++ {
+				parent, _, err := SpanningForest(g, Options{
+					NumProcs: p, ChunkPolicy: c.policy, ChunkSize: c.size,
+				})
+				if err != nil {
+					t.Fatalf("p=%d %v/%d: %v", p, c.policy, c.size, err)
+				}
+				if err := verify.Forest(g, parent); err != nil {
+					t.Fatalf("p=%d %v/%d: %v", p, c.policy, c.size, err)
+				}
+				roots := 0
+				for _, pv := range parent {
+					if pv == graph.None {
+						roots++
+					}
+				}
+				if roots != wantComps {
+					t.Fatalf("p=%d %v/%d: %d roots, want %d", p, c.policy, c.size, roots, wantComps)
+				}
+			}
+		}
+	}
+}
+
+// TestSVLabelsModelCheck model-checks the SV labeling over random graphs
+// and random scheduler configurations: whatever the steal schedule, d[v]
+// must converge to the minimum vertex id of v's component — the
+// schedule-independent fixpoint of graft-to-smaller-label. The reference
+// is the sequential BFS labeling, which assigns component ids in
+// smallest-vertex order.
+func TestSVLabelsModelCheck(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16, pRaw, sizeRaw uint8) bool {
+		n := int(nRaw%300) + 1
+		m := int(mRaw % 600)
+		p := int(pRaw%8) + 1
+		g := gen.Random(n, m, seed)
+		opt := Options{NumProcs: p, ChunkSize: int(sizeRaw % 9)}
+		if sizeRaw%2 == 0 {
+			opt.ChunkPolicy = par.ChunkFixed
+			if opt.ChunkSize == 0 {
+				opt.ChunkSize = 1
+			}
+		}
+		label, comps, err := ConnectedComponents(g, opt)
+		if err != nil {
+			return false
+		}
+		ref, refComps := graph.Components(g)
+		if comps != refComps {
+			return false
+		}
+		// label[v] is the min vertex of v's component; ref ids are dense in
+		// smallest-vertex order, so equal-ref ⇔ equal-label.
+		firstOf := map[graph.VID]graph.VID{}
+		for v := 0; v < n; v++ {
+			if first, ok := firstOf[ref[v]]; ok {
+				if label[v] != first {
+					return false
+				}
+			} else {
+				firstOf[ref[v]] = label[v]
+				if int(label[v]) > v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

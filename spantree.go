@@ -130,8 +130,10 @@ func Algorithms() []Algorithm {
 	}
 }
 
-// ChunkPolicy selects how a work-stealing processor's queue-drain chunk
-// is chosen; see the core package for the controller's behavior.
+// ChunkPolicy selects how a parallel worker's drain chunk is chosen.
+// One controller implementation (internal/sched) serves the whole tree:
+// the work-stealing traversal's queue drains and the dynamic
+// parallel-for sweeps of every other parallel algorithm.
 type ChunkPolicy = core.ChunkPolicy
 
 const (
@@ -165,18 +167,19 @@ type Options struct {
 	// processors are simultaneously idle with nothing stealable, the run
 	// finishes with a Shiloach-Vishkin pass. 0 disables detection.
 	FallbackThreshold int
-	// ChunkPolicy selects how the work-stealing drain chunk is chosen.
-	// The zero value, ChunkAdaptive, lets each processor tune its own
-	// chunk at run time (growing while its queue is deep and steals
-	// succeed, shrinking when thieves starve); ChunkFixed drains exactly
-	// ChunkSize vertices per lock acquisition.
+	// ChunkPolicy selects how each worker's drain chunk is chosen, for
+	// every parallel algorithm (they all run on the shared dynamic
+	// scheduler). The zero value, ChunkAdaptive, lets each processor tune
+	// its own chunk at run time (growing while its queue is deep and
+	// steals succeed, shrinking when thieves starve); ChunkFixed drains
+	// exactly ChunkSize vertices per lock acquisition.
 	ChunkPolicy ChunkPolicy
-	// ChunkSize is the number of vertices a work-stealing processor
-	// drains from its queue per lock acquisition (and the flush cadence
-	// of its batched child pushes and progress counts). Under ChunkFixed,
-	// 0 means a tuned default (64) and 1 reproduces the unbatched
-	// per-vertex hot path; under ChunkAdaptive it caps the controller's
-	// growth (0 means the default cap, 256).
+	// ChunkSize is the number of vertices a worker drains from its queue
+	// (or claims from its index range) per lock acquisition, and the
+	// flush cadence of its batched child pushes and progress counts.
+	// Under ChunkFixed, 0 means a tuned default (64) and 1 reproduces the
+	// unbatched per-vertex hot path; under ChunkAdaptive it caps the
+	// controller's growth (0 means the default cap, 256).
 	ChunkSize int
 	// Model, when non-nil, accumulates Helman-JáJá cost-model counters
 	// for the run (see the smpmodel package via Result.ModeledTime).
@@ -262,10 +265,12 @@ func Find(g *Graph, opt Options) (*Result, error) {
 		res.Parent = spanseq.UnionFind(g, opt.Model.Probe(0))
 	case AlgSV, AlgSVLocks:
 		parent, stats, err := spansv.SpanningForest(g, spansv.Options{
-			NumProcs: p,
-			UseLocks: opt.Algorithm == AlgSVLocks,
-			Model:    opt.Model,
-			Obs:      opt.Obs,
+			NumProcs:    p,
+			UseLocks:    opt.Algorithm == AlgSVLocks,
+			Model:       opt.Model,
+			Obs:         opt.Obs,
+			ChunkPolicy: opt.ChunkPolicy,
+			ChunkSize:   opt.ChunkSize,
 		})
 		if err != nil {
 			return nil, err
@@ -273,8 +278,10 @@ func Find(g *Graph, opt Options) (*Result, error) {
 		res.Parent, res.SV = parent, &stats
 	case AlgHCS:
 		parent, stats, err := spanhcs.SpanningForest(g, spanhcs.Options{
-			NumProcs: p,
-			Model:    opt.Model,
+			NumProcs:    p,
+			Model:       opt.Model,
+			ChunkPolicy: opt.ChunkPolicy,
+			ChunkSize:   opt.ChunkSize,
 		})
 		if err != nil {
 			return nil, err
@@ -283,8 +290,10 @@ func Find(g *Graph, opt Options) (*Result, error) {
 		res.HCS = &stats
 	case AlgAwerbuchShiloach:
 		parent, stats, err := spanas.SpanningForest(g, spanas.Options{
-			NumProcs: p,
-			Model:    opt.Model,
+			NumProcs:    p,
+			Model:       opt.Model,
+			ChunkPolicy: opt.ChunkPolicy,
+			ChunkSize:   opt.ChunkSize,
 		})
 		if err != nil {
 			return nil, err
@@ -293,8 +302,10 @@ func Find(g *Graph, opt Options) (*Result, error) {
 		res.AS = &stats
 	case AlgLevelBFS:
 		parent, stats, err := spanlevel.SpanningForest(g, spanlevel.Options{
-			NumProcs: p,
-			Model:    opt.Model,
+			NumProcs:    p,
+			Model:       opt.Model,
+			ChunkPolicy: opt.ChunkPolicy,
+			ChunkSize:   opt.ChunkSize,
 		})
 		if err != nil {
 			return nil, err
