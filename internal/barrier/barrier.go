@@ -20,6 +20,16 @@ import (
 type Barrier interface {
 	// Wait synchronizes participant tid with the other p-1 participants.
 	Wait(tid int)
+	// WaitAbortable is Wait with a cooperative escape hatch: it returns
+	// true when the episode completed normally and false when Abort
+	// released it (or had already been called). After a false return the
+	// barrier is spent — the team must drain, not synchronize again.
+	WaitAbortable(tid int) bool
+	// Abort permanently releases every current and future waiter, so a
+	// run that stops early (cancellation, an isolated worker panic)
+	// leaves no goroutine parked in a half-filled episode. Idempotent
+	// and safe to call concurrently with Wait.
+	Abort()
 	// NumProcs returns the number of participants.
 	NumProcs() int
 	// Observe attaches an observability recorder: each Wait counts one
@@ -40,6 +50,7 @@ type Sense struct {
 	p       int
 	waiting int
 	sense   bool
+	aborted bool
 	// Episodes counts completed barrier episodes, for instrumentation.
 	episodes atomic.Int64
 	obs      *obs.Recorder
@@ -67,9 +78,17 @@ func (b *Sense) Observe(rec *obs.Recorder) { b.obs = rec }
 // Wait blocks until all participants arrive. The tid argument only
 // attributes the wait to a worker in the observability layer; the
 // synchronization itself is tid-independent.
-func (b *Sense) Wait(tid int) {
+func (b *Sense) Wait(tid int) { b.WaitAbortable(tid) }
+
+// WaitAbortable blocks until all participants arrive (true) or Abort
+// releases the episode (false).
+func (b *Sense) WaitAbortable(tid int) bool {
 	b.obs.Worker(tid).Incr(obs.BarrierWaits)
 	b.mu.Lock()
+	if b.aborted {
+		b.mu.Unlock()
+		return false
+	}
 	mySense := b.sense
 	b.waiting++
 	if b.waiting == b.p {
@@ -80,12 +99,23 @@ func (b *Sense) Wait(tid int) {
 		b.obs.AddBarrierEpisodes(1)
 		b.obs.Trace(tid, obs.EvBarrier, ep, 0)
 		b.cond.Broadcast()
-		return
+		return true
 	}
-	for b.sense == mySense {
+	for b.sense == mySense && !b.aborted {
 		b.cond.Wait()
 	}
+	aborted := b.aborted
 	b.mu.Unlock()
+	return !aborted
+}
+
+// Abort permanently releases every current and future waiter (see
+// Barrier.Abort).
+func (b *Sense) Abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
 }
 
 // Dissemination is a dissemination barrier: ceil(log2 p) rounds in which
@@ -100,6 +130,9 @@ type Dissemination struct {
 	slots    [][]chan struct{}
 	episodes atomic.Int64
 	obs      *obs.Recorder
+	// abort, once closed, releases every current and future waiter.
+	abort     chan struct{}
+	abortOnce sync.Once
 }
 
 // NewDissemination returns a dissemination barrier for p participants.
@@ -111,7 +144,7 @@ func NewDissemination(p int) *Dissemination {
 	for 1<<rounds < p {
 		rounds++
 	}
-	b := &Dissemination{p: p, rounds: rounds}
+	b := &Dissemination{p: p, rounds: rounds, abort: make(chan struct{})}
 	b.slots = make([][]chan struct{}, rounds)
 	for k := range b.slots {
 		b.slots[k] = make([]chan struct{}, p)
@@ -133,19 +166,39 @@ func (b *Dissemination) Episodes() int64 { return b.episodes.Load() }
 func (b *Dissemination) Observe(rec *obs.Recorder) { b.obs = rec }
 
 // Wait blocks participant tid until all p participants arrive.
-func (b *Dissemination) Wait(tid int) {
+func (b *Dissemination) Wait(tid int) { b.WaitAbortable(tid) }
+
+// WaitAbortable blocks participant tid until all p participants arrive
+// (true) or Abort releases the episode (false). After a false return
+// the signal slots are mid-episode and the barrier must not be reused.
+func (b *Dissemination) WaitAbortable(tid int) bool {
 	if tid < 0 || tid >= b.p {
 		panic(fmt.Sprintf("barrier: Wait(%d) out of range [0,%d)", tid, b.p))
 	}
 	b.obs.Worker(tid).Incr(obs.BarrierWaits)
 	for k := 0; k < b.rounds; k++ {
 		to := (tid + 1<<k) % b.p
-		b.slots[k][to] <- struct{}{}
-		<-b.slots[k][tid]
+		select {
+		case b.slots[k][to] <- struct{}{}:
+		case <-b.abort:
+			return false
+		}
+		select {
+		case <-b.slots[k][tid]:
+		case <-b.abort:
+			return false
+		}
 	}
 	if tid == 0 {
 		ep := b.episodes.Add(1)
 		b.obs.AddBarrierEpisodes(1)
 		b.obs.Trace(tid, obs.EvBarrier, ep, 0)
 	}
+	return true
+}
+
+// Abort permanently releases every current and future waiter (see
+// Barrier.Abort).
+func (b *Dissemination) Abort() {
+	b.abortOnce.Do(func() { close(b.abort) })
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // exercise checks the fundamental barrier property: no participant may
@@ -129,5 +130,96 @@ func TestSingleParticipantNeverBlocks(t *testing.T) {
 	}
 	if s.Episodes() != 1000 || d.Episodes() != 1000 {
 		t.Fatal("single-participant episode counting wrong")
+	}
+}
+
+// abortable builds each implementation at participant count p.
+func abortable(p int) map[string]Barrier {
+	return map[string]Barrier{
+		"sense":         NewSense(p),
+		"dissemination": NewDissemination(p),
+	}
+}
+
+func TestAbortReleasesParkedWaiters(t *testing.T) {
+	const p = 4
+	for name, b := range abortable(p) {
+		t.Run(name, func(t *testing.T) {
+			// p-1 waiters park; the last participant aborts instead of
+			// arriving. Every parked waiter must return false promptly.
+			results := make(chan bool, p-1)
+			for tid := 0; tid < p-1; tid++ {
+				go func(tid int) { results <- b.WaitAbortable(tid) }(tid)
+			}
+			time.Sleep(10 * time.Millisecond) // let the waiters park
+			b.Abort()
+			for i := 0; i < p-1; i++ {
+				select {
+				case ok := <-results:
+					if ok {
+						t.Fatal("aborted barrier reported a completed episode")
+					}
+				case <-time.After(5 * time.Second):
+					t.Fatal("waiter still parked after Abort")
+				}
+			}
+		})
+	}
+}
+
+func TestAbortedBarrierIsSpent(t *testing.T) {
+	for name, b := range abortable(3) {
+		t.Run(name, func(t *testing.T) {
+			b.Abort()
+			// Late arrivals to a spent barrier must not park.
+			done := make(chan bool, 3)
+			for tid := 0; tid < 3; tid++ {
+				go func(tid int) { done <- b.WaitAbortable(tid) }(tid)
+			}
+			for i := 0; i < 3; i++ {
+				select {
+				case ok := <-done:
+					if ok {
+						t.Fatal("spent barrier completed an episode")
+					}
+				case <-time.After(5 * time.Second):
+					t.Fatal("waiter parked on a spent barrier")
+				}
+			}
+		})
+	}
+}
+
+func TestAbortIsIdempotent(t *testing.T) {
+	for name, b := range abortable(2) {
+		t.Run(name, func(t *testing.T) {
+			b.Abort()
+			b.Abort()
+			if b.WaitAbortable(0) {
+				t.Fatal("spent barrier completed an episode")
+			}
+		})
+	}
+}
+
+func TestWaitAbortableCompletesNormally(t *testing.T) {
+	const p = 5
+	for name, b := range abortable(p) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for tid := 0; tid < p; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					for round := 0; round < 50; round++ {
+						if !b.WaitAbortable(tid) {
+							t.Errorf("un-aborted barrier returned false")
+							return
+						}
+					}
+				}(tid)
+			}
+			wg.Wait()
+		})
 	}
 }

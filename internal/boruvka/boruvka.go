@@ -21,6 +21,8 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"spantree/internal/chaos"
+	"spantree/internal/fault"
 	"spantree/internal/graph"
 	"spantree/internal/par"
 	"spantree/internal/smpmodel"
@@ -46,6 +48,15 @@ type Options struct {
 	// degree-weighted propose sweep is where skewed inputs profit.
 	ChunkPolicy par.ChunkPolicy
 	ChunkSize   int
+	// Cancel is the run's cooperative stop flag (nil never trips);
+	// Chaos the fault injector (nil injects nothing).
+	Cancel *fault.Flag
+	Chaos  *chaos.Injector
+	// ValidateWeights pre-checks Weight over every edge and rejects NaN
+	// weights with a typed error before the parallel phase starts (a NaN
+	// poisons every min-election it meets, silently producing an
+	// arbitrary forest).
+	ValidateWeights bool
 }
 
 // Stats reports what a run did.
@@ -110,6 +121,11 @@ func MinimumSpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, err
 	if weight == nil {
 		weight = hashWeight
 	}
+	if opt.ValidateWeights {
+		if err := g.ValidateWeights(func(u, v graph.VID) float64 { return weight(u, v) }); err != nil {
+			return nil, Stats{}, fmt.Errorf("boruvka: %w", err)
+		}
+	}
 	n := g.NumVertices()
 	d := make([]int32, n) // component label, maintained as rooted stars
 	for i := range d {
@@ -123,12 +139,13 @@ func MinimumSpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, err
 		best[i].weight = math.Inf(1)
 	}
 
-	team := par.NewTeam(opt.NumProcs, opt.Model).Chunk(opt.ChunkPolicy, opt.ChunkSize)
+	team := par.NewTeam(opt.NumProcs, opt.Model).Chunk(opt.ChunkPolicy, opt.ChunkSize).
+		Cancel(opt.Cancel).Chaos(opt.Chaos)
 	edgeBufs := make([][]graph.Edge, opt.NumProcs)
 	weightBufs := make([]float64, opt.NumProcs)
 	rounds := 0
 
-	team.Run(func(c *par.Ctx) {
+	err := team.RunErr(func(c *par.Ctx) {
 		probe := c.Probe()
 		var myEdges []graph.Edge
 		myWeight := 0.0
@@ -228,6 +245,9 @@ func MinimumSpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, err
 		edgeBufs[c.TID()] = myEdges
 		weightBufs[c.TID()] = myWeight
 	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
 
 	var stats Stats
 	stats.Rounds = rounds

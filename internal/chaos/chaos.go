@@ -1,0 +1,123 @@
+// Package chaos is the deterministic fault-injection layer of the
+// parallel runtime. It perturbs the schedules of the work-stealing
+// drivers — worker stalls, delayed and vetoed steals, widened claim-race
+// windows, and panics at chosen trace points — from a seeded per-worker
+// random stream, so a failing schedule is replayable from its seed
+// alone.
+//
+// The layer is compiled in two shapes, selected by the `chaos` build
+// tag:
+//
+//   - Default build (no tag): Injector is an empty struct, New returns
+//     nil, and every method is an empty body on a possibly-nil receiver.
+//     The compiler inlines the calls away, so the hardened hot paths
+//     carry no chaos cost in production binaries — the bench-smoke
+//     overhead gate in CI holds the proof.
+//
+//   - `-tags chaos`: the methods draw from per-worker xrand streams
+//     (seeded Seed ^ tid, so schedules are independent across workers
+//     but fully determined by Config). The stress suites build this
+//     shape and drive the drivers through hundreds of seeded schedules
+//     under -race.
+//
+// Injection sites are identified by Point values so a panic can be
+// aimed at a specific place in a specific worker ("worker 2, third
+// steal"), which is how the graceful-degradation path is tested.
+package chaos
+
+import "fmt"
+
+// Point identifies one injection site in the runtime.
+type Point int
+
+const (
+	// PointNone matches no site (the zero Config injects no panic).
+	PointNone Point = iota
+	// PointDrain: a worker finished one chunked queue/range drain.
+	PointDrain
+	// PointSteal: a worker entered the steal protocol.
+	PointSteal
+	// PointClaim: a worker is about to scan and claim a vertex's
+	// neighbors (stalling here widens the claim-CAS race window, the
+	// deterministic stand-in for a CAS retry storm).
+	PointClaim
+	// PointIdle: a worker went idle (quiescence/sleep protocol).
+	PointIdle
+	// PointBarrier: a worker is about to enter a barrier wait.
+	PointBarrier
+)
+
+// String returns the schema name of the injection point.
+func (p Point) String() string {
+	switch p {
+	case PointNone:
+		return "none"
+	case PointDrain:
+		return "drain"
+	case PointSteal:
+		return "steal"
+	case PointClaim:
+		return "claim"
+	case PointIdle:
+		return "idle"
+	case PointBarrier:
+		return "barrier"
+	}
+	return fmt.Sprintf("point(%d)", int(p))
+}
+
+// Config parameterizes one injector. The zero value injects nothing
+// even in a chaos build; DefaultConfig is the CLI's -chaos-seed
+// profile.
+type Config struct {
+	// Seed drives every injection decision; with equal Config the
+	// injection schedule is identical run to run.
+	Seed uint64
+	// Workers is the number of per-worker random streams (>= 1).
+	Workers int
+
+	// StallProb is the per-visit probability that an injection point
+	// stalls its worker for a seeded burst of scheduler yields.
+	StallProb float64
+	// StallYields caps the yields of one stall burst (default 8).
+	StallYields int
+	// StealVetoProb is the probability that a steal attempt is vetoed
+	// (forced to fail before scanning victims) — the delayed/failed
+	// steal fault.
+	StealVetoProb float64
+
+	// PanicPoint aims an injected panic: the PanicAfter'th visit of
+	// PanicPoint by worker PanicWorker panics with an InjectedPanic.
+	// PointNone (the zero value) disables panic injection.
+	PanicPoint Point
+	// PanicWorker is the worker that panics (clamped into range).
+	PanicWorker int
+	// PanicAfter is how many visits of PanicPoint the worker survives
+	// before panicking (0 means the first visit).
+	PanicAfter int
+}
+
+// DefaultConfig is the stock chaos profile used by the CLIs' -chaos-seed
+// flag and the bulk of the stress suites: frequent stalls and steal
+// vetoes, no injected panic.
+func DefaultConfig(seed uint64, workers int) Config {
+	return Config{
+		Seed:          seed,
+		Workers:       workers,
+		StallProb:     0.05,
+		StallYields:   8,
+		StealVetoProb: 0.25,
+	}
+}
+
+// InjectedPanic is the value an injected panic carries; tests assert on
+// it to distinguish injected faults from real bugs.
+type InjectedPanic struct {
+	Worker int
+	Point  Point
+}
+
+// String implements fmt.Stringer (the value shows up in PanicError).
+func (ip InjectedPanic) String() string {
+	return fmt.Sprintf("chaos: injected panic at %v on worker %d", ip.Point, ip.Worker)
+}

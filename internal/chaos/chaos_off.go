@@ -1,0 +1,31 @@
+//go:build !chaos
+
+package chaos
+
+import "spantree/internal/obs"
+
+// Enabled reports whether this binary was built with the chaos layer
+// compiled in (`go build -tags chaos`).
+const Enabled = false
+
+// Injector is the no-op shape of the fault injector: an empty struct
+// whose methods have empty bodies on a possibly-nil receiver, so call
+// sites inline to nothing in default builds.
+type Injector struct{}
+
+// New returns nil in default builds: the chaos layer is compiled out.
+// Callers that require injection (the stress suites, -chaos-seed) must
+// check Enabled first.
+func New(cfg Config, rec *obs.Recorder) *Injector { return nil }
+
+// Visit marks one pass through injection point p by worker tid:
+// possibly a stall burst, possibly the aimed panic. No-op here.
+func (j *Injector) Visit(tid int, p Point) {}
+
+// VetoSteal reports whether this steal attempt is forced to fail.
+// Always false here.
+func (j *Injector) VetoSteal(tid int) bool { return false }
+
+// Injections returns the total number of injected faults (stalls,
+// vetoes, panics). Always 0 here.
+func (j *Injector) Injections() int64 { return 0 }

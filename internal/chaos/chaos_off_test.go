@@ -1,0 +1,22 @@
+//go:build !chaos
+
+package chaos
+
+import "testing"
+
+// Without the chaos tag the layer must compile down to nothing: New
+// returns nil and every method on the nil injector is a no-op, so the
+// production hot paths pay only a nil check.
+func TestDisabledBuildIsInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the chaos build tag")
+	}
+	j := New(DefaultConfig(1, 4), nil)
+	if j != nil {
+		t.Fatal("New must return nil without the chaos build tag")
+	}
+	j.Visit(0, PointDrain)
+	if j.VetoSteal(0) || j.Injections() != 0 {
+		t.Fatal("disabled injector must inject nothing")
+	}
+}

@@ -1,0 +1,103 @@
+//go:build chaos
+
+package chaos
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"spantree/internal/obs"
+	"spantree/internal/xrand"
+)
+
+// Enabled reports whether this binary was built with the chaos layer
+// compiled in (`go build -tags chaos`).
+const Enabled = true
+
+// Injector perturbs worker schedules from seeded per-worker random
+// streams. Each worker consumes only its own stream, so the injection
+// schedule each worker sees is a pure function of Config — independent
+// of the Go scheduler's interleaving.
+type Injector struct {
+	cfg   Config
+	rec   *obs.Recorder
+	slots []chaosSlot
+	total atomic.Int64
+}
+
+// chaosSlot is one worker's injection state, padded so neighboring
+// workers' streams don't false-share.
+type chaosSlot struct {
+	rng       *xrand.Rand
+	panicHits int64
+	_         [6]int64
+}
+
+// New returns an injector for cfg, reporting each injected fault into
+// rec's ChaosInjections counter (rec may be nil).
+func New(cfg Config, rec *obs.Recorder) *Injector {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.StallYields <= 0 {
+		cfg.StallYields = 8
+	}
+	if cfg.PanicWorker < 0 || cfg.PanicWorker >= cfg.Workers {
+		cfg.PanicWorker = 0
+	}
+	j := &Injector{cfg: cfg, rec: rec, slots: make([]chaosSlot, cfg.Workers)}
+	for tid := range j.slots {
+		j.slots[tid].rng = xrand.New(cfg.Seed).Split(uint64(tid) + 0x9e37)
+	}
+	return j
+}
+
+// Visit marks one pass through injection point p by worker tid: it may
+// stall the worker for a seeded burst of scheduler yields, and it fires
+// the aimed panic when this visit is the configured one. Nil-safe.
+func (j *Injector) Visit(tid int, p Point) {
+	if j == nil || tid < 0 || tid >= len(j.slots) {
+		return
+	}
+	s := &j.slots[tid]
+	if pp := j.cfg.PanicPoint; pp == p && tid == j.cfg.PanicWorker {
+		hit := s.panicHits
+		s.panicHits++
+		if hit == int64(j.cfg.PanicAfter) {
+			j.inject(tid)
+			panic(InjectedPanic{Worker: tid, Point: p})
+		}
+	}
+	if j.cfg.StallProb > 0 && s.rng.Prob(j.cfg.StallProb) {
+		j.inject(tid)
+		for n := 1 + s.rng.Intn(j.cfg.StallYields); n > 0; n-- {
+			runtime.Gosched()
+		}
+	}
+}
+
+// VetoSteal reports whether this steal attempt is forced to fail before
+// scanning any victim — the delayed/failed-steal fault. Nil-safe.
+func (j *Injector) VetoSteal(tid int) bool {
+	if j == nil || tid < 0 || tid >= len(j.slots) || j.cfg.StealVetoProb <= 0 {
+		return false
+	}
+	if j.slots[tid].rng.Prob(j.cfg.StealVetoProb) {
+		j.inject(tid)
+		return true
+	}
+	return false
+}
+
+// Injections returns the total number of injected faults so far.
+func (j *Injector) Injections() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.total.Load()
+}
+
+func (j *Injector) inject(tid int) {
+	j.total.Add(1)
+	j.rec.Worker(tid).Incr(obs.ChaosInjections)
+}

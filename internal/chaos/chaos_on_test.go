@@ -1,0 +1,125 @@
+//go:build chaos
+
+package chaos
+
+import (
+	"testing"
+
+	"spantree/internal/obs"
+)
+
+// vetoTrace records the first n VetoSteal outcomes of one worker — a
+// pure function of the config, independent of scheduling.
+func vetoTrace(cfg Config, tid, n int) []bool {
+	j := New(cfg, nil)
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = j.VetoSteal(tid)
+	}
+	return out
+}
+
+func TestEnabledBuild(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled must be true under the chaos build tag")
+	}
+	if New(DefaultConfig(1, 2), nil) == nil {
+		t.Fatal("New returned nil under the chaos build tag")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	cfg := DefaultConfig(7, 3)
+	for tid := 0; tid < 3; tid++ {
+		a := vetoTrace(cfg, tid, 200)
+		b := vetoTrace(cfg, tid, 200)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("worker %d: veto schedule diverged at step %d for the same seed", tid, i)
+			}
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := vetoTrace(DefaultConfig(1, 1), 0, 300)
+	b := vetoTrace(DefaultConfig(2, 1), 0, 300)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical veto schedules")
+	}
+}
+
+func TestWorkersHaveIndependentStreams(t *testing.T) {
+	cfg := DefaultConfig(9, 2)
+	a := vetoTrace(cfg, 0, 300)
+	b := vetoTrace(cfg, 1, 300)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two workers drew identical streams from one seed")
+	}
+}
+
+func TestAimedPanicFiresExactlyOnce(t *testing.T) {
+	cfg := Config{Seed: 3, Workers: 2, PanicPoint: PointClaim, PanicWorker: 1, PanicAfter: 4}
+	j := New(cfg, nil)
+	fired := 0
+	visit := func(tid int, p Point) {
+		defer func() {
+			if r := recover(); r != nil {
+				ip, ok := r.(InjectedPanic)
+				if !ok {
+					t.Fatalf("panic value %v is not an InjectedPanic", r)
+				}
+				if ip.Worker != 1 || ip.Point != PointClaim {
+					t.Fatalf("panic aimed wrong: %+v", ip)
+				}
+				fired++
+			}
+		}()
+		j.Visit(tid, p)
+	}
+	for i := 0; i < 20; i++ {
+		visit(0, PointClaim) // wrong worker: never fires
+		visit(1, PointDrain) // wrong point: never fires
+		visit(1, PointClaim) // the aimed site
+	}
+	if fired != 1 {
+		t.Fatalf("aimed panic fired %d times, want exactly 1", fired)
+	}
+}
+
+func TestInjectionsAreCounted(t *testing.T) {
+	cfg := Config{Seed: 5, Workers: 1, StealVetoProb: 1}
+	rec := obs.New(1)
+	j := New(cfg, rec)
+	for i := 0; i < 10; i++ {
+		if !j.VetoSteal(0) {
+			t.Fatal("probability-1 veto did not fire")
+		}
+	}
+	if j.Injections() != 10 {
+		t.Fatalf("Injections() = %d, want 10", j.Injections())
+	}
+}
+
+func TestOutOfRangeWorkerIsIgnored(t *testing.T) {
+	j := New(Config{Seed: 1, Workers: 1, StealVetoProb: 1}, nil)
+	j.Visit(5, PointDrain)
+	j.Visit(-1, PointDrain)
+	if j.VetoSteal(5) || j.VetoSteal(-1) {
+		t.Fatal("out-of-range worker got an injection")
+	}
+}

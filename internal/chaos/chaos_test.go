@@ -1,0 +1,48 @@
+package chaos
+
+import "testing"
+
+// Tests that hold in both build variants.
+
+func TestPointString(t *testing.T) {
+	want := map[Point]string{
+		PointNone: "none", PointDrain: "drain", PointSteal: "steal",
+		PointClaim: "claim", PointIdle: "idle", PointBarrier: "barrier",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Fatalf("Point(%d).String() = %q, want %q", p, p.String(), s)
+		}
+	}
+}
+
+func TestInjectedPanicString(t *testing.T) {
+	ip := InjectedPanic{Worker: 2, Point: PointClaim}
+	if got := ip.String(); got == "" {
+		t.Fatal("empty InjectedPanic string")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(42, 4)
+	if cfg.Seed != 42 || cfg.Workers != 4 {
+		t.Fatalf("DefaultConfig mangled seed/workers: %+v", cfg)
+	}
+	if cfg.StallProb <= 0 || cfg.StealVetoProb <= 0 || cfg.StallYields <= 0 {
+		t.Fatalf("DefaultConfig must enable perturbations: %+v", cfg)
+	}
+	if cfg.PanicPoint != PointNone {
+		t.Fatalf("DefaultConfig must not aim a panic: %+v", cfg)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var j *Injector
+	j.Visit(0, PointDrain)
+	if j.VetoSteal(0) {
+		t.Fatal("nil injector vetoed a steal")
+	}
+	if j.Injections() != 0 {
+		t.Fatal("nil injector reported injections")
+	}
+}

@@ -2,10 +2,13 @@ package cli
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"spantree"
 )
 
 // run executes one of the tools and returns stdout, for the common case
@@ -193,4 +196,42 @@ func TestBenchFigErrors(t *testing.T) {
 func TestBenchFigStrict(t *testing.T) {
 	// All checks pass at this scale, so -strict must succeed.
 	run(t, benchFig, "-fig", "abl-deg2", "-scale", "4096", "-strict")
+}
+
+func TestSpanTreeTimeoutFlag(t *testing.T) {
+	// A generous deadline must not disturb a normal run.
+	out := run(t, spanTree, "-gen", "torus2d", "-n", "1024", "-p", "2", "-timeout", "5m")
+	if !strings.Contains(out, "verified") {
+		t.Fatalf("timed run did not verify:\n%s", out)
+	}
+	// A microscopic deadline must surface the typed deadline error.
+	var buf bytes.Buffer
+	err := RunSpanTree([]string{"-gen", "random", "-n", "500000", "-p", "4", "-timeout", "1ns"}, &buf, &buf)
+	if err == nil {
+		t.Fatal("1ns deadline did not abort the run")
+	}
+	if !errors.Is(err, spantree.ErrDeadline) && !errors.Is(err, spantree.ErrCanceled) {
+		t.Fatalf("err = %v, want the typed deadline error", err)
+	}
+}
+
+func TestSpanTreeValidateFlag(t *testing.T) {
+	out := run(t, spanTree, "-gen", "random", "-n", "512", "-validate")
+	if !strings.Contains(out, "verified") {
+		t.Fatalf("validated run did not verify:\n%s", out)
+	}
+}
+
+func TestSpanTreeChaosSeedFlag(t *testing.T) {
+	var buf bytes.Buffer
+	err := RunSpanTree([]string{"-gen", "torus2d", "-n", "256", "-chaos-seed", "7"}, &buf, &buf)
+	if spantree.ChaosEnabled {
+		if err != nil {
+			t.Fatalf("chaos build rejected -chaos-seed: %v", err)
+		}
+		return
+	}
+	if err == nil || !strings.Contains(err.Error(), "chaos") {
+		t.Fatalf("err = %v, want the -tags chaos guidance", err)
+	}
 }

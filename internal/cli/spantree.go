@@ -6,6 +6,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +47,9 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 		metrics   = fs.String("metrics", "", "write a per-worker metrics JSON report to this path (e.g. results/metrics.json)")
 		trace     = fs.String("trace", "", "write a timestamped event-trace JSON report to this path")
 		traceCap  = fs.Int("tracecap", 1<<16, "event ring-buffer capacity for -trace")
+		timeout   = fs.Duration("timeout", 0, "abort the run after this long (0 = no deadline); an aborted run exits with a deadline error")
+		chaosSeed = fs.Uint64("chaos-seed", 0, "arm the deterministic fault-injection layer with this seed (requires a binary built with -tags chaos; 0 = off)")
+		validate  = fs.Bool("validate", false, "validate the input graph's CSR invariants before running (typed error on malformed input)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +80,15 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *chaosSeed != 0 && !spantree.ChaosEnabled {
+		return fmt.Errorf("spantree: -chaos-seed requires a binary built with -tags chaos")
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var best *spantree.Result
 	var costModel *smpmodel.Model
@@ -91,6 +104,8 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 			ChunkPolicy:       policy,
 			ChunkSize:         *chunk,
 			Verify:            !*noverify,
+			ValidateInput:     *validate,
+			ChaosSeed:         *chaosSeed,
 		}
 		if *model && rep == 0 {
 			costModel = smpmodel.New(max(1, *procs))
@@ -107,7 +122,7 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 			}
 			opt.Obs = rec
 		}
-		res, err := spantree.Find(g, opt)
+		res, err := spantree.FindContext(ctx, g, opt)
 		if err != nil {
 			return err
 		}
@@ -133,6 +148,9 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 		if ws.FallbackTriggered {
 			fmt.Fprintf(stdout, "fallback: SV completion ran (%d grafts in %d iterations)\n",
 				ws.SVStats.Grafts, ws.SVStats.Iterations)
+		}
+		if ws.DegradedToSeq {
+			fmt.Fprintf(stdout, "degraded: worker panic recovered (%v); forest recomputed sequentially\n", ws.Panic)
 		}
 	}
 	if sv := best.SV; sv != nil {

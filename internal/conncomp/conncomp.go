@@ -11,7 +11,9 @@ package conncomp
 import (
 	"fmt"
 
+	"spantree/internal/chaos"
 	"spantree/internal/core"
+	"spantree/internal/fault"
 	"spantree/internal/graph"
 	"spantree/internal/par"
 )
@@ -27,6 +29,11 @@ type Options struct {
 	// the same -chunk knobs as every other parallel algorithm here.
 	ChunkPolicy par.ChunkPolicy
 	ChunkSize   int
+	// Cancel is the run's cooperative stop flag (nil never trips),
+	// shared between the forest traversal and the labeling sweeps;
+	// Chaos the fault injector (nil injects nothing).
+	Cancel *fault.Flag
+	Chaos  *chaos.Injector
 }
 
 // Labels computes component labels for g using the work-stealing
@@ -43,6 +50,8 @@ func LabelsOpt(g *graph.Graph, opt Options) ([]graph.VID, int, error) {
 		Seed:        opt.Seed,
 		ChunkPolicy: opt.ChunkPolicy,
 		ChunkSize:   opt.ChunkSize,
+		Cancel:      opt.Cancel,
+		Chaos:       opt.Chaos,
 	})
 	if err != nil {
 		return nil, 0, err
@@ -126,8 +135,9 @@ func FromForestP(parent []graph.VID, opt Options) ([]graph.VID, int, error) {
 	labels := make([]graph.VID, n)
 	cyclic := false
 
-	team := par.NewTeam(opt.NumProcs, nil).Chunk(opt.ChunkPolicy, opt.ChunkSize)
-	team.Run(func(c *par.Ctx) {
+	team := par.NewTeam(opt.NumProcs, nil).Chunk(opt.ChunkPolicy, opt.ChunkSize).
+		Cancel(opt.Cancel).Chaos(opt.Chaos)
+	err := team.RunErr(func(c *par.Ctx) {
 		// Roots point at themselves so jumping is a no-op on them.
 		c.ForDynamic(n, func(v int) {
 			p := parent[v]
@@ -179,6 +189,9 @@ func FromForestP(parent []graph.VID, opt Options) ([]graph.VID, int, error) {
 			labels[v] = rootNum[final[v]]
 		})
 	})
+	if err != nil {
+		return nil, 0, err
+	}
 	if cyclic {
 		return nil, 0, fmt.Errorf("conncomp: parent array is not a forest (cycle detected by pointer jumping)")
 	}

@@ -53,15 +53,19 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"spantree/internal/barrier"
+	"spantree/internal/chaos"
+	"spantree/internal/fault"
 	"spantree/internal/graph"
 	"spantree/internal/obs"
 	"spantree/internal/sched"
 	"spantree/internal/smpmodel"
+	"spantree/internal/spanseq"
 	"spantree/internal/spansv"
 	"spantree/internal/wsq"
 	"spantree/internal/xrand"
@@ -130,6 +134,21 @@ type Options struct {
 	// IdleSleep is how long an idle processor sleeps between scans
 	// (the paper's "go to sleep for a duration"); 0 means 20µs.
 	IdleSleep time.Duration
+
+	// Cancel is the run's cooperative stop flag (nil never trips).
+	// Workers poll it at chunk boundaries and idle transitions; when it
+	// trips with a context cause the run drains and returns
+	// fault.ErrCanceled / fault.ErrDeadline with the partial Stats.
+	Cancel *fault.Flag
+	// Chaos is the fault injector driving the stress suites (nil, and
+	// compiled to no-ops in default builds, injects nothing).
+	Chaos *chaos.Injector
+
+	// testHook, when non-nil, runs at every worker chunk boundary (and
+	// every lockstep turn) with the worker's tid. It lets the in-package
+	// tests trip the cancel flag or panic at exact points without the
+	// chaos build tag.
+	testHook func(tid int)
 }
 
 func (o *Options) withDefaults() Options {
@@ -185,6 +204,12 @@ type Stats struct {
 	// LockstepRounds is the number of simulation rounds executed when
 	// the deterministic lockstep driver ran (0 for concurrent runs).
 	LockstepRounds int64
+	// Panic is the isolated worker panic when one occurred (nil
+	// otherwise); DegradedToSeq reports that the returned forest came
+	// from the sequential BFS degradation path instead of the parallel
+	// traversal. The forest is valid either way.
+	Panic         *fault.PanicError
+	DegradedToSeq bool
 }
 
 // StealHitRate returns Steals/StealAttempts, the fraction of entries
@@ -372,6 +397,13 @@ type traversal struct {
 
 	sleepers atomic.Int32
 	abort    atomic.Bool // set when the fallback threshold trips
+
+	// cancel is the run's stop flag (never nil: newTraversal substitutes
+	// a private flag when the caller passed none, so panic isolation
+	// always has somewhere to record its cause). inj is the chaos fault
+	// injector (nil injects nothing).
+	cancel *fault.Flag
+	inj    *chaos.Injector
 	// seedMu serializes the quiescence-time seeding of new components so
 	// that exactly one root is created per uncovered component.
 	seedMu sync.Mutex
@@ -398,6 +430,11 @@ func newTraversal(g *graph.Graph, o Options) *traversal {
 		minSteal: minStealLen(o.NumProcs),
 		fail:     sched.NewFailSignal(o.NumProcs),
 		rec:      rec,
+		cancel:   o.Cancel,
+		inj:      o.Chaos,
+	}
+	if t.cancel == nil {
+		t.cancel = &fault.Flag{}
 	}
 	for i := range t.parent {
 		t.parent[i] = graph.None
@@ -490,6 +527,12 @@ func run(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 	o.Model.AddBarriers(1)
 	t.rec.AddBarrierEpisodes(1)
 	t.rec.Trace(-1, obs.EvBarrier, 1, 0)
+	if t.cancel.Tripped() {
+		// Canceled before the traversal even started (e.g. an already-
+		// expired deadline): don't spin up the team.
+		parent, err := t.stopOutcome(&stats)
+		return parent, stats, err
+	}
 
 	// Step 2: work-stealing graph traversal on p processors. The final
 	// join is the paper's second barrier and runs through a real
@@ -500,12 +543,25 @@ func run(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 	bar.Observe(t.rec)
 	for tid := 0; tid < o.NumProcs; tid++ {
 		go func(tid int) {
+			// Every worker reaches the join barrier whatever happens in
+			// its body: a panic is isolated here (recorded, the run's flag
+			// tripped so the teammates drain at their next poll) and the
+			// coordinator below never waits on a dead goroutine.
+			defer bar.Wait(tid)
+			defer func() {
+				if r := recover(); r != nil {
+					t.recoverWorker(tid, r)
+				}
+			}()
 			t.worker(tid)
-			bar.Wait(tid)
 		}(tid)
 	}
 	bar.Wait(o.NumProcs) // the coordinator is the extra participant
 	o.Model.AddBarriers(1)
+	if t.cancel.Tripped() {
+		parent, err := t.stopOutcome(&stats)
+		return parent, stats, err
+	}
 	t.recordSpan()
 	t.normalizeRoots()
 	t.finishStats(&stats)
@@ -521,6 +577,35 @@ func run(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 		}
 	}
 	return t.parent, stats, nil
+}
+
+// recoverWorker records an isolated worker panic: per-worker counter and
+// trace event (written on the panicking worker's own goroutine, keeping
+// the recorder's single-writer contract), then the run flag trips with
+// the structured PanicError so the teammates drain at their next poll.
+func (t *traversal) recoverWorker(tid int, r any) {
+	ow := t.rec.Worker(tid)
+	ow.Incr(obs.PanicsRecovered)
+	ow.Trace(obs.EvPanic, 0, 0)
+	t.cancel.TripPanic(&fault.PanicError{
+		Worker: tid, Value: r, Stack: debug.Stack(),
+	})
+}
+
+// stopOutcome resolves a run whose stop flag tripped. Context stops
+// return the typed error (fault.ErrCanceled / fault.ErrDeadline) with
+// the partial Stats; an isolated worker panic degrades to the
+// sequential BFS so the caller still receives a valid forest, with the
+// PanicError surfaced through Stats.Panic. The partially-written
+// parallel parent array is abandoned, never repaired in place.
+func (t *traversal) stopOutcome(stats *Stats) ([]graph.VID, error) {
+	t.finishStats(stats)
+	if t.cancel.Cause() == fault.CausePanicked {
+		stats.Panic = t.cancel.Panic()
+		stats.DegradedToSeq = true
+		return spanseq.BFS(t.g, t.o.Model.Probe(0)), nil
+	}
+	return nil, t.cancel.Err()
 }
 
 // worker is the per-processor traversal loop: drain own queue in chunks,
@@ -569,7 +654,14 @@ func (t *traversal) worker(tid int) {
 	// queue flickered above the steal threshold for a moment.
 	fruitless := 0
 	processed := 0
-	for t.visited.Load() < int64(t.n) && !t.abort.Load() {
+	// The cancel poll rides the chunk boundary the loop already pays for:
+	// one extra atomic load per drain, which is what bounds the response
+	// to a trip at one chunk.
+	for t.visited.Load() < int64(t.n) && !t.abort.Load() && !t.cancel.Tripped() {
+		if h := t.o.testHook; h != nil {
+			h(tid)
+		}
+		t.inj.Visit(tid, chaos.PointDrain)
 		nPop, qrem := myQ.PopBatchLen(chunk[:ctrl.Chunk()])
 		if nPop > 0 {
 			probe.NonContig(2) // one locked chunk dequeue
@@ -579,7 +671,7 @@ func (t *traversal) worker(tid int) {
 			out = out[:0]
 			for _, v := range chunk[:nPop] {
 				probe.NonContig(1) // load adjacency offset
-				t.process(graph.VID(v), probe, &out, &lc, &pend)
+				t.process(tid, graph.VID(v), probe, &out, &lc, &pend)
 			}
 			if len(out) > 0 {
 				myQ.PushBatch(out)
@@ -623,7 +715,7 @@ func (t *traversal) worker(tid int) {
 				// re-queued its loot could lose it to another thief before
 				// ever popping, livelocking a one-element frontier.
 				out = out[:0]
-				t.process(w, probe, &out, &lc, &pend)
+				t.process(tid, w, probe, &out, &lc, &pend)
 				if len(out) > 0 {
 					myQ.PushBatch(out)
 					probe.NonContig(2 + int64(len(out)))
@@ -643,9 +735,12 @@ func (t *traversal) worker(tid int) {
 // process scans v's neighbors, claiming the unvisited ones (Algorithm 1,
 // lines 2.2-2.7). Claimed children are appended to out (the caller's
 // chunk-local buffer, flushed with one PushBatch) and counted in pend
-// (the caller's unpublished progress).
-func (t *traversal) process(v graph.VID, probe *smpmodel.Probe,
+// (the caller's unpublished progress). A chaos stall injected here
+// widens the window between the parent[w] load and the claim CAS — the
+// deterministic stand-in for a CAS retry storm.
+func (t *traversal) process(tid int, v graph.VID, probe *smpmodel.Probe,
 	out *[]int32, lc *obs.Local, pend *int64) {
+	t.inj.Visit(tid, chaos.PointClaim)
 	lc.Incr(obs.VerticesClaimed)
 	nb := t.g.Neighbors(v)
 	probe.Contig(int64(len(nb)))
@@ -741,7 +836,15 @@ func (t *traversal) trySteal(tid int, r *xrand.Rand, myQ workQueue,
 	if p == 1 {
 		return 0, false
 	}
+	t.inj.Visit(tid, chaos.PointSteal)
 	ow.Incr(obs.StealAttempts)
+	// A vetoed attempt fails before scanning any victim — the injected
+	// delayed/failed-steal fault; the thief falls through to the idle
+	// protocol and retries, so no work is lost, only deferred.
+	if t.inj.VetoSteal(tid) {
+		ow.Incr(obs.StealFailures)
+		return 0, false
+	}
 	// Two independent draws over the p-1 non-self victims (they may
 	// coincide); each Len probe is one polling access of the size mirror.
 	a := (tid + 1 + r.Intn(p-1)) % p
@@ -815,9 +918,10 @@ func (t *traversal) stealFrom(victim int, myQ workQueue, stealBuf *[]int32,
 // vertex as a fresh root — that is how disconnected inputs become
 // spanning forests with exactly one root per component.
 func (t *traversal) idleOnce(tid int, myQ workQueue, fruitless int, probe *smpmodel.Probe, ow *obs.Worker) bool {
+	t.inj.Visit(tid, chaos.PointIdle)
 	t.sleepers.Add(1)
 	defer t.sleepers.Add(-1)
-	if t.visited.Load() >= int64(t.n) || t.abort.Load() {
+	if t.visited.Load() >= int64(t.n) || t.abort.Load() || t.cancel.Tripped() {
 		return false
 	}
 	s := t.sleepers.Load()
@@ -914,7 +1018,12 @@ func (t *traversal) fallback() (spansv.Stats, error) {
 		}
 		path = path[:0]
 		cur := graph.VID(v)
-		for rootOf[cur] == graph.None && t.parent[cur] != graph.None {
+		// The walk must also stop on the self-parent root sentinel: the
+		// fallback normally runs after normalizeRoots, but a partially
+		// written parent array (an interrupted run, or a caller reusing
+		// one) may still carry sentinels, and following parent[cur] == cur
+		// would spin here forever.
+		for rootOf[cur] == graph.None && t.parent[cur] != graph.None && t.parent[cur] != cur {
 			path = append(path, cur)
 			cur = t.parent[cur]
 		}
@@ -936,6 +1045,8 @@ func (t *traversal) fallback() (spansv.Stats, error) {
 		NumProcs: t.o.NumProcs,
 		Model:    t.o.Model,
 		Obs:      t.rec,
+		Cancel:   t.cancel,
+		Chaos:    t.inj,
 	})
 	if err != nil {
 		return svStats, fmt.Errorf("core: SV fallback: %w", err)
@@ -952,12 +1063,19 @@ func (t *traversal) fallback() (spansv.Stats, error) {
 }
 
 // rerootAt reverses the parent pointers on the path from v to its root,
-// making v the root of its tree.
+// making v the root of its tree. The self-parent root sentinel of the
+// fused claim array terminates the walk like graph.None does: on a
+// partially-written parent array (the panic/cancel degradation paths
+// hand one to the fallback) a sentinel mid-path would otherwise bounce
+// the reversal back on itself and detach the subtree above it.
 func rerootAt(parent []graph.VID, v graph.VID) {
 	prev := graph.None
 	cur := v
 	for cur != graph.None {
 		next := parent[cur]
+		if next == cur {
+			next = graph.None
+		}
 		parent[cur] = prev
 		prev = cur
 		cur = next

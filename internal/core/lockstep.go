@@ -139,7 +139,7 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 	processOne := func(tid int, v graph.VID, probe *smpmodel.Probe, myQ workQueue) {
 		out = out[:0]
 		var pend int64
-		t.process(v, probe, &out, &locals[tid], &pend)
+		t.process(tid, v, probe, &out, &locals[tid], &pend)
 		if len(out) > 0 {
 			myQ.PushBatch(out)
 			probe.NonContig(int64(len(out))) // copied child slots
@@ -147,134 +147,155 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 		t.visited.Add(pend)
 	}
 
-	for t.visited.Load() < int64(t.n) && !t.abort.Load() {
-		idleThisRound := 0
-		patientIdlers := 0
-		for tid := 0; tid < p && t.visited.Load() < int64(t.n); tid++ {
-			probe := o.Model.Probe(tid)
-			ow := workers[tid]
-			myQ := t.queues[tid]
-			if v, ok := myQ.Pop(); ok {
-				// Charge the batched hot path's amortized costs: at each
-				// virtual chunk boundary, the lock pairs of one chunked
-				// dequeue plus one batch flush, then one offset load per
-				// vertex. The controller resizes the next virtual drain at
-				// the boundary, so the modeled charges follow the adaptive
-				// schedule (single-goroutine, hence still deterministic).
-				if remaining[tid] == 0 {
-					probe.NonContig(4)
-					ctrl := &ctrls[tid]
-					ctrl.Adapt(myQ.Len(), t.fail.Load(tid), &locals[tid])
-					drained := myQ.Len() + 1 // this pop plus what the drain would take
-					if drained > ctrl.Chunk() {
-						drained = ctrl.Chunk()
-					}
-					remaining[tid] = drained
-					locals[tid].Incr(obs.ChunkDrains)
-					locals[tid].Add(obs.DrainedVertices, int64(drained))
-					locals[tid].Incr(obs.DrainHistBucket(drained))
-				}
-				remaining[tid]--
-				probe.NonContig(1)
-				processOne(tid, graph.VID(v), probe, myQ)
-				idleStreak[tid] = 0
-				continue
+	// The round loop runs on the calling goroutine, so panic isolation is
+	// one recover around the whole loop; curTid attributes the panic to
+	// the virtual processor whose turn was executing. The cancel poll is
+	// one atomic load per turn — the lockstep analogue of the concurrent
+	// worker's chunk-boundary check.
+	curTid := 0
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.recoverWorker(curTid, r)
 			}
-			if idleStreak[tid] == 0 {
-				ow.Incr(obs.IdleTransitions)
-				ow.Trace(obs.EvIdle, 0, 0)
-				// Busy-to-idle ends the current virtual drain, mirroring the
-				// concurrent worker's mandatory flush on the same transition.
-				remaining[tid] = 0
-			}
-			if !o.NoSteal && p > 1 {
-				ow.Incr(obs.StealAttempts)
-				start := rngs[tid].Intn(p)
-				stole := false
-				for i := 0; i < p; i++ {
-					victim := (start + i) % p
-					if victim == tid {
-						continue
-					}
-					if t.queues[victim].Len() < t.minSteal {
-						continue
-					}
-					stealBuf = t.queues[victim].StealInto(stealBuf[:0])
-					if len(stealBuf) == 0 {
-						continue
-					}
-					ow.Incr(obs.StealSuccesses)
-					ow.Add(obs.StolenVertices, int64(len(stealBuf)))
-					ow.Trace(obs.EvSteal, int64(victim), int64(len(stealBuf)))
-					probe.NonContig(int64(len(stealBuf)) + 2)
-					// Process the first stolen vertex in this same turn:
-					// merely re-queuing the loot would let the next
-					// processor steal it back, livelocking a one-element
-					// frontier under round-robin scheduling.
-					myQ.PushBatch(stealBuf[1:])
-					processOne(tid, graph.VID(stealBuf[0]), probe, myQ)
-					stole = true
-					break
+		}()
+		for t.visited.Load() < int64(t.n) && !t.abort.Load() && !t.cancel.Tripped() {
+			idleThisRound := 0
+			patientIdlers := 0
+			for tid := 0; tid < p && t.visited.Load() < int64(t.n) && !t.cancel.Tripped(); tid++ {
+				curTid = tid
+				if h := o.testHook; h != nil {
+					h(tid)
 				}
-				if stole {
+				probe := o.Model.Probe(tid)
+				ow := workers[tid]
+				myQ := t.queues[tid]
+				if v, ok := myQ.Pop(); ok {
+					// Charge the batched hot path's amortized costs: at each
+					// virtual chunk boundary, the lock pairs of one chunked
+					// dequeue plus one batch flush, then one offset load per
+					// vertex. The controller resizes the next virtual drain at
+					// the boundary, so the modeled charges follow the adaptive
+					// schedule (single-goroutine, hence still deterministic).
+					if remaining[tid] == 0 {
+						probe.NonContig(4)
+						ctrl := &ctrls[tid]
+						ctrl.Adapt(myQ.Len(), t.fail.Load(tid), &locals[tid])
+						drained := myQ.Len() + 1 // this pop plus what the drain would take
+						if drained > ctrl.Chunk() {
+							drained = ctrl.Chunk()
+						}
+						remaining[tid] = drained
+						locals[tid].Incr(obs.ChunkDrains)
+						locals[tid].Add(obs.DrainedVertices, int64(drained))
+						locals[tid].Incr(obs.DrainHistBucket(drained))
+					}
+					remaining[tid]--
+					probe.NonContig(1)
+					processOne(tid, graph.VID(v), probe, myQ)
 					idleStreak[tid] = 0
 					continue
 				}
-				ow.Incr(obs.StealFailures)
-				// Per-victim charge, as in the concurrent scan: only the
-				// workers still hoarding sub-threshold queues shrink.
-				for i := 0; i < p; i++ {
-					victim := (start + i) % p
-					if victim == tid {
+				if idleStreak[tid] == 0 {
+					ow.Incr(obs.IdleTransitions)
+					ow.Trace(obs.EvIdle, 0, 0)
+					// Busy-to-idle ends the current virtual drain, mirroring the
+					// concurrent worker's mandatory flush on the same transition.
+					remaining[tid] = 0
+				}
+				if !o.NoSteal && p > 1 {
+					ow.Incr(obs.StealAttempts)
+					start := rngs[tid].Intn(p)
+					stole := false
+					for i := 0; i < p; i++ {
+						victim := (start + i) % p
+						if victim == tid {
+							continue
+						}
+						if t.queues[victim].Len() < t.minSteal {
+							continue
+						}
+						stealBuf = t.queues[victim].StealInto(stealBuf[:0])
+						if len(stealBuf) == 0 {
+							continue
+						}
+						ow.Incr(obs.StealSuccesses)
+						ow.Add(obs.StolenVertices, int64(len(stealBuf)))
+						ow.Trace(obs.EvSteal, int64(victim), int64(len(stealBuf)))
+						probe.NonContig(int64(len(stealBuf)) + 2)
+						// Process the first stolen vertex in this same turn:
+						// merely re-queuing the loot would let the next
+						// processor steal it back, livelocking a one-element
+						// frontier under round-robin scheduling.
+						myQ.PushBatch(stealBuf[1:])
+						processOne(tid, graph.VID(stealBuf[0]), probe, myQ)
+						stole = true
+						break
+					}
+					if stole {
+						idleStreak[tid] = 0
 						continue
 					}
-					if l := t.queues[victim].Len(); l > 0 && l < t.minSteal {
-						t.fail.Record(victim)
+					ow.Incr(obs.StealFailures)
+					// Per-victim charge, as in the concurrent scan: only the
+					// workers still hoarding sub-threshold queues shrink.
+					for i := 0; i < p; i++ {
+						victim := (start + i) % p
+						if victim == tid {
+							continue
+						}
+						if l := t.queues[victim].Len(); l > 0 && l < t.minSteal {
+							t.fail.Record(victim)
+						}
+					}
+					probe.NonContig(1) // fruitless poll before sleeping
+				}
+				idleThisRound++
+				idleStreak[tid]++
+				if idleStreak[tid] >= idlePatienceRounds {
+					patientIdlers++
+				}
+			}
+			if t.visited.Load() >= int64(t.n) {
+				break
+			}
+			stats.LockstepRounds++
+			if th := o.FallbackThreshold; th > 0 && patientIdlers >= th {
+				t.abort.Store(true)
+				workers[0].Incr(obs.FallbackTriggers)
+				workers[0].Trace(obs.EvFallback, int64(patientIdlers), 0)
+				break
+			}
+			if idleThisRound == p {
+				// Quiescence: every queue is empty and nobody processed a
+				// vertex this round, so the uncolored set is a union of whole
+				// components; seed the next one on a rotating processor.
+				if v, ok := t.nextUncolored(o.Model.Probe(0)); ok {
+					tid := seededRoots % p
+					t.claimSeq(v, graph.None)
+					seededRoots++
+					workers[tid].Incr(obs.SeededComponents)
+					workers[tid].Trace(obs.EvComponentSeed, int64(v), 0)
+					t.queues[tid].Push(int32(v))
+					for i := range idleStreak {
+						idleStreak[i] = 0
 					}
 				}
-				probe.NonContig(1) // fruitless poll before sleeping
-			}
-			idleThisRound++
-			idleStreak[tid]++
-			if idleStreak[tid] >= idlePatienceRounds {
-				patientIdlers++
+				// Cursor exhausted means every vertex is colored; the loop
+				// condition ends the traversal.
 			}
 		}
-		if t.visited.Load() >= int64(t.n) {
-			break
-		}
-		stats.LockstepRounds++
-		if th := o.FallbackThreshold; th > 0 && patientIdlers >= th {
-			t.abort.Store(true)
-			workers[0].Incr(obs.FallbackTriggers)
-			workers[0].Trace(obs.EvFallback, int64(patientIdlers), 0)
-			break
-		}
-		if idleThisRound == p {
-			// Quiescence: every queue is empty and nobody processed a
-			// vertex this round, so the uncolored set is a union of whole
-			// components; seed the next one on a rotating processor.
-			if v, ok := t.nextUncolored(o.Model.Probe(0)); ok {
-				tid := seededRoots % p
-				t.claimSeq(v, graph.None)
-				seededRoots++
-				workers[tid].Incr(obs.SeededComponents)
-				workers[tid].Trace(obs.EvComponentSeed, int64(v), 0)
-				t.queues[tid].Push(int32(v))
-				for i := range idleStreak {
-					idleStreak[i] = 0
-				}
-			}
-			// Cursor exhausted means every vertex is colored; the loop
-			// condition ends the traversal.
-		}
-	}
+	}()
 	o.Model.AddBarriers(1)
 	t.rec.AddBarrierEpisodes(1)
 	t.rec.Trace(-1, obs.EvBarrier, 2, 0)
 	for tid := range locals {
 		workers[tid].Max(obs.ChunkHighWater, int64(ctrls[tid].HighWater()))
 		locals[tid].FlushTo(workers[tid])
+	}
+	if t.cancel.Tripped() {
+		parent, err := t.stopOutcome(&stats)
+		return parent, stats, err
 	}
 	t.recordSpan()
 	t.normalizeRoots()

@@ -1,0 +1,171 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlagTripsOnce(t *testing.T) {
+	var f Flag
+	if f.Tripped() || f.Cause() != CauseNone || f.Err() != nil {
+		t.Fatal("zero flag must be untripped")
+	}
+	if !f.Trip(CauseCanceled) {
+		t.Fatal("first trip must win")
+	}
+	if f.Trip(CauseDeadline) {
+		t.Fatal("second trip must lose")
+	}
+	if f.TripPanic(&PanicError{Worker: 1, Value: "late"}) {
+		t.Fatal("late panic must lose")
+	}
+	if f.Cause() != CauseCanceled {
+		t.Fatalf("cause = %v, want canceled", f.Cause())
+	}
+	if !errors.Is(f.Err(), ErrCanceled) || !errors.Is(f.Err(), context.Canceled) {
+		t.Fatalf("Err() = %v, want ErrCanceled wrapping context.Canceled", f.Err())
+	}
+	if f.Panic() != nil {
+		t.Fatal("Panic() must be nil for a context stop")
+	}
+}
+
+func TestFlagTripNoneIsNoop(t *testing.T) {
+	var f Flag
+	if f.Trip(CauseNone) {
+		t.Fatal("tripping with CauseNone must be rejected")
+	}
+	if f.Tripped() {
+		t.Fatal("flag tripped by CauseNone")
+	}
+}
+
+func TestNilFlagIsNeverTripping(t *testing.T) {
+	var f *Flag
+	if f.Tripped() || f.Trip(CauseCanceled) || f.Cause() != CauseNone ||
+		f.Err() != nil || f.Panic() != nil || f.TripPanic(&PanicError{}) {
+		t.Fatal("nil flag must be inert")
+	}
+}
+
+func TestPanicTrip(t *testing.T) {
+	var f Flag
+	pe := &PanicError{Worker: 3, Value: "boom"}
+	if !f.TripPanic(pe) {
+		t.Fatal("panic trip must win on a fresh flag")
+	}
+	if f.Cause() != CausePanicked {
+		t.Fatalf("cause = %v, want panicked", f.Cause())
+	}
+	if got := f.Panic(); got != pe {
+		t.Fatalf("Panic() = %v, want the recorded error", got)
+	}
+	var want *PanicError
+	if !errors.As(f.Err(), &want) || want.Worker != 3 {
+		t.Fatalf("Err() = %v, want the *PanicError", f.Err())
+	}
+}
+
+func TestDeadlineError(t *testing.T) {
+	var f Flag
+	f.Trip(CauseDeadline)
+	if !errors.Is(f.Err(), ErrDeadline) || !errors.Is(f.Err(), context.DeadlineExceeded) {
+		t.Fatalf("Err() = %v, want ErrDeadline wrapping DeadlineExceeded", f.Err())
+	}
+}
+
+func TestConcurrentTripsExactlyOneWinner(t *testing.T) {
+	var f Flag
+	const racers = 16
+	var wg sync.WaitGroup
+	wins := make([]bool, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				wins[i] = f.Trip(CauseCanceled)
+			} else {
+				wins[i] = f.TripPanic(&PanicError{Worker: i})
+			}
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for _, w := range wins {
+		if w {
+			total++
+		}
+	}
+	if total != 1 {
+		t.Fatalf("%d winners, want exactly 1", total)
+	}
+	// A panicked winner must expose its PanicError even to a reader that
+	// raced the store.
+	if f.Cause() == CausePanicked && f.Panic() == nil {
+		t.Fatal("panicked flag lost its PanicError")
+	}
+}
+
+func TestWatchCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var f Flag
+	stop := Watch(ctx, &f)
+	defer stop()
+	cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for !f.Tripped() {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never tripped the flag")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if f.Cause() != CauseCanceled {
+		t.Fatalf("cause = %v, want canceled", f.Cause())
+	}
+}
+
+func TestWatchDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	var f Flag
+	stop := Watch(ctx, &f)
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for !f.Tripped() {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never tripped the flag")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if f.Cause() != CauseDeadline {
+		t.Fatalf("cause = %v, want deadline", f.Cause())
+	}
+}
+
+func TestWatchBackgroundSpawnsNothing(t *testing.T) {
+	var f Flag
+	stop := Watch(context.Background(), &f)
+	stop()
+	stop() // idempotent
+	if f.Tripped() {
+		t.Fatal("background watch tripped the flag")
+	}
+}
+
+func TestWatchStopReleasesWatcher(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var f Flag
+	stop := Watch(ctx, &f)
+	stop()
+	stop() // idempotent
+	cancel()
+	time.Sleep(5 * time.Millisecond)
+	if f.Tripped() {
+		t.Fatal("stopped watcher still tripped the flag")
+	}
+}

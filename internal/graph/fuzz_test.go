@@ -72,3 +72,55 @@ func FuzzReadBinary(f *testing.F) {
 		}
 	})
 }
+
+// FuzzValidate throws arbitrary CSR shapes at the validation layer. The
+// checker is the gate every untrusted input passes through, so it must
+// never panic — it classifies, with a typed *ValidationError, or
+// accepts. Acceptance must also be monotone in the policy: a graph the
+// strict policy accepts cannot be rejected by a relaxed one.
+func FuzzValidate(f *testing.F) {
+	// Seeds: a valid two-edge graph, classic malformations, and builder
+	// output raw bytes.
+	f.Add(uint16(3), []byte{0, 1, 2, 4}, []byte{1, 0, 0, 1})
+	f.Add(uint16(2), []byte{0, 1, 2}, []byte{1, 0})
+	f.Add(uint16(0), []byte{0}, []byte{})
+	f.Add(uint16(1), []byte{0, 2}, []byte{0, 0})          // self-loop
+	f.Add(uint16(2), []byte{0, 4, 2}, []byte{1, 1, 0, 0}) // non-monotone
+	f.Add(uint16(9), []byte{0, 200}, []byte{7})           // offsets past Adj
+	f.Add(uint16(2), []byte{0, 1, 2}, []byte{250, 0})     // out of range
+	f.Fuzz(func(t *testing.T, nRaw uint16, offsRaw, adjRaw []byte) {
+		n := int(nRaw % 64)
+		if len(offsRaw) < n+1 {
+			return
+		}
+		offs := make([]int64, n+1)
+		for i := range offs {
+			offs[i] = int64(int8(offsRaw[i])) // small signed offsets: negatives included
+		}
+		adj := make([]VID, len(adjRaw))
+		for i, b := range adjRaw {
+			adj[i] = VID(int8(b))
+		}
+		g := &Graph{Offs: offs, Adj: adj}
+		check := func(opt ValidateOpts) error {
+			err := g.ValidateWith(opt)
+			if err != nil {
+				if _, ok := AsValidationError(err); !ok {
+					t.Fatalf("untyped validation error: %v", err)
+				}
+			}
+			return err
+		}
+		strict := check(ValidateOpts{})
+		relaxed := check(ValidateOpts{AllowSelfLoops: true, AllowMultiEdges: true})
+		if strict == nil && relaxed != nil {
+			t.Fatalf("strict accepted but relaxed rejected: %v", relaxed)
+		}
+		if strict == nil {
+			// An accepted graph must be safe to traverse.
+			for v := 0; v < g.NumVertices(); v++ {
+				_ = g.Neighbors(VID(v))
+			}
+		}
+	})
+}

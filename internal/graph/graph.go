@@ -136,56 +136,8 @@ func (g *Graph) DegreeHistogram() []int {
 	return counts
 }
 
-// Validate checks structural invariants of the CSR representation:
-// monotone offsets, in-range targets, no self-loops, sorted and
-// duplicate-free neighbor lists, and symmetry (u in adj(v) iff v in
-// adj(u)). It returns a descriptive error for the first violation.
-func (g *Graph) Validate() error {
-	n := g.NumVertices()
-	if len(g.Offs) == 0 {
-		return fmt.Errorf("graph: Offs must have length n+1 >= 1, got 0")
-	}
-	if g.Offs[0] != 0 {
-		return fmt.Errorf("graph: Offs[0] = %d, want 0", g.Offs[0])
-	}
-	if g.Offs[n] != int64(len(g.Adj)) {
-		return fmt.Errorf("graph: Offs[n] = %d, want len(Adj) = %d", g.Offs[n], len(g.Adj))
-	}
-	if len(g.Adj)%2 != 0 {
-		return fmt.Errorf("graph: len(Adj) = %d is odd; undirected graphs store both directions", len(g.Adj))
-	}
-	for v := 0; v < n; v++ {
-		if g.Offs[v] > g.Offs[v+1] {
-			return fmt.Errorf("graph: Offs not monotone at vertex %d: %d > %d", v, g.Offs[v], g.Offs[v+1])
-		}
-		nb := g.Neighbors(VID(v))
-		for i, w := range nb {
-			if w < 0 || int(w) >= n {
-				return fmt.Errorf("graph: neighbor %d of vertex %d out of range [0,%d)", w, v, n)
-			}
-			if w == VID(v) {
-				return fmt.Errorf("graph: self-loop at vertex %d", v)
-			}
-			if i > 0 {
-				switch {
-				case nb[i-1] == w:
-					return fmt.Errorf("graph: duplicate neighbor %d of vertex %d", w, v)
-				case nb[i-1] > w:
-					return fmt.Errorf("graph: unsorted neighbors of vertex %d: %d before %d", v, nb[i-1], w)
-				}
-			}
-		}
-	}
-	// Symmetry: count directed arcs both ways using a degree-indexed scan.
-	for v := 0; v < n; v++ {
-		for _, w := range g.Neighbors(VID(v)) {
-			if !g.HasEdge(w, VID(v)) {
-				return fmt.Errorf("graph: asymmetric edge %d->%d has no reverse", v, w)
-			}
-		}
-	}
-	return nil
-}
+// Validate is defined in validate.go together with the typed
+// ValidationError it returns and the policy-carrying ValidateWith.
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {

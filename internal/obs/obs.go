@@ -100,6 +100,16 @@ const (
 	DrainHist6
 	DrainHist7
 
+	// Cancels counts cooperative-abort observations: this worker saw the
+	// run's cancel flag tripped at a chunk boundary and drained.
+	Cancels
+	// PanicsRecovered counts panics this worker's isolation wrapper
+	// recovered (the run then degrades or returns a PanicError).
+	PanicsRecovered
+	// ChaosInjections counts faults the chaos layer injected into this
+	// worker (stalls, steal vetoes, panics); always 0 in default builds.
+	ChaosInjections
+
 	numCounters
 )
 
@@ -136,6 +146,13 @@ const (
 	EvComponentSeed
 	// EvIdle: a worker transitioned from busy to idle.
 	EvIdle
+	// EvCancel: a worker observed the cancel flag and drained
+	// (A = fault cause code).
+	EvCancel
+	// EvPanic: a worker's panic was recovered by the isolation wrapper.
+	EvPanic
+	// EvChaos: the chaos layer injected a fault (A = injection point).
+	EvChaos
 )
 
 // String returns the schema name of the event kind.
@@ -153,6 +170,12 @@ func (k EventKind) String() string {
 		return "component-seed"
 	case EvIdle:
 		return "idle"
+	case EvCancel:
+		return "cancel"
+	case EvPanic:
+		return "panic"
+	case EvChaos:
+		return "chaos"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }

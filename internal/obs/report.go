@@ -40,6 +40,13 @@ type Counters struct {
 	// counts drains of [2^i, 2^(i+1)) vertices, last bucket open-ended);
 	// nil when no drain ran.
 	DrainHist []int64 `json:"drain_hist,omitempty"`
+	// The robustness counters were added with the hardened runtime
+	// (schema grows additively); all three stay omitted for runs that
+	// complete without cancellation, recovered panics, or injected
+	// faults, so pre-hardening artifacts compare unchanged.
+	Cancels         int64 `json:"cancels,omitempty"`
+	PanicsRecovered int64 `json:"panics_recovered,omitempty"`
+	ChaosInjections int64 `json:"chaos_injections,omitempty"`
 }
 
 // countersFrom maps the counter array into the named JSON fields.
@@ -62,6 +69,9 @@ func countersFrom(c *[numCounters]int64) Counters {
 		ChunkGrow:        c[ChunkGrow],
 		ChunkShrink:      c[ChunkShrink],
 		ChunkHighWater:   c[ChunkHighWater],
+		Cancels:          c[Cancels],
+		PanicsRecovered:  c[PanicsRecovered],
+		ChaosInjections:  c[ChaosInjections],
 	}
 	for b := 0; b < DrainHistBuckets; b++ {
 		if c[DrainHist0+Counter(b)] != 0 {

@@ -43,6 +43,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"spantree/internal/chaos"
 	"spantree/internal/obs"
 	"spantree/internal/sched"
 )
@@ -148,6 +149,10 @@ func (c *Ctx) ForDynamic(n int, body func(i int)) {
 func (c *Ctx) forDynamicModeled(n int, body func(i int), dc *dynCtrl, lc *obs.Local) {
 	lo, hi := c.Block(n)
 	for lo < hi {
+		if c.team.flag.Tripped() {
+			lc.FlushTo(c.obs)
+			c.abort()
+		}
 		k := dc.c.Chunk()
 		if k > hi-lo {
 			k = hi - lo
@@ -181,8 +186,16 @@ func (c *Ctx) forDynamicSteal(n int, body func(i int), dc *dynCtrl, lc *obs.Loca
 	my.mu.Unlock()
 
 	for {
-		// Drain the own slot to empty.
+		// Drain the own slot to empty. The cancel poll and the chaos visit
+		// piggyback on the chunk boundary the drain already pays for, so
+		// the hardened loop adds one atomic load per locked drain, not per
+		// item.
 		for {
+			if c.team.flag.Tripped() {
+				lc.FlushTo(c.obs)
+				c.abort()
+			}
+			c.team.inj.Visit(c.tid, chaos.PointDrain)
 			my.mu.Lock()
 			k := dc.c.Chunk()
 			if rem := my.hi - my.lo; k > rem {
@@ -221,6 +234,11 @@ func (c *Ctx) dynSteal(dc *dynCtrl, minSteal int, lc *obs.Local) bool {
 	d := &c.team.dyn
 	p := c.team.p
 	for {
+		if c.team.flag.Tripped() {
+			lc.FlushTo(c.obs)
+			c.abort()
+		}
+		c.team.inj.Visit(c.tid, chaos.PointSteal)
 		anyDeep := false
 		for off := 1; off < p; off++ {
 			v := (c.tid + off) % p
@@ -232,6 +250,12 @@ func (c *Ctx) dynSteal(dc *dynCtrl, minSteal int, lc *obs.Local) bool {
 			}
 			anyDeep = true
 			lc.Incr(obs.StealAttempts)
+			// A vetoed steal counts as a lost lock race: the range stays
+			// with its owner and the thief retries after a yield, which is
+			// exactly the delayed-steal schedule the chaos layer wants.
+			if c.team.inj.VetoSteal(c.tid) {
+				continue
+			}
 			vs.mu.Lock()
 			rem := vs.hi - vs.lo
 			if vs.tag.Load() != dc.calls || rem < minSteal {

@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"spantree/internal/chaos"
+	"spantree/internal/fault"
 	"spantree/internal/graph"
 	"spantree/internal/par"
 	"spantree/internal/smpmodel"
@@ -47,6 +49,10 @@ type Options struct {
 	// (par.ForDynamic) running the detect/hook/jump sweeps.
 	ChunkPolicy par.ChunkPolicy
 	ChunkSize   int
+	// Cancel is the run's cooperative stop flag (nil never trips);
+	// Chaos the fault injector (nil injects nothing).
+	Cancel *fault.Flag
+	Chaos  *chaos.Injector
 }
 
 // Stats reports what a run did.
@@ -98,7 +104,8 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 	changed := make([]int32, n)
 	winner := make([]int64, n)
 
-	team := par.NewTeam(opt.NumProcs, opt.Model).Chunk(opt.ChunkPolicy, opt.ChunkSize)
+	team := par.NewTeam(opt.NumProcs, opt.Model).Chunk(opt.ChunkPolicy, opt.ChunkSize).
+		Cancel(opt.Cancel).Chaos(opt.Chaos)
 	edgeBufs := make([][]graph.Edge, opt.NumProcs)
 	condBufs := make([]int, opt.NumProcs)
 	uncondBufs := make([]int, opt.NumProcs)
@@ -194,7 +201,7 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 		return c.ReduceOr(hooked)
 	}
 
-	team.Run(func(c *par.Ctx) {
+	err := team.RunErr(func(c *par.Ctx) {
 		probe := c.Probe()
 		var myEdges []graph.Edge
 		cond, uncond := 0, 0
@@ -243,6 +250,9 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 			}
 		}
 	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
 
 	var stats Stats
 	stats.Iterations = iterations

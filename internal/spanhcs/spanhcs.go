@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"spantree/internal/chaos"
+	"spantree/internal/fault"
 	"spantree/internal/graph"
 	"spantree/internal/par"
 	"spantree/internal/smpmodel"
@@ -34,6 +36,10 @@ type Options struct {
 	// (par.ForDynamic) running the propose/apply/shortcut sweeps.
 	ChunkPolicy par.ChunkPolicy
 	ChunkSize   int
+	// Cancel is the run's cooperative stop flag (nil never trips);
+	// Chaos the fault injector (nil injects nothing).
+	Cancel *fault.Flag
+	Chaos  *chaos.Injector
 }
 
 // Stats reports what a run did.
@@ -87,11 +93,12 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 	keys := make([]int64, n)
 	arcs := make([]int64, n)
 
-	team := par.NewTeam(opt.NumProcs, opt.Model).Chunk(opt.ChunkPolicy, opt.ChunkSize)
+	team := par.NewTeam(opt.NumProcs, opt.Model).Chunk(opt.ChunkPolicy, opt.ChunkSize).
+		Cancel(opt.Cancel).Chaos(opt.Chaos)
 	edgeBufs := make([][]graph.Edge, opt.NumProcs)
 	iterations, rounds := 0, 0
 
-	team.Run(func(c *par.Ctx) {
+	err := team.RunErr(func(c *par.Ctx) {
 		probe := c.Probe()
 		var myEdges []graph.Edge
 		c.ForDynamic(n, func(i int) { keys[i] = none })
@@ -181,6 +188,9 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 		}
 		edgeBufs[c.TID()] = myEdges
 	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
 
 	var stats Stats
 	stats.Iterations = iterations

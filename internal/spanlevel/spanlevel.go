@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"spantree/internal/chaos"
+	"spantree/internal/fault"
 	"spantree/internal/graph"
 	"spantree/internal/par"
 	"spantree/internal/smpmodel"
@@ -32,6 +34,10 @@ type Options struct {
 	// (par.ForDynamic) used for the per-level frontier expansion.
 	ChunkPolicy par.ChunkPolicy
 	ChunkSize   int
+	// Cancel is the run's cooperative stop flag (nil never trips);
+	// Chaos the fault injector (nil injects nothing).
+	Cancel *fault.Flag
+	Chaos  *chaos.Injector
 }
 
 // Stats reports what a run did.
@@ -64,7 +70,8 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 	}
 
 	p := opt.NumProcs
-	team := par.NewTeam(p, opt.Model).Chunk(opt.ChunkPolicy, opt.ChunkSize)
+	team := par.NewTeam(p, opt.Model).Chunk(opt.ChunkPolicy, opt.ChunkSize).
+		Cancel(opt.Cancel).Chaos(opt.Chaos)
 	frontier := make([]graph.VID, 0, 1024)
 	// next collects each processor's discoveries; they are concatenated
 	// after the level barrier.
@@ -85,7 +92,7 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 			if len(frontier) > stats.MaxFrontier {
 				stats.MaxFrontier = len(frontier)
 			}
-			team.Run(func(c *par.Ctx) {
+			err := team.RunErr(func(c *par.Ctx) {
 				probe := c.Probe()
 				mine := nextBufs[c.TID()][:0]
 				c.ForDynamic(len(frontier), func(i int) {
@@ -107,6 +114,9 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 				})
 				nextBufs[c.TID()] = mine
 			})
+			if err != nil {
+				return nil, stats, err
+			}
 			// Level barrier: the team join is the synchronization point;
 			// charge one barrier per level (the defining cost of this
 			// algorithm).

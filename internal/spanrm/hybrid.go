@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"spantree/internal/chaos"
+	"spantree/internal/fault"
 	"spantree/internal/graph"
 	"spantree/internal/par"
 	"spantree/internal/spanseq"
@@ -23,6 +25,11 @@ type HybridOptions struct {
 	// for both the mating sweeps and the SV completion.
 	ChunkPolicy par.ChunkPolicy
 	ChunkSize   int
+	// Cancel is the run's cooperative stop flag (nil never trips);
+	// Chaos the fault injector (nil injects nothing). Both are shared
+	// with the SV completion phase.
+	Cancel *fault.Flag
+	Chaos  *chaos.Injector
 }
 
 // HybridStats reports what a hybrid run did.
@@ -56,12 +63,13 @@ func HybridSpanningForest(g *graph.Graph, opt HybridOptions) ([]graph.VID, Hybri
 	winner := make([]int64, n)
 	coin := make([]bool, n)
 
-	team := par.NewTeam(opt.NumProcs, nil).Chunk(opt.ChunkPolicy, opt.ChunkSize)
+	team := par.NewTeam(opt.NumProcs, nil).Chunk(opt.ChunkPolicy, opt.ChunkSize).
+		Cancel(opt.Cancel).Chaos(opt.Chaos)
 	edgeBufs := make([][]graph.Edge, opt.NumProcs)
 	var stats HybridStats
 	stats.MatingRounds = rounds
 
-	team.Run(func(c *par.Ctx) {
+	err := team.RunErr(func(c *par.Ctx) {
 		var myEdges []graph.Edge
 		defer func() { edgeBufs[c.TID()] = myEdges }()
 		c.ForDynamic(n, func(i int) { winner[i] = nobody })
@@ -118,6 +126,9 @@ func HybridSpanningForest(g *graph.Graph, opt HybridOptions) ([]graph.VID, Hybri
 			}
 		}
 	})
+	if err != nil {
+		return nil, stats, err
+	}
 
 	var edges []graph.Edge
 	for _, eb := range edgeBufs {
@@ -128,7 +139,8 @@ func HybridSpanningForest(g *graph.Graph, opt HybridOptions) ([]graph.VID, Hybri
 	// Completion: SV grafts the remaining components. The mating phase
 	// left d as rooted stars, which is exactly GraftFrom's precondition.
 	svEdges, svStats, err := spansv.GraftFrom(g, d, spansv.Options{
-		NumProcs: opt.NumProcs, ChunkPolicy: opt.ChunkPolicy, ChunkSize: opt.ChunkSize})
+		NumProcs: opt.NumProcs, ChunkPolicy: opt.ChunkPolicy, ChunkSize: opt.ChunkSize,
+		Cancel: opt.Cancel, Chaos: opt.Chaos})
 	if err != nil {
 		return nil, stats, fmt.Errorf("spanrm: hybrid SV completion: %w", err)
 	}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"spantree/internal/chaos"
+	"spantree/internal/fault"
 	"spantree/internal/graph"
 	"spantree/internal/par"
 	"spantree/internal/smpmodel"
@@ -38,6 +40,10 @@ type Options struct {
 	// (par.ForDynamic) running the coin/election/hook/flatten sweeps.
 	ChunkPolicy par.ChunkPolicy
 	ChunkSize   int
+	// Cancel is the run's cooperative stop flag (nil never trips);
+	// Chaos the fault injector (nil injects nothing).
+	Cancel *fault.Flag
+	Chaos  *chaos.Injector
 }
 
 // Stats reports what a run did.
@@ -80,12 +86,13 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 	coin := make([]bool, n) // true = heads: this root accepts hooks
 	winner := make([]int64, n)
 
-	team := par.NewTeam(opt.NumProcs, opt.Model).Chunk(opt.ChunkPolicy, opt.ChunkSize)
+	team := par.NewTeam(opt.NumProcs, opt.Model).Chunk(opt.ChunkPolicy, opt.ChunkSize).
+		Cancel(opt.Cancel).Chaos(opt.Chaos)
 	edgeBufs := make([][]graph.Edge, opt.NumProcs)
 	rounds := 0
 	stalled := false
 
-	team.Run(func(c *par.Ctx) {
+	err := team.RunErr(func(c *par.Ctx) {
 		probe := c.Probe()
 		var myEdges []graph.Edge
 		defer func() { edgeBufs[c.TID()] = myEdges }()
@@ -190,6 +197,9 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 			stalled = true
 		}
 	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
 
 	var stats Stats
 	stats.Rounds = rounds

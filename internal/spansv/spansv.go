@@ -30,6 +30,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"spantree/internal/chaos"
+	"spantree/internal/fault"
 	"spantree/internal/graph"
 	"spantree/internal/obs"
 	"spantree/internal/par"
@@ -60,6 +62,13 @@ type Options struct {
 	// zero values select the adaptive policy with its default cap.
 	ChunkPolicy par.ChunkPolicy
 	ChunkSize   int
+	// Cancel is the run's cooperative stop flag (nil never trips); the
+	// team polls it at every barrier entry and ForDynamic chunk
+	// boundary, and a tripped run returns the flag's typed error.
+	Cancel *fault.Flag
+	// Chaos is the fault injector (nil, and compiled to no-ops in
+	// default builds, injects nothing).
+	Chaos *chaos.Injector
 }
 
 // Stats reports what a run did.
@@ -141,13 +150,16 @@ func GraftFrom(g *graph.Graph, d []int32, opt Options) ([]graph.Edge, Stats, err
 	}
 
 	team := par.NewTeam(opt.NumProcs, opt.Model).Observe(opt.Obs).
-		Chunk(opt.ChunkPolicy, opt.ChunkSize)
+		Chunk(opt.ChunkPolicy, opt.ChunkSize).
+		Cancel(opt.Cancel).Chaos(opt.Chaos)
 	edgeBufs := make([][]graph.Edge, opt.NumProcs)
 	iterations, rounds := 0, 0
 
-	team.Run(func(c *par.Ctx) {
+	if err := team.RunErr(func(c *par.Ctx) {
 		runSV(c, g, d, winner, locks, edgeBufs, maxIter, &iterations, &rounds)
-	})
+	}); err != nil {
+		return nil, Stats{}, err
+	}
 
 	var stats Stats
 	stats.Iterations = iterations

@@ -26,11 +26,14 @@
 package spantree
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"spantree/internal/chaos"
 	"spantree/internal/conncomp"
 	"spantree/internal/core"
+	"spantree/internal/fault"
 	"spantree/internal/graph"
 	"spantree/internal/obs"
 	"spantree/internal/smpmodel"
@@ -54,6 +57,42 @@ type Edge = graph.Edge
 
 // None marks the absence of a vertex (the parent of a root).
 const None = graph.None
+
+// ErrCanceled is returned (wrapped) by FindContext when the context is
+// canceled mid-run; errors.Is(err, context.Canceled) also holds.
+var ErrCanceled = fault.ErrCanceled
+
+// ErrDeadline is returned (wrapped) by FindContext when the context's
+// deadline expires mid-run; errors.Is(err, context.DeadlineExceeded)
+// also holds.
+var ErrDeadline = fault.ErrDeadline
+
+// PanicError is the structured record of a worker panic recovered by
+// the hardened runtime: the worker id, the panic value, and the stack.
+// Find does not return it as an error for the work-stealing algorithm —
+// the run degrades to sequential BFS and still yields a valid forest,
+// with the PanicError recorded in Result.WorkStealing.Panic — but the
+// other parallel algorithms surface it directly.
+type PanicError = fault.PanicError
+
+// AsPanicError returns the *PanicError in err's chain, if any.
+func AsPanicError(err error) (*PanicError, bool) { return fault.AsPanicError(err) }
+
+// ValidationError is the typed rejection returned by input validation:
+// a machine-checkable code plus the first offending location.
+type ValidationError = graph.ValidationError
+
+// ValidationCode classifies a ValidationError.
+type ValidationCode = graph.ValidationCode
+
+// AsValidationError returns the *ValidationError in err's chain, if any.
+func AsValidationError(err error) (*ValidationError, bool) {
+	return graph.AsValidationError(err)
+}
+
+// ChaosEnabled reports whether this binary was built with the chaos
+// build tag, i.e. whether Options.ChaosSeed can inject faults.
+const ChaosEnabled = chaos.Enabled
 
 // Algorithm selects the spanning-tree algorithm to run.
 type Algorithm int
@@ -194,6 +233,18 @@ type Options struct {
 	// Verify re-checks the output against the independent verifier
 	// before returning (recommended in tests, off by default).
 	Verify bool
+	// ValidateInput runs graph.Validate on g before dispatch and returns
+	// its typed *ValidationError on malformed CSR input instead of
+	// computing an arbitrary forest (off by default: the builders always
+	// produce valid graphs, so the check only pays off on hand-built or
+	// deserialized inputs).
+	ValidateInput bool
+	// ChaosSeed, when non-zero, arms the deterministic fault-injection
+	// layer with this seed for the run: seeded stalls, vetoed steals and
+	// scheduling perturbations at the runtime's chaos points. It requires
+	// a binary built with the chaos build tag (see ChaosEnabled) — Find
+	// returns an error otherwise rather than silently running clean.
+	ChaosSeed uint64
 }
 
 // Result is the outcome of Find.
@@ -227,8 +278,25 @@ type Result struct {
 	RandomMating *spanrm.Stats
 }
 
-// Find computes a spanning forest of g.
+// Find computes a spanning forest of g. It is FindContext with a
+// background context: no cancellation, no deadline.
 func Find(g *Graph, opt Options) (*Result, error) {
+	return FindContext(context.Background(), g, opt)
+}
+
+// FindContext is Find under a context: when ctx is canceled or its
+// deadline expires, every worker observes the shared stop flag at its
+// next chunk boundary, the team drains through abortable barriers (no
+// goroutine is left parked), and FindContext returns ErrCanceled or
+// ErrDeadline with whatever partial statistics the run accumulated. An
+// already-expired context is rejected before any worker starts.
+//
+// A worker panic does not propagate: the run trips the same flag, the
+// team drains, and the work-stealing algorithm degrades to sequential
+// BFS — the caller still receives a valid forest, with the structured
+// PanicError in Result.WorkStealing.Panic. The other parallel
+// algorithms return the PanicError instead.
+func FindContext(ctx context.Context, g *Graph, opt Options) (*Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("spantree: nil graph")
 	}
@@ -238,6 +306,28 @@ func Find(g *Graph, opt Options) (*Result, error) {
 	}
 	if p < 0 {
 		return nil, fmt.Errorf("spantree: NumProcs = %d, need >= 0", p)
+	}
+	if opt.ValidateInput {
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("spantree: %w", err)
+		}
+	}
+	var inj *chaos.Injector
+	if opt.ChaosSeed != 0 {
+		if !chaos.Enabled {
+			return nil, fmt.Errorf("spantree: ChaosSeed is set but this binary was built without the chaos build tag (go build -tags chaos)")
+		}
+		inj = chaos.New(chaos.DefaultConfig(opt.ChaosSeed, p), opt.Obs)
+	}
+	cancel := &fault.Flag{}
+	stop := fault.Watch(ctx, cancel)
+	defer stop()
+	// An already-expired context is rejected synchronously: the Watch
+	// goroutine trips the flag eventually, but "eventually" must not
+	// mean a dead context still launches a team.
+	if err := ctx.Err(); err != nil {
+		cancel.TripContext(err)
+		return nil, cancel.Err()
 	}
 	res := &Result{Algorithm: opt.Algorithm}
 	start := time.Now()
@@ -252,17 +342,27 @@ func Find(g *Graph, opt Options) (*Result, error) {
 			FallbackThreshold: opt.FallbackThreshold,
 			ChunkPolicy:       opt.ChunkPolicy,
 			ChunkSize:         opt.ChunkSize,
+			Cancel:            cancel,
+			Chaos:             inj,
 		})
 		if err != nil {
 			return nil, err
 		}
 		res.Parent, res.WorkStealing = parent, &stats
-	case AlgSequentialBFS:
-		res.Parent = spanseq.BFS(g, opt.Model.Probe(0))
-	case AlgSequentialDFS:
-		res.Parent = spanseq.DFS(g, opt.Model.Probe(0))
-	case AlgSequentialUF:
-		res.Parent = spanseq.UnionFind(g, opt.Model.Probe(0))
+	case AlgSequentialBFS, AlgSequentialDFS, AlgSequentialUF:
+		// The sequential baselines have no chunk boundaries to poll; an
+		// already-tripped flag is still honored before the scan starts.
+		if cancel.Tripped() {
+			return nil, cancel.Err()
+		}
+		switch opt.Algorithm {
+		case AlgSequentialBFS:
+			res.Parent = spanseq.BFS(g, opt.Model.Probe(0))
+		case AlgSequentialDFS:
+			res.Parent = spanseq.DFS(g, opt.Model.Probe(0))
+		default:
+			res.Parent = spanseq.UnionFind(g, opt.Model.Probe(0))
+		}
 	case AlgSV, AlgSVLocks:
 		parent, stats, err := spansv.SpanningForest(g, spansv.Options{
 			NumProcs:    p,
@@ -271,6 +371,8 @@ func Find(g *Graph, opt Options) (*Result, error) {
 			Obs:         opt.Obs,
 			ChunkPolicy: opt.ChunkPolicy,
 			ChunkSize:   opt.ChunkSize,
+			Cancel:      cancel,
+			Chaos:       inj,
 		})
 		if err != nil {
 			return nil, err
@@ -282,6 +384,8 @@ func Find(g *Graph, opt Options) (*Result, error) {
 			Model:       opt.Model,
 			ChunkPolicy: opt.ChunkPolicy,
 			ChunkSize:   opt.ChunkSize,
+			Cancel:      cancel,
+			Chaos:       inj,
 		})
 		if err != nil {
 			return nil, err
@@ -294,6 +398,8 @@ func Find(g *Graph, opt Options) (*Result, error) {
 			Model:       opt.Model,
 			ChunkPolicy: opt.ChunkPolicy,
 			ChunkSize:   opt.ChunkSize,
+			Cancel:      cancel,
+			Chaos:       inj,
 		})
 		if err != nil {
 			return nil, err
@@ -306,6 +412,8 @@ func Find(g *Graph, opt Options) (*Result, error) {
 			Model:       opt.Model,
 			ChunkPolicy: opt.ChunkPolicy,
 			ChunkSize:   opt.ChunkSize,
+			Cancel:      cancel,
+			Chaos:       inj,
 		})
 		if err != nil {
 			return nil, err
