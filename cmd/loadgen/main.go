@@ -1,0 +1,18 @@
+// Command loadgen drives a running spantreed instance with closed- or
+// open-loop load, reports p50/p99/p999 latency, and writes the
+// versioned serving benchmark artifact cmd/benchcmp gates in CI.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"spantree/internal/cli"
+)
+
+func main() {
+	if err := cli.RunLoadGen(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,9 +1,11 @@
 package cli
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 
 	"spantree/internal/obs"
@@ -11,19 +13,25 @@ import (
 )
 
 // RunBenchCmp is the entry point of cmd/benchcmp: gate a freshly
-// measured metrics artifact against a checked-in baseline, failing on
-// wall-clock or steal-hit-rate regressions beyond the tolerances.
+// measured artifact against a checked-in baseline, failing on
+// regressions beyond the tolerances. Two artifact families are
+// supported, dispatched on the current file's schema: obs metrics
+// artifacts (wall-clock + steal-hit-rate gates) and serving benchmarks
+// (p99 latency gate). When both files carry a host shape and the
+// shapes differ, a warning is printed — timings across host shapes are
+// not comparable, but that is not a code regression, so the gate does
+// not fail on it.
 func RunBenchCmp(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		baseline  = fs.String("baseline", "", "baseline JSON: an obs metrics artifact or results/BENCH_hotpath.json")
-		current   = fs.String("current", "", "current metrics JSON (spantree/obs/v1, from benchfig -metrics)")
-		wallTol   = fs.Float64("wall-tol", 0.15, "allowed relative wall-clock slowdown (0.15 = +15%)")
-		stealTol  = fs.Float64("steal-tol", 0.15, "allowed relative steal-hit-rate drop")
+		baseline  = fs.String("baseline", "", "baseline JSON: an obs metrics artifact, results/BENCH_hotpath.json, or a serving artifact")
+		current   = fs.String("current", "", "current JSON: obs metrics (spantree/obs/v1) or serving benchmark (spantree/serving/v1)")
+		wallTol   = fs.Float64("wall-tol", 0.15, "allowed relative slowdown of the wall metric (wall-clock, or p99 for serving; 0.15 = +15%)")
+		stealTol  = fs.Float64("steal-tol", 0.15, "allowed relative steal-hit-rate drop (obs artifacts only)")
 		minWallNS = fs.Int64("min-wall-ns", 1_000_000, "skip the wall gate for baseline timings under this (noise floor)")
 		wallNoise = fs.Int("wall-noise", 0, "tolerate this many entries over -wall-tol (scheduler-noise allowance; steal-rate breaches are never excused)")
-		wallHard  = fs.Float64("wall-hard", 0, "per-entry wall-clock bound the noise budget never excuses (0 disables)")
+		wallHard  = fs.Float64("wall-hard", 0, "per-entry wall bound the noise budget never excuses (0 disables)")
 		minSteal  = fs.Int64("min-steal-attempts", 0, "skip the steal-rate gate for baseline entries with fewer pooled attempts (small-sample noise floor)")
 		require   = fs.String("require", "", "comma-separated substrings that must each match a compared entry (guards against comparing nothing)")
 	)
@@ -33,27 +41,52 @@ func RunBenchCmp(args []string, stdout, stderr io.Writer) error {
 	if *baseline == "" || *current == "" {
 		return fmt.Errorf("benchcmp: -baseline and -current are both required")
 	}
-
-	compare, err := stats.LoadBenchBaseline(*baseline)
-	if err != nil {
-		return err
-	}
-	cur, err := obs.ReadArtifact(*current)
-	if err != nil {
-		return err
-	}
-	res, err := compare(cur, stats.BenchCompareOptions{
+	opt := stats.BenchCompareOptions{
 		WallTol:          *wallTol,
 		StealTol:         *stealTol,
 		MinWallNS:        *minWallNS,
 		WallNoiseBudget:  *wallNoise,
 		WallHardTol:      *wallHard,
 		MinStealAttempts: *minSteal,
-	})
+	}
+
+	curSchema, err := probeSchema(*current)
 	if err != nil {
 		return err
 	}
+	var res *stats.BenchCompareResult
+	var hostWarn string
+	if curSchema == stats.ServingSchema {
+		base, err := stats.ReadServingArtifact(*baseline)
+		if err != nil {
+			return err
+		}
+		cur, err := stats.ReadServingArtifact(*current)
+		if err != nil {
+			return err
+		}
+		res = stats.CompareServing(base, cur, opt)
+		hostWarn = stats.HostShapeWarning(base.Host, cur.Host)
+	} else {
+		compare, baseHost, err := stats.LoadBenchBaseline(*baseline)
+		if err != nil {
+			return err
+		}
+		cur, err := obs.ReadArtifact(*current)
+		if err != nil {
+			return err
+		}
+		res, err = compare(cur, opt)
+		if err != nil {
+			return err
+		}
+		hostWarn = stats.HostShapeWarning(baseHost, cur.Host)
+	}
+
 	fmt.Fprint(stdout, res.String())
+	if hostWarn != "" {
+		fmt.Fprintln(stdout, hostWarn)
+	}
 	if len(res.Comparisons) == 0 {
 		return fmt.Errorf("benchcmp: no baseline entry matched the current metrics — wrong files?")
 	}
@@ -79,4 +112,19 @@ func RunBenchCmp(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "benchcmp: %d entries within tolerance\n", len(res.Comparisons))
 	return nil
+}
+
+// probeSchema reads just the schema field of an artifact file.
+func probeSchema(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", fmt.Errorf("benchcmp: decoding %s: %w", path, err)
+	}
+	return probe.Schema, nil
 }

@@ -1,0 +1,102 @@
+package cli
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"spantree/internal/stats"
+)
+
+// TestRunLoadGen drives a real daemon end to end: boot spantreed on an
+// ephemeral port, register a graph through loadgen, run two closed-loop
+// scenarios plus both typed-rejection probes, and check the written
+// serving artifact.
+func TestRunLoadGen(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var daemonOut syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- runSpanTreeD(ctx, []string{"-addr", "127.0.0.1:0", "-p", "1", "-pool", "2"},
+			&daemonOut, &daemonOut)
+	}()
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; output:\n%s", daemonOut.String())
+		}
+		for _, line := range strings.Split(daemonOut.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "spantreed listening on "); ok {
+				base = strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	out := filepath.Join(t.TempDir(), "BENCH_serving.json")
+	var stdout strings.Builder
+	err := RunLoadGen([]string{
+		"-url", base,
+		"-graph", "bench", "-register", "torus2d:256",
+		"-mode", "closed", "-c", "1,2", "-n", "24", "-warmup", "4",
+		"-strict", "-probes", "-probe-slow-n", "1048576",
+		"-out", out,
+	}, &stdout, &stdout)
+	if err != nil {
+		t.Fatalf("loadgen: %v\noutput:\n%s", err, stdout.String())
+	}
+	for _, want := range []string{"closed-c1", "closed-c2", "probe oversize: 413", "probe cancellation: 504"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, stdout.String())
+		}
+	}
+
+	art, err := stats.ReadServingArtifact(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Scenarios) != 2 || art.Host.NumCPU < 1 {
+		t.Fatalf("artifact: %+v", art)
+	}
+	for _, sc := range art.Scenarios {
+		if sc.OK != 24 || sc.P99NS < sc.P50NS || sc.P50NS <= 0 || sc.MaxNS < sc.P999NS {
+			t.Fatalf("scenario %s: %+v", sc.Name, sc)
+		}
+	}
+
+	// The artifact gates cleanly against itself, and a doctored slower
+	// baseline trips the p99 gate through the benchcmp CLI.
+	var cmpOut strings.Builder
+	if err := RunBenchCmp([]string{"-baseline", out, "-current", out,
+		"-require", "closed-c1,closed-c2"}, &cmpOut, &cmpOut); err != nil {
+		t.Fatalf("self-compare: %v\n%s", err, cmpOut.String())
+	}
+	fast := *art
+	fast.Scenarios = append([]stats.ServingScenario(nil), art.Scenarios...)
+	for i := range fast.Scenarios {
+		fast.Scenarios[i].P99NS /= 10
+	}
+	fastPath := filepath.Join(t.TempDir(), "fast.json")
+	if err := fast.WriteFile(fastPath); err != nil {
+		t.Fatal(err)
+	}
+	cmpOut.Reset()
+	if err := RunBenchCmp([]string{"-baseline", fastPath, "-current", out, "-min-wall-ns", "1"},
+		&cmpOut, &cmpOut); err == nil {
+		t.Fatalf("10x p99 regression passed the gate:\n%s", cmpOut.String())
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not stop")
+	}
+}

@@ -1,0 +1,106 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseGraphSpec(t *testing.T) {
+	name, spec, err := parseGraphSpec("web=random:1000:2500:0:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "web" || spec.Kind != "random" || spec.N != 1000 || spec.M != 2500 || spec.Seed != 7 {
+		t.Fatalf("parsed %q %+v", name, spec)
+	}
+	for _, bad := range []string{"", "noeq", "x=", "x=kind", "x=kind:abc", "x=kind:1:2:3:4:5"} {
+		if _, _, err := parseGraphSpec(bad); err == nil {
+			t.Errorf("parseGraphSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunSpanTreeD boots the real daemon on an ephemeral port with a
+// preloaded graph, serves one request end to end, and shuts down on
+// context cancel.
+func TestRunSpanTreeD(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- runSpanTreeD(ctx, []string{
+			"-addr", "127.0.0.1:0", "-p", "1", "-pool", "1",
+			"-graph", "small=torus2d:64",
+		}, &stdout, &stdout)
+	}()
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; output:\n%s", stdout.String())
+		}
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "spantreed listening on "); ok {
+				base = strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Post(base+"/v1/spantree", "application/json",
+		strings.NewReader(`{"graph":"small","seed":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run struct {
+		Roots int `json:"roots"`
+		N     int `json:"n"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&run); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || run.N != 64 || run.Roots != 1 {
+		t.Fatalf("status %d, run %+v", resp.StatusCode, run)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not stop on cancel")
+	}
+	if !strings.Contains(stdout.String(), "spantreed stopped") {
+		t.Fatalf("missing stop line:\n%s", stdout.String())
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the daemon goroutine to write
+// while the test polls it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

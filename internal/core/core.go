@@ -514,7 +514,7 @@ func run(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 		t.claimSeq(s, graph.None)
 		seeds = []graph.VID{s}
 	} else {
-		seeds = stubSpanningTree(t, rootRand, probe0)
+		seeds = stubSpanningTree(t, rootRand, probe0, nil)
 	}
 	stats.StubSize = len(seeds)
 	for i, s := range seeds {
@@ -608,44 +608,101 @@ func (t *traversal) stopOutcome(stats *Stats) ([]graph.VID, error) {
 	return nil, t.cancel.Err()
 }
 
-// worker is the per-processor traversal loop: drain own queue in chunks,
-// steal, and participate in the quiescence protocol when everything is
-// empty.
-func (t *traversal) worker(tid int) {
-	probe := t.o.Model.Probe(tid)
-	ow := t.rec.Worker(tid)
-	// Hot-path counters batch into a local and flush at chunk boundaries;
+// workerState is one worker's reusable hot-loop state: the per-stream
+// RNG, the adaptive chunk controller, the drain/child/steal buffers, the
+// cached observability handles, and the unpublished progress batch. A
+// one-shot run builds one per worker goroutine on the stack; a Workspace
+// keeps p of them for the life of a session and rearms them with
+// resetWorkerState, which is what makes a warmed session's steady state
+// allocation-free.
+type workerState struct {
+	r     xrand.Rand       // per-stream RNG, reseeded per run
+	ctrl  sched.Controller // drain-chunk controller, rebuilt per run
+	probe *smpmodel.Probe
+	// ow is cached because Recorder.Worker escapes its handle to the heap
+	// at every call; one handle per worker lives as long as the recorder.
+	ow *obs.Worker
+	// Hot-path counters batch into lc and flush at chunk boundaries;
 	// per-vertex atomic stores would put a fence (XCHG) on the claim loop.
-	var lc obs.Local
-	myQ := t.queues[tid]
-	r := xrand.New(t.o.Seed).Split(uint64(tid) + 1)
-	stealBuf := make([]int32, 0, 256)
-	ctrl := newChunkController(&t.o)
+	lc obs.Local
 	// chunk receives the owner-side batched drain; out accumulates the
 	// children claimed while processing the chunk, flushed with a single
-	// PushBatch. Together they turn ~2 lock operations per vertex into ~2
-	// per chunk. Both buffers are sized for the controller's cap so the
-	// adaptive chunk can grow without reallocating.
-	chunk := make([]int32, ctrl.Max())
-	out := make([]int32, 0, 4*ctrl.Max())
+	// PushBatch; stealBuf receives steal loot. Together chunk and out turn
+	// ~2 lock operations per vertex into ~2 per chunk. All three grow only
+	// when undersized, so a pre-provisioned session never reallocates.
+	chunk    []int32
+	out      []int32
+	stealBuf []int32
 	// pend is this worker's unpublished progress: vertices claimed since
 	// the last flush of the shared visited counter. It is flushed at every
 	// chunk boundary and — mandatorily — before entering the idle/steal
 	// phase, so whenever a worker is idle its contribution is fully
 	// published and "all p asleep ⇒ visited is exact" holds by
 	// construction.
-	var pend int64
-	flushVisited := func() {
-		if pend != 0 {
-			t.visited.Add(pend)
-			pend = 0
-		}
+	pend int64
+}
+
+// resetWorkerState (re)arms ws for one run of t's traversal: the
+// controller is rebuilt from the run options, buffers are grown only
+// when too small for the controller's cap, the RNG is reseeded to the
+// exact stream a fresh xrand.New(seed).Split(tid+1) would produce, and
+// the counter batch is zeroed. The cached recorder handle survives
+// because a pooled traversal keeps one Recorder for its whole life.
+func (t *traversal) resetWorkerState(tid int, ws *workerState) {
+	ws.ctrl = newChunkController(&t.o)
+	if cap(ws.chunk) < ws.ctrl.Max() {
+		ws.chunk = make([]int32, ws.ctrl.Max())
 	}
-	defer func() {
-		flushVisited()
-		ow.Max(obs.ChunkHighWater, int64(ctrl.HighWater()))
-		lc.FlushTo(ow)
-	}()
+	ws.chunk = ws.chunk[:ws.ctrl.Max()]
+	if cap(ws.out) < 4*ws.ctrl.Max() {
+		ws.out = make([]int32, 0, 4*ws.ctrl.Max())
+	}
+	ws.out = ws.out[:0]
+	if cap(ws.stealBuf) < 256 {
+		ws.stealBuf = make([]int32, 0, 256)
+	}
+	ws.stealBuf = ws.stealBuf[:0]
+	var base xrand.Rand
+	base.Reseed(t.o.Seed)
+	ws.r.ReseedSplit(&base, uint64(tid)+1)
+	ws.probe = t.o.Model.Probe(tid)
+	if ws.ow == nil {
+		ws.ow = t.rec.Worker(tid)
+	}
+	ws.lc = obs.Local{}
+	ws.pend = 0
+}
+
+// flushVisited publishes ws's progress batch to the shared counter.
+func (t *traversal) flushVisited(ws *workerState) {
+	if ws.pend != 0 {
+		t.visited.Add(ws.pend)
+		ws.pend = 0
+	}
+}
+
+// finishWorker drains ws's batches after its loop exits (normally or by
+// panic unwinding): progress, the chunk high-water mark, counters.
+func (t *traversal) finishWorker(ws *workerState) {
+	t.flushVisited(ws)
+	ws.ow.Max(obs.ChunkHighWater, int64(ws.ctrl.HighWater()))
+	ws.lc.FlushTo(ws.ow)
+}
+
+// worker is the per-processor traversal entry point of a one-shot run:
+// fresh state, then the shared loop.
+func (t *traversal) worker(tid int) {
+	var ws workerState
+	t.resetWorkerState(tid, &ws)
+	t.workerLoop(tid, &ws)
+}
+
+// workerLoop is the per-processor traversal loop: drain own queue in
+// chunks, steal, and participate in the quiescence protocol when
+// everything is empty.
+func (t *traversal) workerLoop(tid int, ws *workerState) {
+	myQ := t.queues[tid]
+	defer t.finishWorker(ws)
 
 	// fruitless counts consecutive cycles in which neither the own queue
 	// nor stealing produced work. It is the "has slept for a duration"
@@ -662,26 +719,26 @@ func (t *traversal) worker(tid int) {
 			h(tid)
 		}
 		t.inj.Visit(tid, chaos.PointDrain)
-		nPop, qrem := myQ.PopBatchLen(chunk[:ctrl.Chunk()])
+		nPop, qrem := myQ.PopBatchLen(ws.chunk[:ws.ctrl.Chunk()])
 		if nPop > 0 {
-			probe.NonContig(2) // one locked chunk dequeue
-			lc.Incr(obs.ChunkDrains)
-			lc.Add(obs.DrainedVertices, int64(nPop))
-			lc.Incr(obs.DrainHistBucket(nPop))
-			out = out[:0]
-			for _, v := range chunk[:nPop] {
-				probe.NonContig(1) // load adjacency offset
-				t.process(tid, graph.VID(v), probe, &out, &lc, &pend)
+			ws.probe.NonContig(2) // one locked chunk dequeue
+			ws.lc.Incr(obs.ChunkDrains)
+			ws.lc.Add(obs.DrainedVertices, int64(nPop))
+			ws.lc.Incr(obs.DrainHistBucket(nPop))
+			ws.out = ws.out[:0]
+			for _, v := range ws.chunk[:nPop] {
+				ws.probe.NonContig(1) // load adjacency offset
+				t.process(tid, graph.VID(v), ws.probe, &ws.out, &ws.lc, &ws.pend)
 			}
-			if len(out) > 0 {
-				myQ.PushBatch(out)
-				probe.NonContig(2 + int64(len(out))) // one locked batch enqueue
+			if len(ws.out) > 0 {
+				myQ.PushBatch(ws.out)
+				ws.probe.NonContig(2 + int64(len(ws.out))) // one locked batch enqueue
 			}
-			flushVisited()
+			t.flushVisited(ws)
 			// The children just flushed are queue depth too: the next
 			// drain size follows from the post-flush depth and the failed
 			// steals charged against this worker specifically.
-			ctrl.Adapt(qrem+len(out), t.fail.Load(tid), &lc)
+			ws.ctrl.Adapt(qrem+len(ws.out), t.fail.Load(tid), &ws.lc)
 			fruitless = 0
 			processed += nPop
 			// The yield/flush cadence is deliberately NOT the controller's
@@ -695,7 +752,7 @@ func (t *traversal) worker(tid int) {
 			// a 3x wall-clock penalty on the chain under oversubscription.
 			if processed >= DefaultChunkSize {
 				processed = 0
-				lc.FlushTo(ow)
+				ws.lc.FlushTo(ws.ow)
 				runtime.Gosched()
 			}
 			continue
@@ -704,28 +761,28 @@ func (t *traversal) worker(tid int) {
 			// Busy-to-idle transition: local work ran dry; make the
 			// progress and counter batches visible before the idle/steal
 			// phase (the quiescence protocol depends on the former).
-			flushVisited()
-			lc.FlushTo(ow)
-			ow.Incr(obs.IdleTransitions)
-			ow.Trace(obs.EvIdle, 0, 0)
+			t.flushVisited(ws)
+			ws.lc.FlushTo(ws.ow)
+			ws.ow.Incr(obs.IdleTransitions)
+			ws.ow.Trace(obs.EvIdle, 0, 0)
 		}
 		if !t.o.NoSteal {
-			if w, ok := t.trySteal(tid, r, myQ, &stealBuf, probe, ow); ok {
+			if w, ok := t.trySteal(tid, &ws.r, myQ, &ws.stealBuf, ws.probe, ws.ow); ok {
 				// Process one stolen vertex immediately: a thief that only
 				// re-queued its loot could lose it to another thief before
 				// ever popping, livelocking a one-element frontier.
-				out = out[:0]
-				t.process(tid, w, probe, &out, &lc, &pend)
-				if len(out) > 0 {
-					myQ.PushBatch(out)
-					probe.NonContig(2 + int64(len(out)))
+				ws.out = ws.out[:0]
+				t.process(tid, w, ws.probe, &ws.out, &ws.lc, &ws.pend)
+				if len(ws.out) > 0 {
+					myQ.PushBatch(ws.out)
+					ws.probe.NonContig(2 + int64(len(ws.out)))
 				}
-				flushVisited()
+				t.flushVisited(ws)
 				fruitless = 0
 				continue
 			}
 		}
-		if !t.idleOnce(tid, myQ, fruitless, probe, ow) {
+		if !t.idleOnce(tid, myQ, fruitless, ws.probe, ws.ow) {
 			return // done or aborted
 		}
 		fruitless++
@@ -787,6 +844,26 @@ func (t *traversal) finishStats(stats *Stats) {
 	for i := 0; i < t.o.NumProcs && i < len(snap.Workers); i++ {
 		stats.VerticesPerProc[i] = snap.Workers[i].VerticesClaimed
 		stats.EdgesPerProc[i] = snap.Workers[i].EdgesScanned
+	}
+}
+
+// finishStatsPooled is finishStats for pooled runs: the same derivation,
+// but through Recorder.Total and the cached per-worker handles instead
+// of a Snapshot, whose slice-of-workers view allocates on every call.
+func (t *traversal) finishStatsPooled(stats *Stats, wss []workerState) {
+	for i, q := range t.queues {
+		wss[i].ow.Max(obs.QueueHighWater, int64(q.HighWater()))
+	}
+	stats.Steals = t.rec.Total(obs.StealSuccesses)
+	stats.StealAttempts = t.rec.Total(obs.StealAttempts)
+	stats.ChunkGrow = t.rec.Total(obs.ChunkGrow)
+	stats.ChunkShrink = t.rec.Total(obs.ChunkShrink)
+	stats.StolenVertices = t.rec.Total(obs.StolenVertices)
+	stats.FailedClaims = t.rec.Total(obs.FailedClaims)
+	stats.CursorRoots = t.rec.Total(obs.SeededComponents)
+	for i := range wss {
+		stats.VerticesPerProc[i] = wss[i].ow.Get(obs.VerticesClaimed)
+		stats.EdgesPerProc[i] = wss[i].ow.Get(obs.EdgesScanned)
 	}
 }
 

@@ -87,7 +87,7 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 		t.claimSeq(s, graph.None)
 		seeds = []graph.VID{s}
 	} else {
-		seeds = stubSpanningTree(t, rootRand, probe0)
+		seeds = stubSpanningTree(t, rootRand, probe0, nil)
 	}
 	stats.StubSize = len(seeds)
 	for i, s := range seeds {

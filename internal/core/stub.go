@@ -19,11 +19,15 @@ import (
 // walk position it was discovered from). The walk may revisit colored
 // vertices without effect; it stops early only if it reaches a vertex
 // with no neighbors.
-func stubSpanningTree(t *traversal, r *xrand.Rand, probe *smpmodel.Probe) []graph.VID {
+//
+// Claimed vertices are appended to stub (which may be nil); a pooled
+// caller passes a buffer with capacity StubSteps+1 — the walk's maximum
+// yield — so the step stays allocation-free.
+func stubSpanningTree(t *traversal, r *xrand.Rand, probe *smpmodel.Probe, stub []graph.VID) []graph.VID {
 	start := graph.VID(r.Intn(t.n))
 	t.claimSeq(start, graph.None)
 	probe.NonContig(2)
-	stub := []graph.VID{start}
+	stub = append(stub, start)
 	cur := start
 	for step := 0; step < t.o.StubSteps; step++ {
 		nb := t.g.Neighbors(cur)

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+
+	"spantree/internal/fault"
+	"spantree/internal/gen"
+	"spantree/internal/graph"
+	"spantree/internal/verify"
+)
+
+func TestWorkspaceAllShapes(t *testing.T) {
+	for _, g := range shapes() {
+		for _, p := range []int{1, 2, 4} {
+			w, err := NewWorkspace(g, Options{NumProcs: p}, WorkspaceOptions{})
+			if err != nil {
+				t.Fatalf("%v p=%d: NewWorkspace: %v", g, p, err)
+			}
+			wantComps := graph.NumComponents(g)
+			// Several runs per workspace: reuse must not corrupt state.
+			for _, seed := range []uint64{1, 42, 42, 7} {
+				parent, st, err := w.Run(seed)
+				if err != nil {
+					t.Fatalf("%v p=%d seed=%d: %v", g, p, seed, err)
+				}
+				if err := verify.Forest(g, parent); err != nil {
+					t.Fatalf("%v p=%d seed=%d: %v", g, p, seed, err)
+				}
+				roots := 0
+				for _, pv := range parent {
+					if pv == graph.None {
+						roots++
+					}
+				}
+				if roots != wantComps {
+					t.Fatalf("%v p=%d seed=%d: %d roots, want %d", g, p, seed, roots, wantComps)
+				}
+				if g.NumVertices() > 0 && st.StubSize == 0 {
+					t.Fatalf("%v p=%d: empty stub", g, p)
+				}
+			}
+			w.Close()
+		}
+	}
+}
+
+// TestWorkspaceMatchesOneShot pins the pooled path to the one-shot path:
+// at p=1 both are deterministic, so the forests must be byte-identical
+// run after run; at p>1 the pooled run must still be a valid forest with
+// the same component structure and stub (checked in TestWorkspaceAllShapes).
+func TestWorkspaceMatchesOneShot(t *testing.T) {
+	for _, g := range shapes() {
+		if g.NumVertices() == 0 {
+			continue
+		}
+		fresh, freshStats, err := SpanningForest(g, Options{NumProcs: 1, Seed: 99})
+		if err != nil {
+			t.Fatalf("%v: one-shot: %v", g, err)
+		}
+		w, err := NewWorkspace(g, Options{NumProcs: 1}, WorkspaceOptions{})
+		if err != nil {
+			t.Fatalf("%v: NewWorkspace: %v", g, err)
+		}
+		for run := 0; run < 3; run++ {
+			pooled, st, err := w.Run(99)
+			if err != nil {
+				t.Fatalf("%v run %d: %v", g, run, err)
+			}
+			for v := range fresh {
+				if pooled[v] != fresh[v] {
+					t.Fatalf("%v run %d: parent[%d] = %d, one-shot %d", g, run, v, pooled[v], fresh[v])
+				}
+			}
+			if st.StubSize != freshStats.StubSize {
+				t.Fatalf("%v run %d: stub %d, one-shot %d", g, run, st.StubSize, freshStats.StubSize)
+			}
+		}
+		w.Close()
+	}
+}
+
+// TestWorkspaceZeroAlloc is the tentpole guarantee: a warmed workspace
+// runs the full two-step algorithm without a single steady-state heap
+// allocation.
+func TestWorkspaceZeroAlloc(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		g := gen.Torus2D(32, 32)
+		w, err := NewWorkspace(g, Options{NumProcs: p}, WorkspaceOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm: first runs pay one-time costs (per-goroutine sleep timers).
+		for i := 0; i < 3; i++ {
+			if _, _, err := w.Run(uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		avg := testing.AllocsPerRun(10, func() {
+			if _, _, err := w.Run(42); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("p=%d: AllocsPerRun = %v, want 0", p, avg)
+		}
+		w.Close()
+	}
+}
+
+// TestWorkspaceReusableAfterCancel: a run stopped by its flag leaves the
+// workspace fully functional, and the flag-reset contract (caller resets
+// before re-arming) restores normal completion.
+func TestWorkspaceReusableAfterCancel(t *testing.T) {
+	g := gen.RandomConnected(300, 600, 3)
+	w, err := NewWorkspace(g, Options{NumProcs: 2}, WorkspaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.Flag().Trip(fault.CauseCanceled)
+	if _, _, err := w.Run(1); !errors.Is(err, fault.ErrCanceled) {
+		t.Fatalf("tripped run: err = %v, want ErrCanceled", err)
+	}
+	// Without a reset the flag stays tripped.
+	if _, _, err := w.Run(2); !errors.Is(err, fault.ErrCanceled) {
+		t.Fatalf("still-tripped run: err = %v, want ErrCanceled", err)
+	}
+	w.Flag().Reset()
+	parent, _, err := w.Run(3)
+	if err != nil {
+		t.Fatalf("after reset: %v", err)
+	}
+	if err := verify.Forest(g, parent); err != nil {
+		t.Fatalf("after reset: %v", err)
+	}
+}
+
+// TestWorkspaceReusableAfterPanic: an isolated worker panic degrades the
+// run to the sequential path and the parked team survives for the next
+// request.
+func TestWorkspaceReusableAfterPanic(t *testing.T) {
+	g := gen.RandomConnected(400, 800, 5)
+	w, err := NewWorkspace(g, Options{NumProcs: 2}, WorkspaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	fired := false
+	w.t.o.testHook = func(tid int) {
+		if tid == 1 && !fired {
+			fired = true
+			panic("injected")
+		}
+	}
+	parent, st, err := w.Run(1)
+	if err != nil {
+		t.Fatalf("panic run: err = %v", err)
+	}
+	if !st.DegradedToSeq || st.Panic == nil {
+		t.Fatalf("panic run: DegradedToSeq=%v Panic=%v", st.DegradedToSeq, st.Panic)
+	}
+	if err := verify.Forest(g, parent); err != nil {
+		t.Fatalf("degraded forest: %v", err)
+	}
+	w.t.o.testHook = nil
+	w.Flag().Reset()
+	parent, st, err = w.Run(2)
+	if err != nil || st.DegradedToSeq {
+		t.Fatalf("after panic: err=%v degraded=%v", err, st.DegradedToSeq)
+	}
+	if err := verify.Forest(g, parent); err != nil {
+		t.Fatalf("after panic: %v", err)
+	}
+}
+
+// TestWorkspaceTeamDoesNotGrow: the parked team is created once — the
+// goroutine count is flat across requests, and Close releases it.
+func TestWorkspaceTeamDoesNotGrow(t *testing.T) {
+	g := gen.Torus2D(16, 16)
+	before := runtime.NumGoroutine()
+	w, err := NewWorkspace(g, Options{NumProcs: 4}, WorkspaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		if _, _, err := w.Run(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := runtime.NumGoroutine(); after > base {
+		t.Fatalf("goroutines grew with requests: %d -> %d", base, after)
+	}
+	w.Close()
+	// Close joins the team synchronously, so the count returns to the
+	// pre-construction level (give the runtime a moment for exits that
+	// raced the WaitGroup).
+	for i := 0; i < 100 && runtime.NumGoroutine() > before; i++ {
+		runtime.Gosched()
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked after Close: %d -> %d", before, after)
+	}
+	if _, _, err := w.Run(1); !errors.Is(err, ErrWorkspaceClosed) {
+		t.Fatalf("Run after Close: err = %v, want ErrWorkspaceClosed", err)
+	}
+}
+
+func TestWorkspaceRejectsUnsupportedOptions(t *testing.T) {
+	g := gen.Chain(10)
+	bad := []Options{
+		{NumProcs: 0},
+		{NumProcs: 1, StealOne: true},
+		{NumProcs: 1, Deg2Eliminate: true},
+		{NumProcs: 1, Cancel: &fault.Flag{}},
+	}
+	for i, o := range bad {
+		if _, err := NewWorkspace(g, o, WorkspaceOptions{}); err == nil {
+			t.Errorf("case %d: NewWorkspace accepted unsupported options", i)
+		}
+	}
+}

@@ -99,6 +99,20 @@ type Flag struct {
 	panicErr atomic.Pointer[PanicError]
 }
 
+// Reset rearms the flag for a new run: the cause returns to CauseNone
+// and any recorded PanicError is dropped. It is the reuse hook for
+// pooled sessions, which keep one Flag per workspace instead of
+// allocating one per request. The caller must guarantee no worker of a
+// previous run still polls the flag (i.e. the previous run has fully
+// drained) — Reset is not synchronized against concurrent Trip.
+func (f *Flag) Reset() {
+	if f == nil {
+		return
+	}
+	f.cause.Store(int32(CauseNone))
+	f.panicErr.Store(nil)
+}
+
 // Trip trips the flag with the given cause. Only the first trip wins;
 // Trip reports whether this call was it.
 func (f *Flag) Trip(c Cause) bool {

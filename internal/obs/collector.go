@@ -5,24 +5,67 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 )
+
+// HostShape records the hardware/runtime shape a measurement was taken
+// on. Timings from different shapes are not comparable — a regression
+// gate should warn (not fail) when baseline and candidate differ.
+type HostShape struct {
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+}
+
+// CurrentHost returns the shape of the running process.
+func CurrentHost() HostShape {
+	return HostShape{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
+}
+
+// Differs reports whether two known shapes disagree on the fields that
+// change timings (CPU count and scheduler width; toolchain and platform
+// are informational). An unknown shape (zero NumCPU — artifacts written
+// before host stamping) never differs: there is nothing to compare.
+func (h HostShape) Differs(other HostShape) bool {
+	if h.NumCPU == 0 || other.NumCPU == 0 {
+		return false
+	}
+	return h.NumCPU != other.NumCPU || h.GOMAXPROCS != other.GOMAXPROCS
+}
+
+func (h HostShape) String() string {
+	return fmt.Sprintf("%d CPUs, GOMAXPROCS=%d, %s %s/%s", h.NumCPU, h.GOMAXPROCS, h.GoVersion, h.OS, h.Arch)
+}
 
 // Artifact is a file of Reports: what the CLI tools write for -metrics
 // and -trace, and what CI uploads as a build artifact. A single run
 // (cmd/spantree) produces one report; a benchmark sweep (cmd/benchfig)
 // produces one per (experiment, algorithm, p) measurement.
 type Artifact struct {
-	Schema        string   `json:"schema"`
-	SchemaVersion int      `json:"schema_version"`
-	Runs          []Report `json:"runs"`
+	Schema        string    `json:"schema"`
+	SchemaVersion int       `json:"schema_version"`
+	Host          HostShape `json:"host"`
+	Runs          []Report  `json:"runs"`
 }
 
 // WriteFile writes the artifact as indented JSON, creating parent
 // directories (so "results/metrics.json" works from a fresh checkout).
+// The host shape is stamped automatically unless the caller set one.
 func (a *Artifact) WriteFile(path string) error {
 	a.Schema = Schema
 	a.SchemaVersion = SchemaVersion
+	if a.Host.NumCPU == 0 {
+		a.Host = CurrentHost()
+	}
 	data, err := json.MarshalIndent(a, "", "  ")
 	if err != nil {
 		return fmt.Errorf("obs: encoding artifact: %w", err)

@@ -285,6 +285,54 @@ func New(p int, opts ...Option) *Recorder {
 	return r
 }
 
+// Reset zeroes every per-worker counter, the run-global barrier-episode
+// count, and the trace buffer, and restarts the trace clock — turning a
+// used Recorder back into a fresh one without allocating. It is the
+// reuse hook for pooled sessions, which keep one Recorder per workspace
+// for the life of the session. The caller must guarantee no worker of a
+// previous run still writes into the recorder (the previous run has
+// fully drained); Reset is not synchronized against in-flight writers.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	for i := range r.workers {
+		for c := Counter(0); c < numCounters; c++ {
+			r.workers[i].c[c].Store(0)
+		}
+	}
+	r.barrierEpisodes.Store(0)
+	if r.tr != nil {
+		r.tr.mu.Lock()
+		r.tr.next, r.tr.total, r.tr.dropped = 0, 0, 0
+		r.tr.mu.Unlock()
+	}
+	r.start = time.Now()
+}
+
+// Total aggregates counter c across all workers without allocating: a
+// sum for flow counters, a maximum for the high-water marks
+// (QueueHighWater, ChunkHighWater), matching Snapshot's totals rule.
+// Pooled sessions derive their per-run statistics through Total instead
+// of Snapshot, whose slice-of-workers view allocates.
+func (r *Recorder) Total(c Counter) int64 {
+	if r == nil {
+		return 0
+	}
+	var tot int64
+	for i := range r.workers {
+		v := r.workers[i].c[c].Load()
+		if c == QueueHighWater || c == ChunkHighWater {
+			if v > tot {
+				tot = v
+			}
+		} else {
+			tot += v
+		}
+	}
+	return tot
+}
+
 // NumWorkers returns the number of per-worker slots (0 on nil).
 func (r *Recorder) NumWorkers() int {
 	if r == nil {

@@ -201,6 +201,18 @@ func NewFailSignal(p int) *FailSignal {
 	return &FailSignal{slots: make([]failSlot, p)}
 }
 
+// Reset zeroes every slot, rearming the signal for a new run on a
+// pooled workspace. The caller must guarantee the previous run's
+// thieves have drained; Reset is not synchronized against Record.
+func (s *FailSignal) Reset() {
+	if s == nil {
+		return
+	}
+	for i := range s.slots {
+		s.slots[i].n.Store(0)
+	}
+}
+
 // Record charges one failed steal against victim. Nil-safe.
 func (s *FailSignal) Record(victim int) {
 	if s == nil {

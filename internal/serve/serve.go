@@ -1,0 +1,503 @@
+// Package serve is the HTTP/JSON front end of the repository: spanning
+// trees as a service. A Server owns a registry of named CSR graphs,
+// each with a fixed-size pool of warmed spantree.Sessions (pre-spawned
+// worker teams, pre-provisioned buffers), and executes concurrent
+// /v1/spantree requests on those pools with zero steady-state heap
+// allocations in the algorithm itself.
+//
+// Admission control reuses the runtime's fault plumbing end to end: a
+// bounded in-flight semaphore rejects excess load with a typed 429
+// before any work starts, each admitted request runs under a context
+// whose deadline is the client's requested timeout clamped by the
+// server cap, and the session layer translates context expiry into the
+// typed fault.ErrDeadline/ErrCanceled, which the handlers map onto 504
+// (deadline) and 499 (client gone). Every error response is a typed
+// JSON object {"error": code, "message": ...} so load generators can
+// assert on exact rejection classes.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spantree"
+	"spantree/internal/gen"
+)
+
+// Error codes returned in the "error" field of failure responses.
+const (
+	CodeBadRequest    = "bad_request"
+	CodeNotFound      = "not_found"
+	CodeConflict      = "conflict"
+	CodeGraphTooLarge = "graph_too_large"
+	CodeOverloaded    = "overloaded"
+	CodeDeadline      = "deadline"
+	CodeCanceled      = "canceled"
+	CodeInternal      = "internal"
+)
+
+// StatusClientClosedRequest is the non-standard (nginx) status the
+// server uses when the client vanished mid-run; the client never sees
+// it, but access logs and tests do.
+const StatusClientClosedRequest = 499
+
+// Config sizes a Server.
+type Config struct {
+	// NumProcs is the per-session virtual processor count; 0 means
+	// runtime.NumCPU capped at 4 (serving wants low per-request latency
+	// variance, not maximum single-request speedup).
+	NumProcs int
+	// PoolSize is the number of warmed sessions per registered graph;
+	// 0 means 2.
+	PoolSize int
+	// MaxInFlight bounds concurrently admitted /v1/spantree requests
+	// across all graphs; excess load is rejected with a typed 429.
+	// 0 means 2*PoolSize.
+	MaxInFlight int
+	// MaxVertices rejects graph registrations larger than this with a
+	// typed 413 — the oversized-request guard. 0 means 1<<22.
+	MaxVertices int
+	// MaxTimeout caps the per-request deadline a client may ask for;
+	// it is also the default when a request carries no timeout_ms.
+	// 0 means 10s.
+	MaxTimeout time.Duration
+	// Warmups is the per-session warmup run count (0 means the session
+	// default).
+	Warmups int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumProcs == 0 {
+		c.NumProcs = runtime.NumCPU()
+		if c.NumProcs > 4 {
+			c.NumProcs = 4
+		}
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = 2
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 2 * c.PoolSize
+	}
+	if c.MaxVertices == 0 {
+		c.MaxVertices = 1 << 22
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// entry is one registered graph with its session pool.
+type entry struct {
+	name string
+	spec gen.Spec
+	g    *spantree.Graph
+	pool *spantree.SessionPool
+}
+
+// Server is the HTTP front end. Create with New, serve via http.Server
+// (Server implements http.Handler), release with Close.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu      sync.RWMutex
+	graphs  map[string]*entry
+	closed  bool
+	started time.Time
+
+	// sem is the admission semaphore: a slot is taken per /v1/spantree
+	// request before any session work, non-blocking — admission failure
+	// is an immediate typed 429, never a queue.
+	sem chan struct{}
+
+	served    atomic.Int64 // completed spantree runs
+	rejected  atomic.Int64 // 429s
+	deadlines atomic.Int64 // 504s
+	canceled  atomic.Int64 // client-gone aborts
+}
+
+// New builds a Server with the given config.
+func New(cfg Config) *Server {
+	c := cfg.withDefaults()
+	s := &Server{
+		cfg:     c,
+		graphs:  make(map[string]*entry),
+		sem:     make(chan struct{}, c.MaxInFlight),
+		started: time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
+	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleEvictGraph)
+	mux.HandleFunc("POST /v1/spantree", s.handleSpanTree)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close evicts every graph, retiring the parked worker teams (in-flight
+// sessions retire on release).
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	entries := make([]*entry, 0, len(s.graphs))
+	for _, e := range s.graphs {
+		entries = append(entries, e)
+	}
+	s.graphs = make(map[string]*entry)
+	s.mu.Unlock()
+	for _, e := range entries {
+		e.pool.Close()
+	}
+}
+
+// Register builds and registers a named graph outside HTTP (the CLI's
+// preload path).
+func (s *Server) Register(name string, spec gen.Spec) error {
+	_, err := s.register(name, spec)
+	return err
+}
+
+func (s *Server) register(name string, spec gen.Spec) (*entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("empty graph name")
+	}
+	if spec.N > s.cfg.MaxVertices {
+		return nil, errTooLarge{n: spec.N, max: s.cfg.MaxVertices}
+	}
+	s.mu.RLock()
+	_, exists := s.graphs[name]
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return nil, fmt.Errorf("server closed")
+	}
+	if exists {
+		return nil, errConflict{name: name}
+	}
+	g, err := gen.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	if g.NumVertices() > s.cfg.MaxVertices {
+		return nil, errTooLarge{n: g.NumVertices(), max: s.cfg.MaxVertices}
+	}
+	pool, err := spantree.NewSessionPool(g, spantree.SessionOptions{
+		NumProcs:    s.cfg.NumProcs,
+		ChunkPolicy: spantree.ChunkAdaptive,
+		Warmups:     s.cfg.Warmups,
+	}, s.cfg.PoolSize)
+	if err != nil {
+		return nil, err
+	}
+	e := &entry{name: name, spec: spec, g: g, pool: pool}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		pool.Close()
+		return nil, fmt.Errorf("server closed")
+	}
+	if _, dup := s.graphs[name]; dup {
+		s.mu.Unlock()
+		pool.Close()
+		return nil, errConflict{name: name}
+	}
+	s.graphs[name] = e
+	s.mu.Unlock()
+	return e, nil
+}
+
+type errTooLarge struct{ n, max int }
+
+func (e errTooLarge) Error() string {
+	return fmt.Sprintf("graph has %d vertices, server cap is %d", e.n, e.max)
+}
+
+type errConflict struct{ name string }
+
+func (e errConflict) Error() string { return fmt.Sprintf("graph %q already registered", e.name) }
+
+// lookup returns the entry for name, or nil.
+func (s *Server) lookup(name string) *entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.graphs[name]
+}
+
+// --- Wire types -----------------------------------------------------
+
+// ErrorBody is every failure response.
+type ErrorBody struct {
+	Error   string `json:"error"`
+	Message string `json:"message"`
+}
+
+// RegisterRequest is the POST /v1/graphs body.
+type RegisterRequest struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	N    int    `json:"n"`
+	M    int    `json:"m,omitempty"`
+	K    int    `json:"k,omitempty"`
+	Seed uint64 `json:"seed,omitempty"`
+	// RandomLabel applies the paper's random-relabeling variant.
+	RandomLabel bool `json:"random_label,omitempty"`
+}
+
+// GraphInfo describes one registered graph.
+type GraphInfo struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	N        int    `json:"n"`
+	M        int    `json:"m"`
+	PoolSize int    `json:"pool_size"`
+	NumProcs int    `json:"num_procs"`
+}
+
+// GraphListResponse is the GET /v1/graphs body.
+type GraphListResponse struct {
+	Graphs []GraphInfo `json:"graphs"`
+}
+
+// SpanTreeRequest is the POST /v1/spantree body.
+type SpanTreeRequest struct {
+	Graph string `json:"graph"`
+	Seed  uint64 `json:"seed,omitempty"`
+	// TimeoutMS is the client's deadline for the run, clamped by the
+	// server's MaxTimeout; 0 means the server default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// IncludeParent returns the full parent array (n entries — large).
+	IncludeParent bool `json:"include_parent,omitempty"`
+}
+
+// SpanTreeResponse is the POST /v1/spantree success body.
+type SpanTreeResponse struct {
+	Graph     string  `json:"graph"`
+	N         int     `json:"n"`
+	Roots     int     `json:"roots"`
+	TreeEdges int     `json:"tree_edges"`
+	ElapsedUS int64   `json:"elapsed_us"`
+	StubSize  int     `json:"stub_size"`
+	Steals    int64   `json:"steals"`
+	Degraded  bool    `json:"degraded,omitempty"`
+	Parent    []int32 `json:"parent,omitempty"`
+}
+
+// StatsResponse is the GET /v1/stats body.
+type StatsResponse struct {
+	UptimeMS   int64       `json:"uptime_ms"`
+	Served     int64       `json:"served"`
+	Rejected   int64       `json:"rejected"`
+	Deadlines  int64       `json:"deadlines"`
+	Canceled   int64       `json:"canceled"`
+	InFlight   int         `json:"in_flight"`
+	Goroutines int         `json:"goroutines"`
+	NumCPU     int         `json:"num_cpu"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Graphs     []GraphInfo `json:"graphs"`
+}
+
+// --- Handlers -------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorBody{Error: code, Message: msg})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// maxBodyBytes bounds request bodies; graph registrations and run
+// requests are both tiny.
+const maxBodyBytes = 1 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	e, err := s.register(req.Name, gen.Spec{
+		Kind: req.Kind, N: req.N, M: req.M, K: req.K,
+		Seed: req.Seed, RandomLabel: req.RandomLabel,
+	})
+	if err != nil {
+		switch err.(type) {
+		case errTooLarge:
+			writeError(w, http.StatusRequestEntityTooLarge, CodeGraphTooLarge, err.Error())
+		case errConflict:
+			writeError(w, http.StatusConflict, CodeConflict, err.Error())
+		default:
+			writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.graphInfo(e))
+}
+
+func (s *Server) graphInfo(e *entry) GraphInfo {
+	return GraphInfo{
+		Name:     e.name,
+		Kind:     e.spec.Kind,
+		N:        e.g.NumVertices(),
+		M:        e.g.NumEdges(),
+		PoolSize: e.pool.Size(),
+		NumProcs: s.cfg.NumProcs,
+	}
+}
+
+func (s *Server) listGraphs() []GraphInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]GraphInfo, 0, len(s.graphs))
+	for _, e := range s.graphs {
+		out = append(out, s.graphInfo(e))
+	}
+	return out
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, GraphListResponse{Graphs: s.listGraphs()})
+}
+
+func (s *Server) handleEvictGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	e, ok := s.graphs[name]
+	if ok {
+		delete(s.graphs, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("graph %q not registered", name))
+		return
+	}
+	// Free sessions retire now; in-flight ones when their request ends.
+	e.pool.Close()
+	writeJSON(w, http.StatusOK, map[string]string{"evicted": name})
+}
+
+func (s *Server) handleSpanTree(w http.ResponseWriter, r *http.Request) {
+	var req SpanTreeRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	// Admission first: a non-blocking semaphore acquire. Excess load is
+	// turned away immediately with the typed 429 rather than queued into
+	// a latency cliff.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, CodeOverloaded,
+			fmt.Sprintf("more than %d requests in flight", s.cfg.MaxInFlight))
+		return
+	}
+	e := s.lookup(req.Graph)
+	if e == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("graph %q not registered", req.Graph))
+		return
+	}
+	timeout := s.cfg.MaxTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	// The request context carries both the client's disconnect and the
+	// deadline; the session layer's fault plumbing translates them into
+	// the typed errors mapped below.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	sess, err := e.pool.Acquire(ctx)
+	if err != nil {
+		s.failFromContext(w, err)
+		return
+	}
+	res, err := sess.FindContext(ctx, req.Seed)
+	if err != nil {
+		e.pool.Release(sess)
+		s.failFromContext(w, err)
+		return
+	}
+	resp := SpanTreeResponse{
+		Graph:     req.Graph,
+		N:         len(res.Parent),
+		Roots:     res.Roots,
+		TreeEdges: res.TreeEdges,
+		ElapsedUS: res.Elapsed.Microseconds(),
+		StubSize:  res.WorkStealing.StubSize,
+		Steals:    res.WorkStealing.Steals,
+		Degraded:  res.WorkStealing.DegradedToSeq,
+	}
+	if req.IncludeParent {
+		resp.Parent = res.Parent
+	}
+	// The response borrows the session's parent buffer; the encoder
+	// consumes it before the release returns the buffers to the pool.
+	writeJSON(w, http.StatusOK, resp)
+	e.pool.Release(sess)
+	s.served.Add(1)
+}
+
+// failFromContext maps the fault-layer's typed errors (and raw context
+// errors from Acquire) onto HTTP statuses.
+func (s *Server) failFromContext(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, spantree.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
+		s.deadlines.Add(1)
+		writeError(w, http.StatusGatewayTimeout, CodeDeadline, "run exceeded its deadline")
+	case errors.Is(err, spantree.ErrCanceled) || errors.Is(err, context.Canceled):
+		s.canceled.Add(1)
+		writeError(w, StatusClientClosedRequest, CodeCanceled, "client closed the request")
+	case errors.Is(err, spantree.ErrSessionClosed):
+		writeError(w, http.StatusNotFound, CodeNotFound, "graph evicted mid-request")
+	default:
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeMS:   time.Since(s.started).Milliseconds(),
+		Served:     s.served.Load(),
+		Rejected:   s.rejected.Load(),
+		Deadlines:  s.deadlines.Load(),
+		Canceled:   s.canceled.Load(),
+		InFlight:   len(s.sem),
+		Goroutines: runtime.NumGoroutine(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Graphs:     s.listGraphs(),
+	})
+}

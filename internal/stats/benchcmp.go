@@ -339,31 +339,33 @@ func CompareHotpath(baselineJSON []byte, current *obs.Artifact, opt BenchCompare
 }
 
 // LoadBenchBaseline reads a baseline file and dispatches on its schema,
-// returning a closure that compares a current artifact against it.
-func LoadBenchBaseline(path string) (func(current *obs.Artifact, opt BenchCompareOptions) (*BenchCompareResult, error), error) {
+// returning a closure that compares a current artifact against it and
+// the baseline's host shape (zero for baselines that predate host
+// stamping, e.g. the hot-path record).
+func LoadBenchBaseline(path string) (func(current *obs.Artifact, opt BenchCompareOptions) (*BenchCompareResult, error), obs.HostShape, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, obs.HostShape{}, err
 	}
 	var probe struct {
 		Schema string `json:"schema"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
-		return nil, fmt.Errorf("stats: decoding baseline %s: %w", path, err)
+		return nil, obs.HostShape{}, fmt.Errorf("stats: decoding baseline %s: %w", path, err)
 	}
 	switch probe.Schema {
 	case HotpathSchema:
 		return func(current *obs.Artifact, opt BenchCompareOptions) (*BenchCompareResult, error) {
 			return CompareHotpath(data, current, opt)
-		}, nil
+		}, obs.HostShape{}, nil
 	case obs.Schema:
 		var a obs.Artifact
 		if err := json.Unmarshal(data, &a); err != nil {
-			return nil, fmt.Errorf("stats: decoding baseline %s: %w", path, err)
+			return nil, obs.HostShape{}, fmt.Errorf("stats: decoding baseline %s: %w", path, err)
 		}
 		return func(current *obs.Artifact, opt BenchCompareOptions) (*BenchCompareResult, error) {
 			return CompareArtifacts(&a, current, opt), nil
-		}, nil
+		}, a.Host, nil
 	}
-	return nil, fmt.Errorf("stats: baseline %s has unsupported schema %q", path, probe.Schema)
+	return nil, obs.HostShape{}, fmt.Errorf("stats: baseline %s has unsupported schema %q", path, probe.Schema)
 }

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spantree/internal/obs"
+)
+
+func servingScenario(name string, p99 int64) ServingScenario {
+	return ServingScenario{
+		Name: name, Mode: "closed", Concurrency: 4, Graph: "g",
+		Requests: 100, OK: 100, P50NS: p99 / 2, P99NS: p99, P999NS: p99, MaxNS: p99,
+	}
+}
+
+func TestCompareServing(t *testing.T) {
+	base := &ServingArtifact{Scenarios: []ServingScenario{
+		servingScenario("closed-c1", 1_000_000),
+		servingScenario("closed-c4", 2_000_000),
+		servingScenario("gone", 1_000_000),
+	}}
+	cur := &ServingArtifact{Scenarios: []ServingScenario{
+		servingScenario("closed-c1", 1_050_000), // +5%: within tolerance
+		servingScenario("closed-c4", 3_500_000), // +75%: hard breach
+	}}
+	res := CompareServing(base, cur, BenchCompareOptions{WallTol: 0.5, WallHardTol: 0.7})
+	if len(res.Comparisons) != 2 || len(res.Unmatched) != 1 || res.Unmatched[0] != "gone" {
+		t.Fatalf("result: %+v", res)
+	}
+	if !res.Failed() {
+		t.Fatal("75% p99 regression passed")
+	}
+	if got := res.Comparisons[0]; len(got.Failures) != 0 || !got.WallChecked {
+		t.Fatalf("closed-c1: %+v", got)
+	}
+
+	// New errors fail even with identical latency.
+	errCur := &ServingArtifact{Scenarios: []ServingScenario{servingScenario("closed-c1", 1_000_000)}}
+	errCur.Scenarios[0].Errors = 3
+	res = CompareServing(&ServingArtifact{Scenarios: []ServingScenario{servingScenario("closed-c1", 1_000_000)}},
+		errCur, BenchCompareOptions{})
+	if !res.Failed() {
+		t.Fatal("errored scenario passed")
+	}
+}
+
+func TestCompareServingNoiseBudget(t *testing.T) {
+	base := &ServingArtifact{Scenarios: []ServingScenario{
+		servingScenario("a", 1_000_000),
+		servingScenario("b", 1_000_000),
+	}}
+	cur := &ServingArtifact{Scenarios: []ServingScenario{
+		servingScenario("a", 1_600_000), // soft breach at 50% tolerance
+		servingScenario("b", 1_000_000),
+	}}
+	opt := BenchCompareOptions{WallTol: 0.5, WallNoiseBudget: 1, WallHardTol: 2.0}
+	if res := CompareServing(base, cur, opt); res.Failed() {
+		t.Fatal("one soft breach exceeded a budget of one")
+	}
+	opt.WallNoiseBudget = 0
+	if res := CompareServing(base, cur, opt); !res.Failed() {
+		t.Fatal("soft breach passed without a budget")
+	}
+}
+
+func TestServingArtifactRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serving.json")
+	a := &ServingArtifact{
+		Meta:      map[string]string{"url": "http://x"},
+		Scenarios: []ServingScenario{servingScenario("closed-c1", 5)},
+	}
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadServingArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ServingSchema || got.Host.NumCPU < 1 || got.Host.GOMAXPROCS < 1 {
+		t.Fatalf("host shape not stamped: %+v", got)
+	}
+	if len(got.Scenarios) != 1 || got.Scenarios[0].Name != "closed-c1" {
+		t.Fatalf("scenarios: %+v", got.Scenarios)
+	}
+}
+
+func TestLatencySummary(t *testing.T) {
+	var s ServingScenario
+	lats := make([]int64, 1000)
+	for i := range lats {
+		lats[i] = int64(i + 1) // 1..1000
+	}
+	s.LatencySummary(lats)
+	if s.P50NS != 500 || s.P99NS != 990 || s.P999NS != 999 || s.MaxNS != 1000 {
+		t.Fatalf("percentiles: %+v", s)
+	}
+}
+
+func TestHostShapeWarning(t *testing.T) {
+	a := obs.HostShape{NumCPU: 8, GOMAXPROCS: 8}
+	b := obs.HostShape{NumCPU: 4, GOMAXPROCS: 4}
+	if w := HostShapeWarning(a, b); !strings.Contains(w, "host shape differs") {
+		t.Fatalf("warning: %q", w)
+	}
+	if w := HostShapeWarning(a, a); w != "" {
+		t.Fatalf("same shape warned: %q", w)
+	}
+	// Unknown shapes (pre-stamping artifacts) never warn.
+	if w := HostShapeWarning(obs.HostShape{}, b); w != "" {
+		t.Fatalf("unknown shape warned: %q", w)
+	}
+}

@@ -61,6 +61,26 @@ func NewStealHalf(capacity int) *StealHalf {
 // victim selection).
 func (q *StealHalf) Len() int { return int(q.size.Load()) }
 
+// Reset empties the queue while retaining its grown buffer, rearming it
+// for a new run on a pooled workspace (the capacity a session
+// provisioned — or a previous run grew — is the asset being reused).
+// The caller must guarantee no owner or thief of a previous run still
+// touches the queue.
+func (q *StealHalf) Reset() {
+	q.mu.Lock()
+	q.head, q.tail = 0, 0
+	q.high = 0
+	q.size.Store(0)
+	q.mu.Unlock()
+}
+
+// Cap returns the current buffer capacity (for provisioning checks).
+func (q *StealHalf) Cap() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf)
+}
+
 // Push appends v at the back of the queue.
 func (q *StealHalf) Push(v int32) {
 	q.mu.Lock()

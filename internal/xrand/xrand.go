@@ -46,21 +46,40 @@ type Rand struct {
 
 // New returns a Rand seeded deterministically from seed.
 func New(seed uint64) *Rand {
-	sm := NewSplitMix64(seed)
-	r := &Rand{s0: sm.Uint64(), s1: sm.Uint64(), s2: sm.Uint64(), s3: sm.Uint64()}
+	r := &Rand{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitializes r in place from seed, producing exactly the state
+// New(seed) would, without allocating. It is the reuse hook for pooled
+// runtimes (a warmed session reseeds its per-worker generators per
+// request instead of constructing fresh ones).
+func (r *Rand) Reseed(seed uint64) {
+	var sm SplitMix64
+	sm.state = seed
+	r.s0, r.s1, r.s2, r.s3 = sm.Uint64(), sm.Uint64(), sm.Uint64(), sm.Uint64()
 	// An all-zero state is the one invalid Xoshiro state; seed==specific
 	// values cannot produce it through SplitMix64, but guard anyway.
 	if r.s0|r.s1|r.s2|r.s3 == 0 {
 		r.s0 = golden
 	}
-	return r
 }
 
 // Split returns a new Rand with a stream independent of r's, derived from
 // r's current state and the stream index. Calling Split(i) for distinct i
 // yields distinct, decorrelated generators; r itself is not advanced.
 func (r *Rand) Split(i uint64) *Rand {
-	return New(mix64(r.s0^mix64(i+1)) + mix64(r.s2+golden*(i+1)))
+	out := &Rand{}
+	out.ReseedSplit(r, i)
+	return out
+}
+
+// ReseedSplit reinitializes r in place with the independent stream that
+// parent.Split(i) would produce, without allocating. parent is not
+// advanced.
+func (r *Rand) ReseedSplit(parent *Rand, i uint64) {
+	r.Reseed(mix64(parent.s0^mix64(i+1)) + mix64(parent.s2+golden*(i+1)))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
