@@ -55,7 +55,7 @@ func RunBenchCmp(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	var res *stats.BenchCompareResult
-	var hostWarn string
+	var hostWarn, variantWarn string
 	if curSchema == stats.ServingSchema {
 		base, err := stats.ReadServingArtifact(*baseline)
 		if err != nil {
@@ -68,7 +68,7 @@ func RunBenchCmp(args []string, stdout, stderr io.Writer) error {
 		res = stats.CompareServing(base, cur, opt)
 		hostWarn = stats.HostShapeWarning(base.Host, cur.Host)
 	} else {
-		compare, baseHost, err := stats.LoadBenchBaseline(*baseline)
+		compare, baseHost, baseVariants, err := stats.LoadBenchBaseline(*baseline)
 		if err != nil {
 			return err
 		}
@@ -81,11 +81,15 @@ func RunBenchCmp(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		hostWarn = stats.HostShapeWarning(baseHost, cur.Host)
+		variantWarn = stats.VariantWarning(baseVariants, stats.Variants(cur))
 	}
 
 	fmt.Fprint(stdout, res.String())
 	if hostWarn != "" {
 		fmt.Fprintln(stdout, hostWarn)
+	}
+	if variantWarn != "" {
+		fmt.Fprintln(stdout, variantWarn)
 	}
 	if len(res.Comparisons) == 0 {
 		return fmt.Errorf("benchcmp: no baseline entry matched the current metrics — wrong files?")

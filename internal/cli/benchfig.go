@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 
+	"spantree/internal/core"
 	"spantree/internal/harness"
 	"spantree/internal/obs"
 	"spantree/internal/smpmodel"
@@ -29,6 +30,8 @@ func RunBenchFig(args []string, stdout, stderr io.Writer) error {
 		strict   = fs.Bool("strict", false, "return an error if any shape check fails")
 		chunk    = fs.Int("chunk", 0, "drain chunk size for every parallel algorithm: > 0 forces a fixed chunk; 0 keeps the adaptive controller")
 		chunkPol = fs.String("chunkpolicy", "", "drain chunk policy for every parallel algorithm: adaptive or fixed (default adaptive, or fixed when -chunk > 0)")
+		dirName  = fs.String("direction", "auto", "traversal direction policy for the work-stealing runs: auto or topdown (the direction/layout ablation pins its own)")
+		layName  = fs.String("layout", "wide", "CSR layout for the work-stealing runs: wide or compact (the direction/layout ablation pins its own)")
 		metrics  = fs.String("metrics", "", "write per-worker metrics JSON (one report per instrumented measurement and repetition) to this path")
 		trace    = fs.String("trace", "", "write event-trace JSON for the instrumented measurements to this path")
 		traceCap = fs.Int("tracecap", 1<<14, "per-run event ring-buffer capacity for -trace")
@@ -49,6 +52,14 @@ func RunBenchFig(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	dir, err := core.ParseDirection(*dirName)
+	if err != nil {
+		return err
+	}
+	lay, err := core.ParseLayout(*layName)
+	if err != nil {
+		return err
+	}
 	cfg := harness.Config{
 		Scale:       *scale,
 		Seed:        *seed,
@@ -56,6 +67,8 @@ func RunBenchFig(args []string, stdout, stderr io.Writer) error {
 		Verify:      true,
 		ChunkPolicy: policy,
 		ChunkSize:   *chunk,
+		Direction:   dir,
+		Layout:      lay,
 	}
 	if *metrics != "" || *trace != "" {
 		cfg.Collector = &obs.Collector{}

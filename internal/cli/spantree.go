@@ -40,6 +40,8 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 		deg2      = fs.Bool("deg2", false, "enable degree-2 elimination preprocessing")
 		chunk     = fs.Int("chunk", 0, "drain chunk size for every parallel algorithm: > 0 forces a fixed chunk (1 = unbatched); 0 keeps the adaptive controller (where it caps growth)")
 		chunkPol  = fs.String("chunkpolicy", "", "drain chunk policy for every parallel algorithm: adaptive or fixed (default adaptive, or fixed when -chunk > 0)")
+		direction = fs.String("direction", "auto", "traversal direction policy for the work-stealing algorithm: auto (top-down/bottom-up switching) or topdown (pure push)")
+		layout    = fs.String("layout", "wide", "CSR layout for the work-stealing hot path: wide (int64 offsets) or compact (uint32 arena)")
 		fallback  = fs.Int("fallback", 0, "idle-detection threshold (0 disables the SV fallback)")
 		model     = fs.Bool("model", false, "report Helman-JáJá modeled cost (E4500 profile)")
 		noverify  = fs.Bool("noverify", false, "skip result verification")
@@ -80,6 +82,14 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	dir, err := spantree.ParseDirection(*direction)
+	if err != nil {
+		return err
+	}
+	lay, err := spantree.ParseLayout(*layout)
+	if err != nil {
+		return err
+	}
 	if *chaosSeed != 0 && !spantree.ChaosEnabled {
 		return fmt.Errorf("spantree: -chaos-seed requires a binary built with -tags chaos")
 	}
@@ -103,6 +113,8 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 			FallbackThreshold: *fallback,
 			ChunkPolicy:       policy,
 			ChunkSize:         *chunk,
+			Direction:         dir,
+			Layout:            lay,
 			Verify:            !*noverify,
 			ValidateInput:     *validate,
 			ChaosSeed:         *chaosSeed,
@@ -177,6 +189,8 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 			"p":           fmt.Sprint(*procs),
 			"seed":        fmt.Sprint(*seed),
 			"chunkpolicy": policy.String(),
+			"direction":   dir.String(),
+			"layout":      lay.String(),
 		}
 		rep := rec.NewReport(label, meta)
 		rep.ElapsedNS = recElapsed.Nanoseconds()

@@ -15,6 +15,7 @@ import (
 	"syscall"
 	"time"
 
+	"spantree"
 	"spantree/internal/gen"
 	"spantree/internal/serve"
 )
@@ -81,12 +82,22 @@ func runSpanTreeD(ctx context.Context, args []string, stdout, stderr io.Writer) 
 		maxVerts = fs.Int("max-vertices", 0, "reject graph registrations larger than this (0 = 1<<22)")
 		timeout  = fs.Duration("timeout", 10*time.Second, "per-request deadline cap (also the default deadline)")
 		warmups  = fs.Int("warmups", 0, "warmup runs per session at registration (0 = default)")
+		dirName  = fs.String("direction", "auto", "traversal direction policy for pooled sessions: auto or topdown")
+		layName  = fs.String("layout", "wide", "CSR layout for pooled sessions: wide or compact (the uint32 mirror is built once per session)")
 	)
 	fs.Var(&graphs, "graph", "preload a graph: name=kind:n[:m[:k[:seed]]] (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	dir, err := spantree.ParseDirection(*dirName)
+	if err != nil {
+		return fmt.Errorf("spantreed: %w", err)
+	}
+	lay, err := spantree.ParseLayout(*layName)
+	if err != nil {
+		return fmt.Errorf("spantreed: %w", err)
+	}
 	srv := serve.New(serve.Config{
 		NumProcs:    *procs,
 		PoolSize:    *pool,
@@ -94,6 +105,8 @@ func runSpanTreeD(ctx context.Context, args []string, stdout, stderr io.Writer) 
 		MaxVertices: *maxVerts,
 		MaxTimeout:  *timeout,
 		Warmups:     *warmups,
+		Direction:   dir,
+		Layout:      lay,
 	})
 	defer srv.Close()
 	for _, v := range graphs {

@@ -23,7 +23,7 @@ func TestMinStealLenScaling(t *testing.T) {
 	}
 	// The traversal must wire it from NumProcs.
 	topt := Options{NumProcs: 8}
-	tr := newTraversal(gen.Chain(10), topt.withDefaults())
+	tr, _ := newTraversal(gen.Chain(10), topt.withDefaults())
 	if tr.minSteal != 4 {
 		t.Errorf("traversal minSteal = %d at p=8, want 4", tr.minSteal)
 	}
@@ -61,7 +61,7 @@ func TestControllerWiring(t *testing.T) {
 		t.Fatalf("ChunkSize cap not wired: %d/%d, want 4/4", c.Chunk(), c.Max())
 	}
 	topt := Options{NumProcs: 8}
-	tr := newTraversal(gen.Chain(10), topt.withDefaults())
+	tr, _ := newTraversal(gen.Chain(10), topt.withDefaults())
 	tr.fail.Record(7)
 	if tr.fail.Load(7) != 1 || tr.fail.Load(0) != 0 {
 		t.Fatal("per-victim fail signal not wired per processor")

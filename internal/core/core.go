@@ -111,6 +111,22 @@ type Options struct {
 	// caps the controller's growth (<= 0 means AdaptiveMaxChunk).
 	ChunkSize int
 
+	// Direction selects the traversal's direction policy. The zero value
+	// DirectionAuto lets workers switch to a bottom-up sweep when the
+	// live frontier is a large fraction of the unclaimed remainder (on
+	// graphs of at least buMinGraph vertices); DirectionTopDown pins the
+	// pure push traversal (the ablation baseline).
+	Direction Direction
+	// BottomUpAlpha tunes the top-down to bottom-up switch: the sweep
+	// starts when frontier*alpha >= remaining. <= 0 means the default
+	// (defaultBottomUpAlpha).
+	BottomUpAlpha int
+	// Layout selects the CSR layout the traversal hot loops read. The
+	// zero value LayoutWide reads graph.Graph directly; LayoutCompact
+	// builds (or, through a Workspace, reuses) a uint32 graph.CSR32
+	// mirror, halving the hot path's memory footprint per offset.
+	Layout Layout
+
 	// Deg2Eliminate enables the degree-2 vertex elimination preprocessing
 	// step described at the end of the paper's Section 2.
 	Deg2Eliminate bool
@@ -161,6 +177,9 @@ func (o *Options) withDefaults() Options {
 	// defaults it.
 	if out.ChunkPolicy == ChunkFixed && out.ChunkSize <= 0 {
 		out.ChunkSize = DefaultChunkSize
+	}
+	if out.BottomUpAlpha <= 0 {
+		out.BottomUpAlpha = defaultBottomUpAlpha
 	}
 	if out.IdleSleep == 0 {
 		out.IdleSleep = 20 * time.Microsecond
@@ -359,8 +378,13 @@ func (c chaseLevQueue) HighWater() int { return c.q.HighWater() }
 // traversal holds the shared state of the work-stealing phase.
 type traversal struct {
 	g *graph.Graph
-	o Options
-	n int
+	// cg is the compact uint32 mirror of g, non-nil exactly when
+	// Options.Layout is LayoutCompact: the hot loops read it, while the
+	// cold paths (stub walk, fallback, quiescence, span reporting,
+	// verification) always keep the wide g.
+	cg *graph.CSR32
+	o  Options
+	n  int
 	// parent is the fused claim array: graph.None means unclaimed, any
 	// other value is the claimed parent. Roots hold a self-parent
 	// sentinel (parent[v] == v) while the traversal runs so they stay
@@ -398,6 +422,20 @@ type traversal struct {
 	sleepers atomic.Int32
 	abort    atomic.Bool // set when the fallback threshold trips
 
+	// Direction-optimization state (see direction.go). dirOpt is true
+	// when Options.Direction is DirectionAuto and the graph is large
+	// enough to ever profit from a sweep; buAlpha is the resolved switch
+	// threshold. phase is the current traversal direction; buCursor the
+	// shared bottom-up sweep cursor; buClaims the running claim count of
+	// the current sweep; buMu serializes phase transitions and the
+	// sweep-end decision.
+	dirOpt   bool
+	buAlpha  int
+	phase    atomic.Int32
+	buCursor atomic.Int64
+	buClaims atomic.Int64
+	buMu     sync.Mutex
+
 	// cancel is the run's stop flag (never nil: newTraversal substitutes
 	// a private flag when the caller passed none, so panic isolation
 	// always has somewhere to record its cause). inj is the chaos fault
@@ -415,7 +453,7 @@ type traversal struct {
 	rec *obs.Recorder
 }
 
-func newTraversal(g *graph.Graph, o Options) *traversal {
+func newTraversal(g *graph.Graph, o Options) (*traversal, error) {
 	n := g.NumVertices()
 	rec := o.Obs
 	if rec == nil {
@@ -432,6 +470,15 @@ func newTraversal(g *graph.Graph, o Options) *traversal {
 		rec:      rec,
 		cancel:   o.Cancel,
 		inj:      o.Chaos,
+		dirOpt:   o.Direction == DirectionAuto && n >= buMinGraph && len(g.Adj) >= buMinAvgDeg*n,
+		buAlpha:  o.BottomUpAlpha,
+	}
+	if o.Layout == LayoutCompact {
+		cg, err := graph.CompactOf(g)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		t.cg = cg
 	}
 	if t.cancel == nil {
 		t.cancel = &fault.Flag{}
@@ -456,7 +503,7 @@ func newTraversal(g *graph.Graph, o Options) *traversal {
 			t.queues[i] = stealHalfQueue{q}
 		}
 	}
-	return t
+	return t, nil
 }
 
 // claim attempts to acquire w with parent p by a CAS directly on the
@@ -496,7 +543,10 @@ func (t *traversal) normalizeRoots() {
 
 // run executes both steps of the algorithm on g.
 func run(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
-	t := newTraversal(g, o)
+	t, err := newTraversal(g, o)
+	if err != nil {
+		return nil, Stats{}, err
+	}
 	var stats Stats
 	stats.VerticesPerProc = make([]int64, o.NumProcs)
 	stats.EdgesPerProc = make([]int64, o.NumProcs)
@@ -719,6 +769,14 @@ func (t *traversal) workerLoop(tid int, ws *workerState) {
 			h(tid)
 		}
 		t.inj.Visit(tid, chaos.PointDrain)
+		if t.dirOpt && t.phase.Load() == phaseBottomUp {
+			// Bottom-up phase: scan one sweep quantum instead of draining
+			// the queue (the queued frontier keeps for the return to
+			// top-down; sweeping claims around it).
+			t.bottomUpQuantum(ws, myQ)
+			fruitless = 0
+			continue
+		}
 		nPop, qrem := myQ.PopBatchLen(ws.chunk[:ws.ctrl.Chunk()])
 		if nPop > 0 {
 			ws.probe.NonContig(2) // one locked chunk dequeue
@@ -727,7 +785,6 @@ func (t *traversal) workerLoop(tid int, ws *workerState) {
 			ws.lc.Incr(obs.DrainHistBucket(nPop))
 			ws.out = ws.out[:0]
 			for _, v := range ws.chunk[:nPop] {
-				ws.probe.NonContig(1) // load adjacency offset
 				t.process(tid, graph.VID(v), ws.probe, &ws.out, &ws.lc, &ws.pend)
 			}
 			if len(ws.out) > 0 {
@@ -753,6 +810,13 @@ func (t *traversal) workerLoop(tid int, ws *workerState) {
 			if processed >= DefaultChunkSize {
 				processed = 0
 				ws.lc.FlushTo(ws.ow)
+				// The direction check shares the yield cadence: one
+				// frontier poll per DefaultChunkSize vertices processed.
+				if t.dirOpt && t.phase.Load() == phaseTopDown {
+					if frontier, ok := t.buShouldSwitch(ws.probe); ok {
+						t.buEnter(frontier, ws.ow)
+					}
+				}
 				runtime.Gosched()
 			}
 			continue
@@ -799,14 +863,21 @@ func (t *traversal) process(tid int, v graph.VID, probe *smpmodel.Probe,
 	out *[]int32, lc *obs.Local, pend *int64) {
 	t.inj.Visit(tid, chaos.PointClaim)
 	lc.Incr(obs.VerticesClaimed)
+	if t.cg != nil {
+		t.processCompact(v, probe, out, lc, pend)
+		return
+	}
 	nb := t.g.Neighbors(v)
+	probe.NonContig(1) // load adjacency offset
 	probe.Contig(int64(len(nb)))
 	lc.Add(obs.EdgesScanned, int64(len(nb)))
 	var childSpan int64
 	if t.span != nil {
 		// A child claimed while processing v completes no earlier than
 		// v's own claim plus the cost of scanning v's neighborhood.
-		childSpan = t.span[v] + procCostNC(len(nb))
+		// Span cells are accessed atomically because bottom-up sweeps
+		// read a claimed neighbor's span concurrently with this store.
+		childSpan = atomic.LoadInt64(&t.span[v]) + procCostNC(len(nb))
 	}
 	for _, w := range nb {
 		probe.NonContig(1) // fused claim-state load of parent[w]
@@ -816,7 +887,7 @@ func (t *traversal) process(tid int, v graph.VID, probe *smpmodel.Probe,
 		if t.claim(w, v) {
 			probe.NonContig(1) // winning claim CAS
 			if t.span != nil {
-				t.span[w] = childSpan
+				atomic.StoreInt64(&t.span[w], childSpan)
 			}
 			*out = append(*out, int32(w))
 			*pend++

@@ -70,7 +70,10 @@ func LockstepForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 const idlePatienceRounds = 4
 
 func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
-	t := newTraversal(g, o)
+	t, err := newTraversal(g, o)
+	if err != nil {
+		return nil, Stats{}, err
+	}
 	var stats Stats
 	stats.VerticesPerProc = make([]int64, o.NumProcs)
 	stats.EdgesPerProc = make([]int64, o.NumProcs)
@@ -131,6 +134,12 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 	}
 	idleStreak := make([]int, p)
 	seededRoots := 0
+	// sinceDirCheck accumulates processed turns toward the next
+	// direction-switch evaluation, matching the concurrent driver's
+	// one-poll-per-DefaultChunkSize-vertices cadence; round counts and
+	// queue lengths are deterministic, so the switch points are too.
+	sinceDirCheck := 0
+	dirPolls := 0
 
 	// processOne runs the batched process step for one vertex: children
 	// accumulate in out, are flushed with one PushBatch, and the progress
@@ -160,6 +169,39 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 			}
 		}()
 		for t.visited.Load() < int64(t.n) && !t.abort.Load() && !t.cancel.Tripped() {
+			if t.dirOpt && t.phase.Load() == phaseBottomUp {
+				// Bottom-up round: every processor scans one fixed sweep
+				// quantum (never idle, so the fallback and quiescence
+				// bookkeeping skips the round). When the sweep cursor runs
+				// past n the tid that notices runs the sweep-end decision;
+				// later tids in the same round bail out of buSweepEnd and
+				// simply lose their turn.
+				for tid := 0; tid < p && t.visited.Load() < int64(t.n) && !t.cancel.Tripped(); tid++ {
+					curTid = tid
+					if h := o.testHook; h != nil {
+						h(tid)
+					}
+					probe := o.Model.Probe(tid)
+					start := t.buCursor.Add(buChunk) - buChunk
+					probe.NonContig(1) // shared sweep-cursor fetch-add
+					if start >= int64(t.n) {
+						t.buSweepEnd(workers[tid])
+						continue
+					}
+					hi := min(int(start)+buChunk, t.n)
+					var pend int64
+					stealBuf = t.scanBottomUp(int(start), hi, probe, &locals[tid], &pend, stealBuf[:0])
+					if len(stealBuf) > 0 {
+						t.queues[tid].PushBatch(stealBuf)
+						probe.NonContig(2 + int64(len(stealBuf)))
+						t.buClaims.Add(int64(len(stealBuf)))
+					}
+					t.visited.Add(pend)
+					idleStreak[tid] = 0
+				}
+				stats.LockstepRounds++
+				continue
+			}
 			idleThisRound := 0
 			patientIdlers := 0
 			for tid := 0; tid < p && t.visited.Load() < int64(t.n) && !t.cancel.Tripped(); tid++ {
@@ -173,10 +215,11 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 				if v, ok := myQ.Pop(); ok {
 					// Charge the batched hot path's amortized costs: at each
 					// virtual chunk boundary, the lock pairs of one chunked
-					// dequeue plus one batch flush, then one offset load per
-					// vertex. The controller resizes the next virtual drain at
-					// the boundary, so the modeled charges follow the adaptive
-					// schedule (single-goroutine, hence still deterministic).
+					// dequeue plus one batch flush (the per-vertex offset load
+					// is charged inside process, layout-aware). The controller
+					// resizes the next virtual drain at the boundary, so the
+					// modeled charges follow the adaptive schedule
+					// (single-goroutine, hence still deterministic).
 					if remaining[tid] == 0 {
 						probe.NonContig(4)
 						ctrl := &ctrls[tid]
@@ -191,7 +234,6 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 						locals[tid].Incr(obs.DrainHistBucket(drained))
 					}
 					remaining[tid]--
-					probe.NonContig(1)
 					processOne(tid, graph.VID(v), probe, myQ)
 					idleStreak[tid] = 0
 					continue
@@ -283,6 +325,23 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 				}
 				// Cursor exhausted means every vertex is colored; the loop
 				// condition ends the traversal.
+			}
+			if t.dirOpt && t.phase.Load() == phaseTopDown {
+				sinceDirCheck += p - idleThisRound
+				if sinceDirCheck >= DefaultChunkSize {
+					sinceDirCheck = 0
+					// Rotate the frontier-poll charge across processors so
+					// the ~n/DefaultChunkSize checks do not pile their p
+					// queue-length reads onto one processor's T_M. The poll
+					// count — not the round count — drives the rotation:
+					// polls fire every ~DefaultChunkSize/p rounds, so a
+					// round-based index would repeat the same residue.
+					chk := dirPolls % p
+					dirPolls++
+					if frontier, ok := t.buShouldSwitch(o.Model.Probe(chk)); ok {
+						t.buEnter(frontier, workers[chk])
+					}
+				}
 			}
 		}
 	}()

@@ -108,6 +108,17 @@ func NewWorkspace(g *graph.Graph, opt Options, wopt WorkspaceOptions) (*Workspac
 		fail:     sched.NewFailSignal(p),
 		rec:      obs.New(p),
 		cancel:   &fault.Flag{},
+		dirOpt:   o.Direction == DirectionAuto && n >= buMinGraph && len(g.Adj) >= buMinAvgDeg*n,
+		buAlpha:  o.BottomUpAlpha,
+	}
+	if o.Layout == LayoutCompact {
+		// The compact mirror is built once here, so pooled runs stay in
+		// the allocation-free steady state whatever the layout.
+		cg, err := graph.CompactOf(g)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		t.cg = cg
 	}
 	t.o.Cancel = t.cancel
 	for i := range t.parent {
@@ -225,6 +236,9 @@ func (w *Workspace) Run(seed uint64) ([]graph.VID, *Stats, error) {
 	t.cursor.Store(0)
 	t.sleepers.Store(0)
 	t.abort.Store(false)
+	t.phase.Store(phaseTopDown)
+	t.buCursor.Store(0)
+	t.buClaims.Store(0)
 	vp, ep := w.stats.VerticesPerProc, w.stats.EdgesPerProc
 	clear(vp)
 	clear(ep)

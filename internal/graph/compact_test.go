@@ -1,0 +1,125 @@
+package graph_test
+
+// The compact uint32 CSR must be an exact structural mirror of the wide
+// Graph it was built from: same neighbors, same degrees, same Validate
+// verdicts after a round trip. The generator list mirrors the Fig. 4
+// experiment inputs so every graph family the harness measures is
+// covered by the equivalence property.
+
+import (
+	"strings"
+	"testing"
+
+	"spantree/internal/gen"
+	"spantree/internal/graph"
+)
+
+// fig4Graphs builds a small instance of every Fig. 4 generator family.
+func fig4Graphs(t *testing.T) []*graph.Graph {
+	t.Helper()
+	const n, seed = 1 << 10, uint64(7)
+	logn := 10
+	return []*graph.Graph{
+		gen.Torus2D(32, 32),
+		graph.RandomRelabel(gen.Torus2D(32, 32), seed^0xA5A5),
+		gen.Random(n, n*logn, seed),
+		gen.Mesh2D(32, 32, 0.60, seed),
+		gen.Mesh3D(10, 10, 10, 0.40, seed),
+		gen.AD3(n, seed),
+		gen.GeoFlat(n, gen.DefaultGeoFlatParams(), seed),
+		gen.GeoHier(n, gen.DefaultGeoHierParams(), seed),
+		gen.Chain(n),
+		graph.RandomRelabel(gen.Chain(n), seed^0x5A5A),
+	}
+}
+
+func TestCompactRoundTripFig4Families(t *testing.T) {
+	for _, g := range fig4Graphs(t) {
+		c, err := graph.CompactOf(g)
+		if err != nil {
+			t.Fatalf("%v: CompactOf: %v", g, err)
+		}
+		if c.NumVertices() != g.NumVertices() || c.NumEdges() != g.NumEdges() {
+			t.Fatalf("%v: compact shape %d/%d, want %d/%d",
+				g, c.NumVertices(), c.NumEdges(), g.NumVertices(), g.NumEdges())
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if c.Degree(graph.VID(v)) != g.Degree(graph.VID(v)) {
+				t.Fatalf("%v: degree(%d) = %d, want %d", g, v,
+					c.Degree(graph.VID(v)), g.Degree(graph.VID(v)))
+			}
+			wide := g.Neighbors(graph.VID(v))
+			narrow := c.Neighbors32(graph.VID(v))
+			if len(wide) != len(narrow) {
+				t.Fatalf("%v: vertex %d has %d compact neighbors, want %d",
+					g, v, len(narrow), len(wide))
+			}
+			for i := range wide {
+				if graph.VID(narrow[i]) != wide[i] {
+					t.Fatalf("%v: neighbor %d of vertex %d is %d, want %d",
+						g, i, v, narrow[i], wide[i])
+				}
+			}
+		}
+		back := c.ToGraph()
+		if !g.Equal(back) {
+			t.Fatalf("%v: round trip through CSR32 is not structurally equal", g)
+		}
+		if g.Validate() != nil {
+			t.Fatalf("%v: generator produced an invalid graph", g)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("%v: round-tripped graph fails validation: %v", g, err)
+		}
+	}
+}
+
+func TestCompactPreservesValidateVerdictOnMalformedGraphs(t *testing.T) {
+	// Malformed-but-compactable graphs must stay malformed in the same
+	// way after the round trip: the compact layout is a re-encoding, not
+	// a repair pass.
+	bad := []*graph.Graph{
+		// Non-monotone offsets.
+		{Offs: []int64{0, 4, 2, 6}, Adj: []graph.VID{1, 2, 2, 0, 0, 1}, Name: "nonmonotone"},
+		// Neighbor out of range.
+		{Offs: []int64{0, 1, 2}, Adj: []graph.VID{9, 0}, Name: "outofrange"},
+		// Asymmetric adjacency.
+		{Offs: []int64{0, 1, 2, 2}, Adj: []graph.VID{1, 2}, Name: "asymmetric"},
+	}
+	for _, g := range bad {
+		wantErr := g.Validate()
+		if wantErr == nil {
+			t.Fatalf("%s: test fixture unexpectedly valid", g.Name)
+		}
+		c, err := graph.CompactOf(g)
+		if err != nil {
+			t.Fatalf("%s: CompactOf rejected a uint32-representable graph: %v", g.Name, err)
+		}
+		gotErr := c.ToGraph().Validate()
+		if gotErr == nil {
+			t.Fatalf("%s: round trip laundered the validation error %v", g.Name, wantErr)
+		}
+		if gotErr.Error() != wantErr.Error() {
+			t.Fatalf("%s: verdict changed across the round trip: %v vs %v",
+				g.Name, wantErr, gotErr)
+		}
+	}
+}
+
+func TestCompactOfRejectsUnrepresentableGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want string
+	}{
+		{"offset overflow", &graph.Graph{Offs: []int64{0, 1 << 33}, Adj: nil}, "does not fit"},
+		{"negative offset", &graph.Graph{Offs: []int64{0, -1}, Adj: nil}, "does not fit"},
+		{"negative neighbor", &graph.Graph{Offs: []int64{0, 1, 2}, Adj: []graph.VID{-3, 0}}, "negative neighbor"},
+		{"no offsets", &graph.Graph{}, "malformed"},
+	}
+	for _, tc := range cases {
+		if _, err := graph.CompactOf(tc.g); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: CompactOf error = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -71,6 +71,12 @@ func registerAblations() {
 		run:         runAblChunk,
 	})
 	register(Experiment{
+		ID:          "abl-direction",
+		Title:       "Ablation: traversal direction policy x CSR layout",
+		Description: "Direction-optimizing (top-down/bottom-up auto switching) vs pure top-down, crossed with the wide int64 CSR vs the compact uint32 arena, on the low-diameter shapes where bottom-up pays (torus, geometric) and the high-diameter chain where it must stay out of the way.",
+		run:         runAblDirection,
+	})
+	register(Experiment{
 		ID:          "abl-stublen",
 		Title:       "Ablation: stub walk length",
 		Description: "The paper specifies an O(p)-step random walk for the stub spanning tree; this sweeps the walk length to show the choice is insensitive as long as every processor gets a seed.",
@@ -410,6 +416,105 @@ func runAblChunk(cfg Config) (*Report, error) {
 			hits["chain"]["adaptive"], hits["chain"]["fixed-64"],
 			hits["small-randconn"]["adaptive"], hits["small-randconn"]["fixed-64"],
 			hits["small-randconn"]["fixed-1"]))
+	}
+	return rep, nil
+}
+
+func runAblDirection(cfg Config) (*Report, error) {
+	s := sqrtSide(cfg.Scale)
+	p := maxProcs(cfg)
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"torus-random", graph.RandomRelabel(gen.Torus2D(s, s), cfg.Seed^0xA5A5)},
+		{"geo-hier", gen.GeoHier(cfg.Scale, gen.DefaultGeoHierParams(), cfg.Seed)},
+		{"chain", gen.Chain(cfg.Scale)},
+	}
+	variants := []struct {
+		name string
+		ws   wsConfig
+	}{
+		{"topdown/wide", wsConfig{forceDirLayout: true, direction: core.DirectionTopDown, layout: core.LayoutWide}},
+		{"topdown/compact", wsConfig{forceDirLayout: true, direction: core.DirectionTopDown, layout: core.LayoutCompact}},
+		{"auto/wide", wsConfig{forceDirLayout: true, direction: core.DirectionAuto, layout: core.LayoutWide}},
+		{"auto/compact", wsConfig{forceDirLayout: true, direction: core.DirectionAuto, layout: core.LayoutCompact}},
+	}
+	rep := &Report{ID: "abl-direction", Title: "direction policy x CSR layout (p = " + fmt.Sprint(p) + ")"}
+	rep.Table = stats.NewTable("graph", "variant", "time", "detail")
+	times := map[string]map[string]measurement{}
+	for _, fam := range families {
+		times[fam.name] = map[string]measurement{}
+		for _, v := range variants {
+			m, err := measure(cfg, fam.g, kindWS, p, v.ws)
+			if err != nil {
+				return nil, err
+			}
+			times[fam.name][v.name] = m
+			rep.Table.AddRow(fam.name, v.name, stats.FormatDuration(m.time), m.extra)
+		}
+	}
+	if cfg.Mode == Modeled {
+		deep := []string{"torus-random", "geo-hier"}
+		rep.Checks = append(rep.Checks, Check{
+			Name: "bottom-up switching wins where the frontier balloons",
+			Pass: times["geo-hier"]["auto/wide"].time < times["geo-hier"]["topdown/wide"].time,
+			Detail: fmt.Sprintf("geo-hier auto %v vs topdown %v (both wide)",
+				stats.FormatDuration(times["geo-hier"]["auto/wide"].time),
+				stats.FormatDuration(times["geo-hier"]["topdown/wide"].time)),
+		})
+		noHarm := true
+		for _, fam := range families {
+			if times[fam.name]["auto/wide"].time > times[fam.name]["topdown/wide"].time*21/20 {
+				noHarm = false
+			}
+		}
+		rep.Checks = append(rep.Checks, Check{
+			Name: "auto never costs more than 5% where bottom-up cannot pay",
+			Pass: noHarm,
+			Detail: fmt.Sprintf("torus auto %v vs topdown %v; chain %v vs %v (both wide)",
+				stats.FormatDuration(times["torus-random"]["auto/wide"].time),
+				stats.FormatDuration(times["torus-random"]["topdown/wide"].time),
+				stats.FormatDuration(times["chain"]["auto/wide"].time),
+				stats.FormatDuration(times["chain"]["topdown/wide"].time)),
+		})
+		layWins := true
+		for _, f := range deep {
+			if times[f]["topdown/compact"].time >= times[f]["topdown/wide"].time {
+				layWins = false
+			}
+		}
+		rep.Checks = append(rep.Checks, Check{
+			Name: "the compact uint32 arena cuts modeled memory traffic",
+			Pass: layWins,
+			Detail: fmt.Sprintf("torus compact %v vs wide %v; geo %v vs %v (both topdown)",
+				stats.FormatDuration(times["torus-random"]["topdown/compact"].time),
+				stats.FormatDuration(times["torus-random"]["topdown/wide"].time),
+				stats.FormatDuration(times["geo-hier"]["topdown/compact"].time),
+				stats.FormatDuration(times["geo-hier"]["topdown/wide"].time)),
+		})
+		combined := true
+		for _, f := range deep {
+			if times[f]["auto/compact"].time >= times[f]["topdown/wide"].time {
+				combined = false
+			}
+		}
+		rep.Checks = append(rep.Checks, Check{
+			Name: "both optimizations together beat the baseline",
+			Pass: combined,
+			Detail: fmt.Sprintf("torus auto/compact %v vs topdown/wide %v; geo %v vs %v",
+				stats.FormatDuration(times["torus-random"]["auto/compact"].time),
+				stats.FormatDuration(times["torus-random"]["topdown/wide"].time),
+				stats.FormatDuration(times["geo-hier"]["auto/compact"].time),
+				stats.FormatDuration(times["geo-hier"]["topdown/wide"].time)),
+		})
+		rep.Checks = append(rep.Checks, Check{
+			Name: "auto stays out of the way on the high-diameter chain",
+			Pass: times["chain"]["auto/wide"].time <= times["chain"]["topdown/wide"].time*11/10,
+			Detail: fmt.Sprintf("chain auto %v vs topdown %v (wide)",
+				stats.FormatDuration(times["chain"]["auto/wide"].time),
+				stats.FormatDuration(times["chain"]["topdown/wide"].time)),
+		})
 	}
 	return rep, nil
 }

@@ -75,6 +75,12 @@ type Config struct {
 	// policy, default growth cap.
 	ChunkPolicy core.ChunkPolicy
 	ChunkSize   int
+	// Direction and Layout configure the work-stealing traversal for
+	// every experiment that does not force its own (the direction/layout
+	// ablation does). The zero values are the core defaults:
+	// direction-optimizing auto, wide CSR layout.
+	Direction core.Direction
+	Layout    core.Layout
 	// Collector, when non-nil, receives one observability Report per
 	// instrumented measurement (the work-stealing and SV-family runs),
 	// labeled "algo/graph/p=N" — the metrics artifact cmd/benchfig

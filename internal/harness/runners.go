@@ -77,6 +77,12 @@ type wsConfig struct {
 	forceChunk  bool
 	chunkPolicy core.ChunkPolicy
 	chunkSize   int
+	// forceDirLayout overrides cfg.Direction/Layout with direction and
+	// layout — the direction/layout ablation pins its variants the same
+	// way the chunk ablations pin theirs.
+	forceDirLayout bool
+	direction      core.Direction
+	layout         core.Layout
 	// statsOut, when non-nil, receives the run's core.Stats for
 	// ablations that check steal hit rates and controller activity. In
 	// wall-clock mode the scheduler counters (steals, attempts, chunk
@@ -131,10 +137,16 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 				StubSteps:     ws.stubSteps,
 				ChunkPolicy:   cfg.ChunkPolicy,
 				ChunkSize:     cfg.ChunkSize,
+				Direction:     cfg.Direction,
+				Layout:        cfg.Layout,
 			}
 			if ws.forceChunk {
 				opt.ChunkPolicy = ws.chunkPolicy
 				opt.ChunkSize = ws.chunkSize
+			}
+			if ws.forceDirLayout {
+				opt.Direction = ws.direction
+				opt.Layout = ws.layout
 			}
 			if ws.fallbackAtP {
 				opt.FallbackThreshold = maxInt(1, p-1)
@@ -181,6 +193,16 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 			"mode":  cfg.Mode.String(),
 			"seed":  fmt.Sprint(cfg.Seed),
 			"rep":   fmt.Sprint(rep),
+		}
+		if kind == kindWS {
+			// Stamp the traversal variant so benchcmp can warn when a
+			// baseline and a current artifact measured different policies.
+			dir, lay := cfg.Direction, cfg.Layout
+			if ws.forceDirLayout {
+				dir, lay = ws.direction, ws.layout
+			}
+			meta["direction"] = dir.String()
+			meta["layout"] = lay.String()
 		}
 		cfg.Collector.Collect(label, meta, elapsed.Nanoseconds(), rec)
 	}

@@ -110,6 +110,17 @@ const (
 	// worker (stalls, steal vetoes, panics); always 0 in default builds.
 	ChaosInjections
 
+	// DirectionSwitches counts traversal phase changes this worker
+	// initiated (top-down -> bottom-up and back); 0 under -direction
+	// topdown.
+	DirectionSwitches
+	// BottomUpScanned is the number of vertices this worker inspected
+	// during bottom-up sweeps (visited or not).
+	BottomUpScanned
+	// BottomUpClaims counts vertices this worker claimed bottom-up (an
+	// unvisited vertex that found a claimed neighbor to adopt as parent).
+	BottomUpClaims
+
 	numCounters
 )
 
@@ -153,6 +164,9 @@ const (
 	EvPanic
 	// EvChaos: the chaos layer injected a fault (A = injection point).
 	EvChaos
+	// EvDirection: the traversal switched direction (A = new phase,
+	// 0 = top-down, 1 = bottom-up; B = frontier size at the switch).
+	EvDirection
 )
 
 // String returns the schema name of the event kind.
@@ -176,6 +190,8 @@ func (k EventKind) String() string {
 		return "panic"
 	case EvChaos:
 		return "chaos"
+	case EvDirection:
+		return "direction"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }

@@ -47,31 +47,40 @@ type Counters struct {
 	Cancels         int64 `json:"cancels,omitempty"`
 	PanicsRecovered int64 `json:"panics_recovered,omitempty"`
 	ChaosInjections int64 `json:"chaos_injections,omitempty"`
+	// The direction-optimization counters were added with the bottom-up
+	// traversal phase (schema grows additively); all three stay omitted
+	// for push-only runs, so earlier artifacts compare unchanged.
+	DirectionSwitches int64 `json:"direction_switches,omitempty"`
+	BottomUpScanned   int64 `json:"bottomup_scanned,omitempty"`
+	BottomUpClaims    int64 `json:"bottomup_claims,omitempty"`
 }
 
 // countersFrom maps the counter array into the named JSON fields.
 func countersFrom(c *[numCounters]int64) Counters {
 	out := Counters{
-		VerticesClaimed:  c[VerticesClaimed],
-		EdgesScanned:     c[EdgesScanned],
-		StealAttempts:    c[StealAttempts],
-		StealSuccesses:   c[StealSuccesses],
-		StealFailures:    c[StealFailures],
-		StolenVertices:   c[StolenVertices],
-		FailedClaims:     c[FailedClaims],
-		QueueHighWater:   c[QueueHighWater],
-		BarrierWaits:     c[BarrierWaits],
-		IdleTransitions:  c[IdleTransitions],
-		FallbackTriggers: c[FallbackTriggers],
-		SeededComponents: c[SeededComponents],
-		ChunkDrains:      c[ChunkDrains],
-		DrainedVertices:  c[DrainedVertices],
-		ChunkGrow:        c[ChunkGrow],
-		ChunkShrink:      c[ChunkShrink],
-		ChunkHighWater:   c[ChunkHighWater],
-		Cancels:          c[Cancels],
-		PanicsRecovered:  c[PanicsRecovered],
-		ChaosInjections:  c[ChaosInjections],
+		VerticesClaimed:   c[VerticesClaimed],
+		EdgesScanned:      c[EdgesScanned],
+		StealAttempts:     c[StealAttempts],
+		StealSuccesses:    c[StealSuccesses],
+		StealFailures:     c[StealFailures],
+		StolenVertices:    c[StolenVertices],
+		FailedClaims:      c[FailedClaims],
+		QueueHighWater:    c[QueueHighWater],
+		BarrierWaits:      c[BarrierWaits],
+		IdleTransitions:   c[IdleTransitions],
+		FallbackTriggers:  c[FallbackTriggers],
+		SeededComponents:  c[SeededComponents],
+		ChunkDrains:       c[ChunkDrains],
+		DrainedVertices:   c[DrainedVertices],
+		ChunkGrow:         c[ChunkGrow],
+		ChunkShrink:       c[ChunkShrink],
+		ChunkHighWater:    c[ChunkHighWater],
+		Cancels:           c[Cancels],
+		PanicsRecovered:   c[PanicsRecovered],
+		ChaosInjections:   c[ChaosInjections],
+		DirectionSwitches: c[DirectionSwitches],
+		BottomUpScanned:   c[BottomUpScanned],
+		BottomUpClaims:    c[BottomUpClaims],
 	}
 	for b := 0; b < DrainHistBuckets; b++ {
 		if c[DrainHist0+Counter(b)] != 0 {

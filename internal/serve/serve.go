@@ -71,6 +71,13 @@ type Config struct {
 	// Warmups is the per-session warmup run count (0 means the session
 	// default).
 	Warmups int
+	// Layout selects the CSR layout the pooled sessions read (the zero
+	// value is the wide Graph; spantree.LayoutCompact builds a uint32
+	// mirror once per session, keeping runs allocation-free).
+	Layout spantree.Layout
+	// Direction selects the traversal direction policy (the zero value,
+	// spantree.DirectionAuto, enables the bottom-up phase switch).
+	Direction spantree.Direction
 }
 
 func (c Config) withDefaults() Config {
@@ -198,6 +205,8 @@ func (s *Server) register(name string, spec gen.Spec) (*entry, error) {
 	pool, err := spantree.NewSessionPool(g, spantree.SessionOptions{
 		NumProcs:    s.cfg.NumProcs,
 		ChunkPolicy: spantree.ChunkAdaptive,
+		Direction:   s.cfg.Direction,
+		Layout:      s.cfg.Layout,
 		Warmups:     s.cfg.Warmups,
 	}, s.cfg.PoolSize)
 	if err != nil {

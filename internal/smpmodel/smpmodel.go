@@ -37,7 +37,19 @@ type Counters struct {
 	// Ops counts local computation (comparisons, arithmetic) not already
 	// implied by an access.
 	Ops int64
-	_   [5]int64 // pad to 64 bytes
+	// NonContigCompact and ContigCompact count the same two access
+	// classes when made through the compact uint32 CSR layout
+	// (graph.CSR32): half-width elements double cache-line and TLB
+	// utilization, so a Machine may price them below the wide rates.
+	NonContigCompact int64
+	ContigCompact    int64
+	// BottomUpScans counts vertices inspected by bottom-up sweeps: the
+	// direction-optimized traversal streams over the parent array in
+	// vertex order, so each inspection is a contiguous access — the
+	// whole point of switching direction is trading non-contiguous
+	// queue traffic for this class.
+	BottomUpScans int64
+	_             [2]int64 // pad to 64 bytes
 }
 
 // Add accumulates other into c.
@@ -45,6 +57,9 @@ func (c *Counters) Add(other Counters) {
 	c.NonContig += other.NonContig
 	c.Contig += other.Contig
 	c.Ops += other.Ops
+	c.NonContigCompact += other.NonContigCompact
+	c.ContigCompact += other.ContigCompact
+	c.BottomUpScans += other.BottomUpScans
 }
 
 // Model collects counters for p virtual processors plus a global barrier
@@ -141,6 +156,15 @@ func (m *Model) MaxPerProc() Counters {
 		if c.Ops > out.Ops {
 			out.Ops = c.Ops
 		}
+		if c.NonContigCompact > out.NonContigCompact {
+			out.NonContigCompact = c.NonContigCompact
+		}
+		if c.ContigCompact > out.ContigCompact {
+			out.ContigCompact = c.ContigCompact
+		}
+		if c.BottomUpScans > out.BottomUpScans {
+			out.BottomUpScans = c.BottomUpScans
+		}
 	}
 	return out
 }
@@ -154,10 +178,14 @@ func (m *Model) Total() Counters {
 	return out
 }
 
-// Triplet formats the model state as the paper's cost triplet.
+// Triplet formats the model state as the paper's cost triplet. Compact
+// accesses fold into the class they belong to (non-contiguous or
+// contiguous); bottom-up scans are streaming, so they fold into T_C.
 func (m *Model) Triplet() string {
 	mx := m.MaxPerProc()
-	return fmt.Sprintf("⟨T_M=%d; T_C=%d; B=%d⟩", mx.NonContig, mx.Ops+mx.Contig, m.barriers)
+	return fmt.Sprintf("⟨T_M=%d; T_C=%d; B=%d⟩",
+		mx.NonContig+mx.NonContigCompact,
+		mx.Ops+mx.Contig+mx.ContigCompact+mx.BottomUpScans, m.barriers)
 }
 
 // Probe is the per-processor instrumentation handle. All methods are
@@ -188,6 +216,30 @@ func (p *Probe) Ops(k int64) {
 	}
 }
 
+// NonContigC charges k non-contiguous accesses through the compact
+// uint32 CSR layout.
+func (p *Probe) NonContigC(k int64) {
+	if p != nil {
+		p.c.NonContigCompact += k
+	}
+}
+
+// ContigC charges k contiguous accesses through the compact uint32 CSR
+// layout.
+func (p *Probe) ContigC(k int64) {
+	if p != nil {
+		p.c.ContigCompact += k
+	}
+}
+
+// BottomUpScan charges k bottom-up sweep inspections (streaming reads
+// of the parent array in vertex order).
+func (p *Probe) BottomUpScan(k int64) {
+	if p != nil {
+		p.c.BottomUpScans += k
+	}
+}
+
 // Machine converts a cost triplet into modeled time. The defaults are
 // calibrated to the paper's platform class (Sun E4500, 400 MHz
 // UltraSPARC II, UMA shared memory: worst-case main-memory access in the
@@ -203,6 +255,12 @@ type Machine struct {
 	OpNS float64
 	// BarrierNS is the cost of one barrier synchronization in ns.
 	BarrierNS float64
+	// NonContigCompactNS and ContigCompactNS price accesses through the
+	// compact uint32 CSR layout. Zero means "same as the wide rate"
+	// (NonContigNS / ContigNS), so hand-built profiles that predate the
+	// compact layout keep their meaning.
+	NonContigCompactNS float64
+	ContigCompactNS    float64
 }
 
 // E4500 returns a profile calibrated to the paper's Sun Enterprise 4500.
@@ -213,6 +271,12 @@ func E4500() Machine {
 		ContigNS:    15,  // streaming, amortized over 64B lines
 		OpNS:        2.5, // 400 MHz, ~1 op/cycle
 		BarrierNS:   20000,
+		// Compact rates: halving the element width doubles how many
+		// offsets fit a 64B line and a TLB page, cutting the miss rate of
+		// random offset loads by roughly a third and the streaming cost in
+		// half.
+		NonContigCompactNS: 200,
+		ContigCompactNS:    7.5,
 	}
 }
 
@@ -220,11 +284,13 @@ func E4500() Machine {
 // sensitivity ablation (the shape conclusions survive the profile swap).
 func Modern() Machine {
 	return Machine{
-		Name:        "modern-x86",
-		NonContigNS: 80,
-		ContigNS:    2,
-		OpNS:        0.35,
-		BarrierNS:   3000,
+		Name:               "modern-x86",
+		NonContigNS:        80,
+		ContigNS:           2,
+		OpNS:               0.35,
+		BarrierNS:          3000,
+		NonContigCompactNS: 55,
+		ContigCompactNS:    1,
 	}
 }
 
@@ -239,12 +305,22 @@ func (m *Model) Time(mach Machine) time.Duration {
 	}
 	// The gating processor is the one with the largest weighted sum, not
 	// the max of each component independently: evaluate per processor.
+	ncc, cc := mach.NonContigCompactNS, mach.ContigCompactNS
+	if ncc == 0 {
+		ncc = mach.NonContigNS
+	}
+	if cc == 0 {
+		cc = mach.ContigNS
+	}
 	var worst float64
 	for i := range m.counters {
 		c := &m.counters[i]
 		t := float64(c.NonContig)*mach.NonContigNS +
 			float64(c.Contig)*mach.ContigNS +
-			float64(c.Ops)*mach.OpNS
+			float64(c.Ops)*mach.OpNS +
+			float64(c.NonContigCompact)*ncc +
+			float64(c.ContigCompact)*cc +
+			float64(c.BottomUpScans)*mach.ContigNS
 		if t > worst {
 			worst = t
 		}

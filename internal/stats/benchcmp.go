@@ -338,34 +338,97 @@ func CompareHotpath(baselineJSON []byte, current *obs.Artifact, opt BenchCompare
 	return res, nil
 }
 
+// TraversalVariants is the set of traversal policies an obs artifact's
+// work-stealing runs were measured under, collected from the
+// "direction" and "layout" run meta the harness stamps. Empty slices
+// mean the artifact predates variant stamping (or has no work-stealing
+// runs) — unknown, so nothing to warn about.
+type TraversalVariants struct {
+	Directions []string
+	Layouts    []string
+}
+
+// Variants collects an artifact's distinct direction and layout stamps.
+func Variants(a *obs.Artifact) TraversalVariants {
+	return TraversalVariants{
+		Directions: metaSet(a, "direction"),
+		Layouts:    metaSet(a, "layout"),
+	}
+}
+
+func metaSet(a *obs.Artifact, key string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range a.Runs {
+		if v, ok := r.Meta[key]; ok && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VariantWarning renders a warning line when the baseline and current
+// artifacts were measured under different direction policies or CSR
+// layouts, or "" when they agree (or either side is unknown). Like a
+// host-shape mismatch, a variant mismatch makes the timings
+// incomparable without being a code regression, so the gate warns
+// instead of failing.
+func VariantWarning(base, cur TraversalVariants) string {
+	var parts []string
+	if d := variantDiff("direction", base.Directions, cur.Directions); d != "" {
+		parts = append(parts, d)
+	}
+	if d := variantDiff("layout", base.Layouts, cur.Layouts); d != "" {
+		parts = append(parts, d)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "warning: traversal variant differs — " + strings.Join(parts, "; ") +
+		"; timings are not comparable across variants"
+}
+
+func variantDiff(name string, base, cur []string) string {
+	if len(base) == 0 || len(cur) == 0 {
+		return "" // unknown on one side: nothing to compare
+	}
+	if strings.Join(base, ",") == strings.Join(cur, ",") {
+		return ""
+	}
+	return fmt.Sprintf("baseline %s %s, current %s",
+		name, strings.Join(base, ","), strings.Join(cur, ","))
+}
+
 // LoadBenchBaseline reads a baseline file and dispatches on its schema,
-// returning a closure that compares a current artifact against it and
-// the baseline's host shape (zero for baselines that predate host
-// stamping, e.g. the hot-path record).
-func LoadBenchBaseline(path string) (func(current *obs.Artifact, opt BenchCompareOptions) (*BenchCompareResult, error), obs.HostShape, error) {
+// returning a closure that compares a current artifact against it, the
+// baseline's host shape, and its traversal variants (both zero for
+// baselines that predate the stamping, e.g. the hot-path record).
+func LoadBenchBaseline(path string) (func(current *obs.Artifact, opt BenchCompareOptions) (*BenchCompareResult, error), obs.HostShape, TraversalVariants, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, obs.HostShape{}, err
+		return nil, obs.HostShape{}, TraversalVariants{}, err
 	}
 	var probe struct {
 		Schema string `json:"schema"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
-		return nil, obs.HostShape{}, fmt.Errorf("stats: decoding baseline %s: %w", path, err)
+		return nil, obs.HostShape{}, TraversalVariants{}, fmt.Errorf("stats: decoding baseline %s: %w", path, err)
 	}
 	switch probe.Schema {
 	case HotpathSchema:
 		return func(current *obs.Artifact, opt BenchCompareOptions) (*BenchCompareResult, error) {
 			return CompareHotpath(data, current, opt)
-		}, obs.HostShape{}, nil
+		}, obs.HostShape{}, TraversalVariants{}, nil
 	case obs.Schema:
 		var a obs.Artifact
 		if err := json.Unmarshal(data, &a); err != nil {
-			return nil, obs.HostShape{}, fmt.Errorf("stats: decoding baseline %s: %w", path, err)
+			return nil, obs.HostShape{}, TraversalVariants{}, fmt.Errorf("stats: decoding baseline %s: %w", path, err)
 		}
 		return func(current *obs.Artifact, opt BenchCompareOptions) (*BenchCompareResult, error) {
 			return CompareArtifacts(&a, current, opt), nil
-		}, a.Host, nil
+		}, a.Host, Variants(&a), nil
 	}
-	return nil, obs.HostShape{}, fmt.Errorf("stats: baseline %s has unsupported schema %q", path, probe.Schema)
+	return nil, obs.HostShape{}, TraversalVariants{}, fmt.Errorf("stats: baseline %s has unsupported schema %q", path, probe.Schema)
 }

@@ -226,3 +226,41 @@ func TestCompareHotpathRejectsWrongSchema(t *testing.T) {
 		t.Fatal("wrong schema accepted")
 	}
 }
+
+func TestVariantWarning(t *testing.T) {
+	withMeta := func(label, dir, lay string) obs.Report {
+		r := run(label, 10_000_000, 0, 0)
+		r.Meta = map[string]string{"direction": dir, "layout": lay}
+		return r
+	}
+	base := artifactWith(withMeta("NewAlg/g/p=4", "auto", "wide"))
+	same := artifactWith(withMeta("NewAlg/g/p=4", "auto", "wide"))
+	if w := VariantWarning(Variants(base), Variants(same)); w != "" {
+		t.Fatalf("matching variants warned: %q", w)
+	}
+
+	// Layout drift alone, direction drift alone, and both.
+	layDrift := artifactWith(withMeta("NewAlg/g/p=4", "auto", "compact"))
+	if w := VariantWarning(Variants(base), Variants(layDrift)); w == "" {
+		t.Fatal("layout mismatch not warned")
+	}
+	dirDrift := artifactWith(withMeta("NewAlg/g/p=4", "topdown", "wide"))
+	if w := VariantWarning(Variants(base), Variants(dirDrift)); w == "" {
+		t.Fatal("direction mismatch not warned")
+	}
+	both := artifactWith(withMeta("NewAlg/g/p=4", "topdown", "compact"))
+	w := VariantWarning(Variants(base), Variants(both))
+	if w == "" {
+		t.Fatal("double mismatch not warned")
+	}
+
+	// Artifacts that predate variant stamping stay silent: unknown is
+	// not a mismatch.
+	unstamped := artifactWith(run("NewAlg/g/p=4", 10_000_000, 0, 0))
+	if w := VariantWarning(Variants(unstamped), Variants(both)); w != "" {
+		t.Fatalf("unknown baseline warned: %q", w)
+	}
+	if w := VariantWarning(Variants(base), Variants(unstamped)); w != "" {
+		t.Fatalf("unknown current warned: %q", w)
+	}
+}

@@ -23,6 +23,12 @@ type SessionOptions struct {
 	// exactly as in Options.
 	ChunkPolicy ChunkPolicy
 	ChunkSize   int
+	// Direction and Layout configure the traversal's direction policy
+	// and CSR layout exactly as in Options. Under LayoutCompact the
+	// uint32 mirror is built once at session construction, so pooled
+	// runs stay allocation-free whatever the layout.
+	Direction Direction
+	Layout    Layout
 	// FallbackThreshold enables the pathological-case detection (see
 	// Options.FallbackThreshold). A triggered fallback allocates — only
 	// the work-stealing completion path is pooled.
@@ -82,6 +88,8 @@ func NewSession(g *Graph, opt SessionOptions) (*Session, error) {
 		NumProcs:          o.NumProcs,
 		ChunkPolicy:       o.ChunkPolicy,
 		ChunkSize:         o.ChunkSize,
+		Direction:         o.Direction,
+		Layout:            o.Layout,
 		FallbackThreshold: o.FallbackThreshold,
 	}, core.WorkspaceOptions{QueueCapacity: o.QueueCapacity})
 	if err != nil {

@@ -98,6 +98,31 @@ func TestSessionZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestSessionZeroAllocCompactBottomUp extends the zero-allocation
+// guarantee to the new traversal variants: a session on the compact
+// uint32 layout, over a graph large and low-diameter enough for the
+// bottom-up phase to engage, must still run allocation-free — the
+// compact mirror is built once at construction and the bottom-up claims
+// buffer reuses the per-worker steal buffer.
+func TestSessionZeroAllocCompactBottomUp(t *testing.T) {
+	g := gen.Random(1<<14, 12<<14, 7)
+	for _, p := range []int{1, 4} {
+		s, err := NewSession(g, SessionOptions{NumProcs: p, Layout: LayoutCompact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		avg := testing.AllocsPerRun(10, func() {
+			if _, err := s.FindContext(context.Background(), 42); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("p=%d compact: AllocsPerRun = %v, want 0", p, avg)
+		}
+		s.Close()
+	}
+}
+
 // TestSessionCancelThenReuse: typed errors for expired and canceled
 // contexts, and a clean completion right after.
 func TestSessionCancelThenReuse(t *testing.T) {

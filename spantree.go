@@ -188,6 +188,40 @@ const (
 // ChunkPolicy.
 func ParseChunkPolicy(s string) (ChunkPolicy, error) { return core.ParseChunkPolicy(s) }
 
+// Direction selects the work-stealing traversal's direction policy.
+type Direction = core.Direction
+
+const (
+	// DirectionAuto (the default) lets the traversal switch between
+	// top-down push and bottom-up sweep phases on frontier density —
+	// dense frontiers claim the remaining vertices with one parent-array
+	// scan per sweep instead of per-edge queue traffic.
+	DirectionAuto = core.DirectionAuto
+	// DirectionTopDown pins the traversal to the pure top-down push (the
+	// ablation baseline and the pre-direction-optimization behavior).
+	DirectionTopDown = core.DirectionTopDown
+)
+
+// ParseDirection converts a CLI name ("auto" or "topdown") into a
+// Direction.
+func ParseDirection(s string) (Direction, error) { return core.ParseDirection(s) }
+
+// Layout selects the CSR layout the work-stealing hot loops read.
+type Layout = core.Layout
+
+const (
+	// LayoutWide (the default) reads the int64-offset Graph directly.
+	LayoutWide = core.LayoutWide
+	// LayoutCompact mirrors the graph into a uint32 offsets-plus-
+	// adjacency arena (one allocation, built once per run or once per
+	// Session) and reads that, halving the hot path's bytes per offset.
+	// Requires the vertex count and adjacency length to fit uint32.
+	LayoutCompact = core.LayoutCompact
+)
+
+// ParseLayout converts a CLI name ("wide" or "compact") into a Layout.
+func ParseLayout(s string) (Layout, error) { return core.ParseLayout(s) }
+
 // Options configures Find.
 type Options struct {
 	// Algorithm selects the algorithm; the zero value is the paper's
@@ -220,6 +254,16 @@ type Options struct {
 	// unbatched per-vertex hot path; under ChunkAdaptive it caps the
 	// controller's growth (0 means the default cap, 256).
 	ChunkSize int
+	// Direction selects the work-stealing traversal's direction policy
+	// (the zero value, DirectionAuto, enables the bottom-up phase switch
+	// on large graphs; DirectionTopDown pins the pure push traversal).
+	// Other algorithms ignore it.
+	Direction Direction
+	// Layout selects the CSR layout the work-stealing hot loops read
+	// (the zero value, LayoutWide, reads the Graph directly;
+	// LayoutCompact builds a uint32 mirror per run). Other algorithms
+	// ignore it.
+	Layout Layout
 	// Model, when non-nil, accumulates Helman-JáJá cost-model counters
 	// for the run (see the smpmodel package via Result.ModeledTime).
 	Model *smpmodel.Model
@@ -342,6 +386,8 @@ func FindContext(ctx context.Context, g *Graph, opt Options) (*Result, error) {
 			FallbackThreshold: opt.FallbackThreshold,
 			ChunkPolicy:       opt.ChunkPolicy,
 			ChunkSize:         opt.ChunkSize,
+			Direction:         opt.Direction,
+			Layout:            opt.Layout,
 			Cancel:            cancel,
 			Chaos:             inj,
 		})
