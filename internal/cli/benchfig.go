@@ -30,6 +30,7 @@ func RunBenchFig(args []string, stdout, stderr io.Writer) error {
 		strict   = fs.Bool("strict", false, "return an error if any shape check fails")
 		chunk    = fs.Int("chunk", 0, "drain chunk size for every parallel algorithm: > 0 forces a fixed chunk; 0 keeps the adaptive controller")
 		chunkPol = fs.String("chunkpolicy", "", "drain chunk policy for every parallel algorithm: adaptive or fixed (default adaptive, or fixed when -chunk > 0)")
+		algName  = fs.String("alg", "workstealing", "parallel algorithm for the Fig. 3/4 experiments: workstealing or spanuf (spanuf substitutes the CAS-hook sweep and skips the traversal's shape checks — used to pin the spanuf wall-clock baseline)")
 		dirName  = fs.String("direction", "auto", "traversal direction policy for the work-stealing runs: auto or topdown (the direction/layout ablation pins its own)")
 		layName  = fs.String("layout", "wide", "CSR layout for the work-stealing runs: wide or compact (the direction/layout ablation pins its own)")
 		metrics  = fs.String("metrics", "", "write per-worker metrics JSON (one report per instrumented measurement and repetition) to this path")
@@ -69,6 +70,13 @@ func RunBenchFig(args []string, stdout, stderr io.Writer) error {
 		ChunkSize:   *chunk,
 		Direction:   dir,
 		Layout:      lay,
+	}
+	switch *algName {
+	case "workstealing":
+	case "spanuf":
+		cfg.SpanUF = true
+	default:
+		return fmt.Errorf("benchfig: bad -alg %q (want workstealing or spanuf)", *algName)
 	}
 	if *metrics != "" || *trace != "" {
 		cfg.Collector = &obs.Collector{}

@@ -35,7 +35,7 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 		randlabel = fs.Bool("randlabel", false, "randomly relabel vertices after generation")
 		inPath    = fs.String("in", "", "read a binary graph instead of generating")
 		outPath   = fs.String("out", "", "write the graph (binary) and exit without running")
-		algoName  = fs.String("algo", "workstealing", "algorithm: workstealing, seqbfs, seqdfs, sequf, sv, svlocks, hcs, as, levelbfs")
+		algoName  = fs.String("algo", "workstealing", "algorithm: workstealing, seqbfs, seqdfs, sequf, sv, svlocks, hcs, as, levelbfs, spanuf")
 		procs     = fs.Int("p", runtime.GOMAXPROCS(0), "virtual processors for parallel algorithms")
 		deg2      = fs.Bool("deg2", false, "enable degree-2 elimination preprocessing")
 		chunk     = fs.Int("chunk", 0, "drain chunk size for every parallel algorithm: > 0 forces a fixed chunk (1 = unbatched); 0 keeps the adaptive controller (where it caps growth)")
@@ -176,6 +176,13 @@ func RunSpanTree(args []string, stdout, stderr io.Writer) error {
 	}
 	if lv := best.LevelBFS; lv != nil {
 		fmt.Fprintf(stdout, "levelbfs: levels=%d maxFrontier=%d\n", lv.Levels, lv.MaxFrontier)
+	}
+	if uf := best.SpanUF; uf != nil {
+		fmt.Fprintf(stdout, "spanuf: hooksWon=%d hooksLost=%d finds=%d compress=%d\n",
+			uf.TreeEdges, uf.HooksLost, uf.Finds, uf.CompressionWrites)
+		if uf.DegradedToSeq {
+			fmt.Fprintf(stdout, "degraded: worker panic recovered (%v); forest recomputed sequentially\n", uf.Panic)
+		}
 	}
 	if costModel != nil {
 		mach := smpmodel.E4500()

@@ -83,7 +83,8 @@ func runSpanTreeD(ctx context.Context, args []string, stdout, stderr io.Writer) 
 		timeout  = fs.Duration("timeout", 10*time.Second, "per-request deadline cap (also the default deadline)")
 		warmups  = fs.Int("warmups", 0, "warmup runs per session at registration (0 = default)")
 		dirName  = fs.String("direction", "auto", "traversal direction policy for pooled sessions: auto or topdown")
-		layName  = fs.String("layout", "wide", "CSR layout for pooled sessions: wide or compact (the uint32 mirror is built once per session)")
+		layName  = fs.String("layout", "auto", "CSR layout policy for pooled sessions: auto (compact when the graph fits uint32), wide, or compact")
+		algName  = fs.String("alg", "workstealing", "pooled algorithm: workstealing or spanuf")
 	)
 	fs.Var(&graphs, "graph", "preload a graph: name=kind:n[:m[:k[:seed]]] (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -94,9 +95,17 @@ func runSpanTreeD(ctx context.Context, args []string, stdout, stderr io.Writer) 
 	if err != nil {
 		return fmt.Errorf("spantreed: %w", err)
 	}
-	lay, err := spantree.ParseLayout(*layName)
+	switch *layName {
+	case serve.LayoutAuto, serve.LayoutWide, serve.LayoutCompact:
+	default:
+		return fmt.Errorf("spantreed: bad -layout %q (want auto, wide or compact)", *layName)
+	}
+	alg, err := spantree.ParseAlgorithm(*algName)
 	if err != nil {
 		return fmt.Errorf("spantreed: %w", err)
+	}
+	if alg != spantree.AlgWorkStealing && alg != spantree.AlgSpanUF {
+		return fmt.Errorf("spantreed: -alg %q has no pooled session support (want workstealing or spanuf)", *algName)
 	}
 	srv := serve.New(serve.Config{
 		NumProcs:    *procs,
@@ -106,7 +115,8 @@ func runSpanTreeD(ctx context.Context, args []string, stdout, stderr io.Writer) 
 		MaxTimeout:  *timeout,
 		Warmups:     *warmups,
 		Direction:   dir,
-		Layout:      lay,
+		Layout:      *layName,
+		Algorithm:   alg,
 	})
 	defer srv.Close()
 	for _, v := range graphs {

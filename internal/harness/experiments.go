@@ -178,7 +178,7 @@ func runFig3(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		ws, err := measure(cfg, g, kindWS, cfg.Fig3Procs, wsConfig{})
+		ws, err := measure(cfg, g, parallelKind(cfg), cfg.Fig3Procs, wsConfig{})
 		if err != nil {
 			return nil, err
 		}
@@ -203,6 +203,12 @@ func runFig3(cfg Config) (*Report, error) {
 	}
 	rep.Findings = append(rep.Findings,
 		fmt.Sprintf("speedup range %.2f-%.2f at p=%d (paper: 4.5-5.5 at p=8 on the E4500)", minSp, maxSp, cfg.Fig3Procs))
+	if cfg.SpanUF {
+		// The band and flatness checks encode the traversal's expected
+		// shape; under -alg spanuf the experiment is a measurement run
+		// (baseline pinning), not a shape reproduction.
+		return rep, nil
+	}
 	if cfg.Mode == Modeled {
 		bandSpeedups := flatSpeedups
 		bandNote := fmt.Sprintf(" over n >= %d", amortizedN)
@@ -268,16 +274,16 @@ func runFig4Plot(cfg Config, plot fig4Plot) (*Report, error) {
 			fmt.Sprintf("%.2f", stats.Speedup(seq.time, sv.time)), sv.extra)
 	}
 	for _, p := range cfg.Procs {
-		ws, err := measure(cfg, g, kindWS, p, wsConfig{})
+		ws, err := measure(cfg, g, parallelKind(cfg), p, wsConfig{})
 		if err != nil {
 			return nil, err
 		}
 		wsTimes[p] = ws
-		rep.Table.AddRow("NewAlg", fmt.Sprint(p), stats.FormatDuration(ws.time),
+		rep.Table.AddRow(ws.algo, fmt.Sprint(p), stats.FormatDuration(ws.time),
 			fmt.Sprintf("%.2f", stats.Speedup(seq.time, ws.time)), ws.extra)
 	}
 	deg2Times := map[int]measurement{}
-	if !plot.expectWSWins {
+	if !plot.expectWSWins && !cfg.SpanUF {
 		// The chain plots additionally show the paper's degree-2
 		// elimination preprocessing, which collapses the pathological
 		// chain before the traversal runs.
@@ -294,6 +300,12 @@ func runFig4Plot(cfg Config, plot fig4Plot) (*Report, error) {
 
 	if cfg.Mode != Modeled {
 		return rep, nil // no shape checks on arbitrary hosts
+	}
+	if cfg.SpanUF {
+		// The Fig. 4 checks state where the traversal beats SV and by how
+		// much; with the sweep substituted they would assert someone
+		// else's shape. abl-alg carries the sweep's own checks.
+		return rep, nil
 	}
 	minP, maxP := cfg.Procs[0], cfg.Procs[0]
 	for _, p := range cfg.Procs {

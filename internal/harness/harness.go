@@ -86,6 +86,14 @@ type Config struct {
 	// labeled "algo/graph/p=N" — the metrics artifact cmd/benchfig
 	// writes for -metrics / -trace.
 	Collector *obs.Collector
+	// SpanUF substitutes the edge-centric CAS-hook sweep for the
+	// work-stealing traversal in the Fig. 3 and Fig. 4 experiments
+	// (benchfig -alg spanuf). Intended for pinning a spanuf wall-clock
+	// baseline with -metrics: the modeled shape checks encode the
+	// traversal's expected shape, so experiments skip them under the
+	// substitution, and the degree-2 / ablation rows that only exist for
+	// the traversal are omitted.
+	SpanUF bool
 }
 
 func (c Config) withDefaults() Config {

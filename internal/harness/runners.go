@@ -14,6 +14,7 @@ import (
 	"spantree/internal/spanrm"
 	"spantree/internal/spanseq"
 	"spantree/internal/spansv"
+	"spantree/internal/spanuf"
 	"spantree/internal/verify"
 )
 
@@ -38,7 +39,8 @@ const (
 	kindAS
 	kindRM
 	kindLevelBFS
-	kindWS // the paper's work-stealing algorithm
+	kindWS     // the paper's work-stealing algorithm
+	kindSpanUF // the edge-centric CAS-hook union-find sweep
 )
 
 func (k algoKind) label() string {
@@ -59,6 +61,8 @@ func (k algoKind) label() string {
 		return "LevelBFS"
 	case kindWS:
 		return "NewAlg"
+	case kindSpanUF:
+		return "SpanUF"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -124,6 +128,21 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 		case kindLevelBFS:
 			parent, st, err := spanlevel.SpanningForest(g, spanlevel.Options{NumProcs: p, Model: model, ChunkPolicy: cfg.ChunkPolicy, ChunkSize: cfg.ChunkSize})
 			return parent, fmt.Sprintf("levels=%d", st.Levels), err
+		case kindSpanUF:
+			layout := cfg.Layout
+			if ws.forceDirLayout {
+				layout = ws.layout
+			}
+			parent, st, err := spanuf.SpanningForest(g, spanuf.Options{
+				NumProcs:    p,
+				Compact:     layout == core.LayoutCompact,
+				Model:       model,
+				Obs:         rec,
+				ChunkPolicy: cfg.ChunkPolicy,
+				ChunkSize:   cfg.ChunkSize,
+			})
+			return parent, fmt.Sprintf("hookslost=%d finds=%d compress=%d",
+				st.HooksLost, st.Finds, st.CompressionWrites), err
 		case kindWS:
 			opt := core.Options{
 				NumProcs:      p,
@@ -180,7 +199,7 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 
 	// instrumented reports whether this algorithm kind feeds the
 	// observability layer (only those runs produce a meaningful Report).
-	instrumented := kind == kindWS || kind == kindSV || kind == kindSVLocks
+	instrumented := kind == kindWS || kind == kindSV || kind == kindSVLocks || kind == kindSpanUF
 	collect := func(rec *obs.Recorder, elapsed time.Duration, rep int) {
 		if rec == nil {
 			return
@@ -194,15 +213,21 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 			"seed":  fmt.Sprint(cfg.Seed),
 			"rep":   fmt.Sprint(rep),
 		}
-		if kind == kindWS {
-			// Stamp the traversal variant so benchcmp can warn when a
-			// baseline and a current artifact measured different policies.
+		if kind == kindWS || kind == kindSpanUF {
+			// Stamp the variant knobs so benchcmp can warn when a baseline
+			// and a current artifact measured different policies — the
+			// algorithm family alongside direction and layout.
 			dir, lay := cfg.Direction, cfg.Layout
 			if ws.forceDirLayout {
 				dir, lay = ws.direction, ws.layout
 			}
-			meta["direction"] = dir.String()
 			meta["layout"] = lay.String()
+			if kind == kindWS {
+				meta["alg"] = "workstealing"
+				meta["direction"] = dir.String()
+			} else {
+				meta["alg"] = "spanuf" // direction-free: no queues to steer
+			}
 		}
 		cfg.Collector.Collect(label, meta, elapsed.Nanoseconds(), rec)
 	}
@@ -261,6 +286,16 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 	m.time = best
 	m.extra = extra
 	return m, nil
+}
+
+// parallelKind is the algorithm the Fig. 3 / Fig. 4 experiments run as
+// "the parallel algorithm": the paper's work-stealing traversal, or the
+// CAS-hook sweep when the CLI substituted it with -alg spanuf.
+func parallelKind(cfg Config) algoKind {
+	if cfg.SpanUF {
+		return kindSpanUF
+	}
+	return kindWS
 }
 
 func maxInt(a, b int) int {

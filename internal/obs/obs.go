@@ -121,6 +121,19 @@ const (
 	// unvisited vertex that found a claimed neighbor to adopt as parent).
 	BottomUpClaims
 
+	// HooksWon counts CAS-hook elections this worker won in the
+	// edge-centric union-find sweep — each win selects one tree edge.
+	HooksWon
+	// HooksLost counts hook CASes lost to another worker (the edge
+	// retried against the re-found roots).
+	HooksLost
+	// UFFinds counts union-find root lookups (two per inspected arc with
+	// distinct endpoints, plus retries).
+	UFFinds
+	// CompressionWrites counts parent rewrites performed by path
+	// compression during those finds.
+	CompressionWrites
+
 	numCounters
 )
 

@@ -53,6 +53,13 @@ type Counters struct {
 	DirectionSwitches int64 `json:"direction_switches,omitempty"`
 	BottomUpScanned   int64 `json:"bottomup_scanned,omitempty"`
 	BottomUpClaims    int64 `json:"bottomup_claims,omitempty"`
+	// The union-find counters were added with the edge-centric CAS-hook
+	// family (schema grows additively); all four stay omitted for
+	// traversal runs, so earlier artifacts compare unchanged.
+	HooksWon          int64 `json:"hooks_won,omitempty"`
+	HooksLost         int64 `json:"hooks_lost,omitempty"`
+	UFFinds           int64 `json:"uf_finds,omitempty"`
+	CompressionWrites int64 `json:"compression_writes,omitempty"`
 }
 
 // countersFrom maps the counter array into the named JSON fields.
@@ -81,6 +88,10 @@ func countersFrom(c *[numCounters]int64) Counters {
 		DirectionSwitches: c[DirectionSwitches],
 		BottomUpScanned:   c[BottomUpScanned],
 		BottomUpClaims:    c[BottomUpClaims],
+		HooksWon:          c[HooksWon],
+		HooksLost:         c[HooksLost],
+		UFFinds:           c[UFFinds],
+		CompressionWrites: c[CompressionWrites],
 	}
 	for b := 0; b < DrainHistBuckets; b++ {
 		if c[DrainHist0+Counter(b)] != 0 {

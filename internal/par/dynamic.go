@@ -124,6 +124,18 @@ func (c *Ctx) ctrl() *dynCtrl {
 // collectively with the same n and an equivalent body; each i is
 // executed exactly once, by whichever worker claims it. Like ForStatic
 // there is no implied barrier — pair with Barrier as needed.
+//
+// Cancellation cadence: the team's fault flag is polled once per drain
+// chunk (and per steal scan), never per item — the poll piggybacks on
+// the chunk boundary the loop already pays for, so hardening adds one
+// atomic load per chunk. The latency bound that buys: after a trip,
+// each worker finishes at most the chunk it already claimed before
+// unwinding, so at most p chunks of body calls run after the flag is
+// visible — one chunk per worker, sized by the chunk controller (the
+// adaptive policy caps growth; the fixed policy makes the bound exact).
+// Algorithms whose per-item work is unbounded (edge sweeps over skewed
+// degree distributions) inherit the bound in items, not edges: a
+// pathological vertex extends the window by its own degree only.
 func (c *Ctx) ForDynamic(n int, body func(i int)) {
 	dc := c.ctrl()
 	dc.calls++

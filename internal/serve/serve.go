@@ -48,6 +48,18 @@ const (
 // it, but access logs and tests do.
 const StatusClientClosedRequest = 499
 
+// Layout policies for Config.Layout. Unlike the library's two-valued
+// spantree.Layout, the server's policy is three-valued: the default
+// auto policy decides per registered graph, picking the compact uint32
+// arena whenever the graph fits it (half the offset bytes, so warmer
+// caches under concurrent load) and falling back to the wide layout
+// for graphs it cannot represent.
+const (
+	LayoutAuto    = "auto"
+	LayoutWide    = "wide"
+	LayoutCompact = "compact"
+)
+
 // Config sizes a Server.
 type Config struct {
 	// NumProcs is the per-session virtual processor count; 0 means
@@ -71,13 +83,19 @@ type Config struct {
 	// Warmups is the per-session warmup run count (0 means the session
 	// default).
 	Warmups int
-	// Layout selects the CSR layout the pooled sessions read (the zero
-	// value is the wide Graph; spantree.LayoutCompact builds a uint32
-	// mirror once per session, keeping runs allocation-free).
-	Layout spantree.Layout
+	// Layout selects the CSR layout the pooled sessions read: LayoutAuto
+	// (the default for the empty string) picks per graph at registration
+	// — compact when the graph fits uint32, wide otherwise; LayoutWide
+	// and LayoutCompact force one for every graph. The compact mirror is
+	// built once per session, keeping runs allocation-free either way.
+	Layout string
 	// Direction selects the traversal direction policy (the zero value,
 	// spantree.DirectionAuto, enables the bottom-up phase switch).
 	Direction spantree.Direction
+	// Algorithm selects the pooled algorithm: spantree.AlgWorkStealing
+	// (the zero value) or spantree.AlgSpanUF; the session layer rejects
+	// algorithms without workspace provisioning at registration.
+	Algorithm spantree.Algorithm
 }
 
 func (c Config) withDefaults() Config {
@@ -99,15 +117,19 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout == 0 {
 		c.MaxTimeout = 10 * time.Second
 	}
+	if c.Layout == "" {
+		c.Layout = LayoutAuto
+	}
 	return c
 }
 
 // entry is one registered graph with its session pool.
 type entry struct {
-	name string
-	spec gen.Spec
-	g    *spantree.Graph
-	pool *spantree.SessionPool
+	name   string
+	spec   gen.Spec
+	g      *spantree.Graph
+	layout spantree.Layout // the resolved per-graph layout
+	pool   *spantree.SessionPool
 }
 
 // Server is the HTTP front end. Create with New, serve via http.Server
@@ -202,17 +224,22 @@ func (s *Server) register(name string, spec gen.Spec) (*entry, error) {
 	if g.NumVertices() > s.cfg.MaxVertices {
 		return nil, errTooLarge{n: g.NumVertices(), max: s.cfg.MaxVertices}
 	}
+	lay, err := s.resolveLayout(g)
+	if err != nil {
+		return nil, err
+	}
 	pool, err := spantree.NewSessionPool(g, spantree.SessionOptions{
+		Algorithm:   s.cfg.Algorithm,
 		NumProcs:    s.cfg.NumProcs,
 		ChunkPolicy: spantree.ChunkAdaptive,
 		Direction:   s.cfg.Direction,
-		Layout:      s.cfg.Layout,
+		Layout:      lay,
 		Warmups:     s.cfg.Warmups,
 	}, s.cfg.PoolSize)
 	if err != nil {
 		return nil, err
 	}
-	e := &entry{name: name, spec: spec, g: g, pool: pool}
+	e := &entry{name: name, spec: spec, g: g, layout: lay, pool: pool}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -227,6 +254,25 @@ func (s *Server) register(name string, spec gen.Spec) (*entry, error) {
 	s.graphs[name] = e
 	s.mu.Unlock()
 	return e, nil
+}
+
+// resolveLayout applies the server's layout policy to one graph. The
+// auto policy mirrors graph.CompactOf's representability bound: n+1
+// offsets and every adjacency index must fit uint32.
+func (s *Server) resolveLayout(g *spantree.Graph) (spantree.Layout, error) {
+	switch s.cfg.Layout {
+	case LayoutWide:
+		return spantree.LayoutWide, nil
+	case LayoutCompact:
+		return spantree.LayoutCompact, nil
+	case LayoutAuto:
+		const limit = int64(1) << 32
+		if int64(g.NumVertices())+1 < limit && int64(len(g.Adj)) < limit {
+			return spantree.LayoutCompact, nil
+		}
+		return spantree.LayoutWide, nil
+	}
+	return spantree.LayoutWide, fmt.Errorf("bad layout policy %q (want auto, wide or compact)", s.cfg.Layout)
 }
 
 type errTooLarge struct{ n, max int }
@@ -274,6 +320,11 @@ type GraphInfo struct {
 	M        int    `json:"m"`
 	PoolSize int    `json:"pool_size"`
 	NumProcs int    `json:"num_procs"`
+	// Layout is the CSR layout the pool's sessions read ("wide" or
+	// "compact") — under the auto policy, what the server picked.
+	Layout string `json:"layout"`
+	// Algorithm is the pooled algorithm serving this graph.
+	Algorithm string `json:"algorithm"`
 }
 
 // GraphListResponse is the GET /v1/graphs body.
@@ -294,13 +345,17 @@ type SpanTreeRequest struct {
 
 // SpanTreeResponse is the POST /v1/spantree success body.
 type SpanTreeResponse struct {
-	Graph     string  `json:"graph"`
-	N         int     `json:"n"`
-	Roots     int     `json:"roots"`
-	TreeEdges int     `json:"tree_edges"`
-	ElapsedUS int64   `json:"elapsed_us"`
-	StubSize  int     `json:"stub_size"`
-	Steals    int64   `json:"steals"`
+	Graph     string `json:"graph"`
+	N         int    `json:"n"`
+	Roots     int    `json:"roots"`
+	TreeEdges int    `json:"tree_edges"`
+	ElapsedUS int64  `json:"elapsed_us"`
+	// StubSize and Steals describe work-stealing runs; both are zero
+	// when the pool serves the CAS-hook sweep.
+	StubSize int   `json:"stub_size"`
+	Steals   int64 `json:"steals"`
+	// HooksLost counts lost CAS elections on spanuf runs.
+	HooksLost int64   `json:"hooks_lost,omitempty"`
 	Degraded  bool    `json:"degraded,omitempty"`
 	Parent    []int32 `json:"parent,omitempty"`
 }
@@ -373,12 +428,14 @@ func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) graphInfo(e *entry) GraphInfo {
 	return GraphInfo{
-		Name:     e.name,
-		Kind:     e.spec.Kind,
-		N:        e.g.NumVertices(),
-		M:        e.g.NumEdges(),
-		PoolSize: e.pool.Size(),
-		NumProcs: s.cfg.NumProcs,
+		Name:      e.name,
+		Kind:      e.spec.Kind,
+		N:         e.g.NumVertices(),
+		M:         e.g.NumEdges(),
+		PoolSize:  e.pool.Size(),
+		NumProcs:  s.cfg.NumProcs,
+		Layout:    e.layout.String(),
+		Algorithm: s.cfg.Algorithm.String(),
 	}
 }
 
@@ -465,9 +522,14 @@ func (s *Server) handleSpanTree(w http.ResponseWriter, r *http.Request) {
 		Roots:     res.Roots,
 		TreeEdges: res.TreeEdges,
 		ElapsedUS: res.Elapsed.Microseconds(),
-		StubSize:  res.WorkStealing.StubSize,
-		Steals:    res.WorkStealing.Steals,
-		Degraded:  res.WorkStealing.DegradedToSeq,
+	}
+	if ws := res.WorkStealing; ws != nil {
+		resp.StubSize = ws.StubSize
+		resp.Steals = ws.Steals
+		resp.Degraded = ws.DegradedToSeq
+	} else if uf := res.SpanUF; uf != nil {
+		resp.HooksLost = uf.HooksLost
+		resp.Degraded = uf.DegradedToSeq
 	}
 	if req.IncludeParent {
 		resp.Parent = res.Parent

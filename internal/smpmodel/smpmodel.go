@@ -49,7 +49,17 @@ type Counters struct {
 	// whole point of switching direction is trading non-contiguous
 	// queue traffic for this class.
 	BottomUpScans int64
-	_             [2]int64 // pad to 64 bytes
+	// CASOps counts atomic compare-and-swap attempts (the union-find
+	// hook elections). A CAS is a non-contiguous access plus the
+	// read-modify-write and coherence cost of the locked cycle, so a
+	// Machine prices it above the plain non-contiguous rate.
+	CASOps int64
+	// PointerChases counts serially dependent random accesses — the
+	// union-find parent walks, where each load's address comes from the
+	// previous load. They miss like non-contiguous accesses but cannot
+	// overlap, which is the memory-traffic contrast between the
+	// edge-centric family and the traversal's independent queue misses.
+	PointerChases int64
 }
 
 // Add accumulates other into c.
@@ -60,6 +70,8 @@ func (c *Counters) Add(other Counters) {
 	c.NonContigCompact += other.NonContigCompact
 	c.ContigCompact += other.ContigCompact
 	c.BottomUpScans += other.BottomUpScans
+	c.CASOps += other.CASOps
+	c.PointerChases += other.PointerChases
 }
 
 // Model collects counters for p virtual processors plus a global barrier
@@ -165,6 +177,12 @@ func (m *Model) MaxPerProc() Counters {
 		if c.BottomUpScans > out.BottomUpScans {
 			out.BottomUpScans = c.BottomUpScans
 		}
+		if c.CASOps > out.CASOps {
+			out.CASOps = c.CASOps
+		}
+		if c.PointerChases > out.PointerChases {
+			out.PointerChases = c.PointerChases
+		}
 	}
 	return out
 }
@@ -180,11 +198,13 @@ func (m *Model) Total() Counters {
 
 // Triplet formats the model state as the paper's cost triplet. Compact
 // accesses fold into the class they belong to (non-contiguous or
-// contiguous); bottom-up scans are streaming, so they fold into T_C.
+// contiguous); bottom-up scans are streaming, so they fold into T_C;
+// CAS attempts and pointer chases are main-memory round trips, so they
+// fold into T_M.
 func (m *Model) Triplet() string {
 	mx := m.MaxPerProc()
 	return fmt.Sprintf("⟨T_M=%d; T_C=%d; B=%d⟩",
-		mx.NonContig+mx.NonContigCompact,
+		mx.NonContig+mx.NonContigCompact+mx.CASOps+mx.PointerChases,
 		mx.Ops+mx.Contig+mx.ContigCompact+mx.BottomUpScans, m.barriers)
 }
 
@@ -240,6 +260,22 @@ func (p *Probe) BottomUpScan(k int64) {
 	}
 }
 
+// CAS charges k atomic compare-and-swap attempts (union-find hook
+// elections; won or lost, the coherence cost is paid either way).
+func (p *Probe) CAS(k int64) {
+	if p != nil {
+		p.c.CASOps += k
+	}
+}
+
+// Chase charges k serially dependent random accesses (union-find parent
+// walks and compression writes).
+func (p *Probe) Chase(k int64) {
+	if p != nil {
+		p.c.PointerChases += k
+	}
+}
+
 // Machine converts a cost triplet into modeled time. The defaults are
 // calibrated to the paper's platform class (Sun E4500, 400 MHz
 // UltraSPARC II, UMA shared memory: worst-case main-memory access in the
@@ -261,6 +297,12 @@ type Machine struct {
 	// compact layout keep their meaning.
 	NonContigCompactNS float64
 	ContigCompactNS    float64
+	// CASNS prices one compare-and-swap attempt and ChaseNS one serially
+	// dependent random access (see Counters.CASOps/PointerChases). Zero
+	// means "same as NonContigNS", so profiles that predate the
+	// union-find family keep their meaning.
+	CASNS   float64
+	ChaseNS float64
 }
 
 // E4500 returns a profile calibrated to the paper's Sun Enterprise 4500.
@@ -277,6 +319,13 @@ func E4500() Machine {
 		// half.
 		NonContigCompactNS: 200,
 		ContigCompactNS:    7.5,
+		// A CAS is a main-memory round trip plus the locked
+		// read-modify-write holding the line exclusive; a chase misses
+		// like any random access but cannot overlap its neighbors, which
+		// the per-access rate already fails to capture — both priced at a
+		// premium over the 300ns random access.
+		CASNS:   450,
+		ChaseNS: 340,
 	}
 }
 
@@ -291,6 +340,8 @@ func Modern() Machine {
 		BarrierNS:          3000,
 		NonContigCompactNS: 55,
 		ContigCompactNS:    1,
+		CASNS:              110,
+		ChaseNS:            90,
 	}
 }
 
@@ -312,6 +363,13 @@ func (m *Model) Time(mach Machine) time.Duration {
 	if cc == 0 {
 		cc = mach.ContigNS
 	}
+	cas, chase := mach.CASNS, mach.ChaseNS
+	if cas == 0 {
+		cas = mach.NonContigNS
+	}
+	if chase == 0 {
+		chase = mach.NonContigNS
+	}
 	var worst float64
 	for i := range m.counters {
 		c := &m.counters[i]
@@ -320,7 +378,9 @@ func (m *Model) Time(mach Machine) time.Duration {
 			float64(c.Ops)*mach.OpNS +
 			float64(c.NonContigCompact)*ncc +
 			float64(c.ContigCompact)*cc +
-			float64(c.BottomUpScans)*mach.ContigNS
+			float64(c.BottomUpScans)*mach.ContigNS +
+			float64(c.CASOps)*cas +
+			float64(c.PointerChases)*chase
 		if t > worst {
 			worst = t
 		}

@@ -1,0 +1,120 @@
+//go:build chaos
+
+package spanuf
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"spantree/internal/chaos"
+	"spantree/internal/fault"
+	"spantree/internal/gen"
+	"spantree/internal/graph"
+	"spantree/internal/verify"
+)
+
+// The spanuf chaos stress suite: >= 50 seeded schedules against the
+// CAS-hook sweep. Stalls and vetoed steals reorder the hook elections
+// arbitrarily; the forest must stay valid with the right component
+// count whatever the interleaving — the lock-free safety claim of the
+// package comment, tested instead of argued.
+
+func TestChaosStressSpanningForest(t *testing.T) {
+	// Sized like the par suite's stress sweep: enough drain chunks that
+	// every seed's probabilistic injector fires at least once.
+	g := gen.RandomConnected(20000, 60000, 9)
+	n := g.NumVertices()
+	for seed := uint64(1); seed <= 50; seed++ {
+		p := 2 + int(seed%7)
+		inj := chaos.New(chaos.DefaultConfig(seed, p), nil)
+		type out struct {
+			parent []graph.VID
+			st     Stats
+			err    error
+		}
+		done := make(chan out, 1)
+		go func() {
+			parent, st, err := SpanningForest(g, Options{NumProcs: p, Chaos: inj})
+			done <- out{parent, st, err}
+		}()
+		var o out
+		select {
+		case o = <-done:
+		case <-time.After(2 * time.Minute):
+			t.Fatalf("seed=%d p=%d: sweep did not terminate under chaos", seed, p)
+		}
+		if o.err != nil {
+			t.Fatalf("seed=%d p=%d: %v", seed, p, o.err)
+		}
+		if err := verify.Forest(g, o.parent); err != nil {
+			t.Fatalf("seed=%d p=%d: %v", seed, p, err)
+		}
+		if got := countRoots(o.parent); got != 1 {
+			t.Fatalf("seed=%d p=%d: %d roots on a connected graph", seed, p, got)
+		}
+		if o.st.TreeEdges != n-1 {
+			t.Fatalf("seed=%d p=%d: TreeEdges = %d, want %d", seed, p, o.st.TreeEdges, n-1)
+		}
+		if inj.Injections() == 0 {
+			t.Fatalf("seed=%d p=%d: chaos injected nothing", seed, p)
+		}
+	}
+}
+
+// TestChaosInjectedPanicSurfaces aims an InjectedPanic at the drain
+// point of the one-shot sweep: the team must drain and the structured
+// PanicError must come back as the error (one-shot runs surface panics
+// instead of repairing, unlike the pooled workspace).
+func TestChaosInjectedPanicSurfaces(t *testing.T) {
+	g := gen.RandomConnected(4000, 8000, 9)
+	const p = 4
+	inj := chaos.New(chaos.Config{
+		Seed: 7, Workers: p,
+		PanicPoint: chaos.PointDrain, PanicWorker: 1, PanicAfter: 1,
+	}, nil)
+	_, _, err := SpanningForest(g, Options{NumProcs: p, Chaos: inj})
+	var pe *fault.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *fault.PanicError", err)
+	}
+	ip, ok := pe.Value.(chaos.InjectedPanic)
+	if !ok || ip.Worker != 1 {
+		t.Fatalf("panic value %v, want aimed InjectedPanic on worker 1", pe.Value)
+	}
+}
+
+// TestChaosCancellationUnderPerturbation races an external trip against
+// the perturbed sweep: every outcome must be one of the two legal ones —
+// a clean, valid forest, or the typed ErrCanceled — never a torn result
+// or a hang. The chaos stalls make mid-sweep trips the common case.
+func TestChaosCancellationUnderPerturbation(t *testing.T) {
+	g := gen.Chain(50000)
+	canceled := 0
+	for seed := uint64(1); seed <= 10; seed++ {
+		p := 2 + int(seed%4)
+		inj := chaos.New(chaos.DefaultConfig(seed, p), nil)
+		flag := &fault.Flag{}
+		stop := make(chan struct{})
+		go func() {
+			defer close(stop)
+			time.Sleep(time.Duration(seed) * 200 * time.Microsecond)
+			flag.Trip(fault.CauseCanceled)
+		}()
+		parent, _, err := SpanningForest(g, Options{NumProcs: p, Cancel: flag, Chaos: inj})
+		<-stop
+		switch {
+		case err == nil:
+			if verr := verify.Forest(g, parent); verr != nil {
+				t.Fatalf("seed=%d p=%d: completed run invalid: %v", seed, p, verr)
+			}
+		case errors.Is(err, fault.ErrCanceled):
+			canceled++
+		default:
+			t.Fatalf("seed=%d p=%d: err = %v, want nil or ErrCanceled", seed, p, err)
+		}
+	}
+	if canceled == 0 {
+		t.Log("no seed canceled mid-sweep; trips all landed after completion")
+	}
+}

@@ -1,0 +1,336 @@
+package spanuf
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"spantree/internal/barrier"
+	"spantree/internal/fault"
+	"spantree/internal/graph"
+	"spantree/internal/obs"
+)
+
+// ErrWorkspaceClosed is returned by Run after Close.
+var ErrWorkspaceClosed = errors.New("spanuf: Run on a closed Workspace")
+
+// defaultClaimChunk is the fixed vertex-range chunk a pooled worker
+// claims per shared-cursor fetch when Options.ChunkSize is 0.
+const defaultClaimChunk = 256
+
+// Workspace is a reusable runtime for the CAS-hook sweep on one fixed
+// graph, the spanuf counterpart of core.Workspace: the union-find
+// arrays, the rooting scratch, the recorder, and a parked team of p
+// worker goroutines are all allocated once at construction, so a warmed
+// workspace executes Run with zero steady-state heap allocations.
+//
+// The sweep has no queues to steal from, so instead of par.ForDynamic
+// (whose per-run goroutine spawn would allocate) the parked workers
+// claim fixed vertex-range chunks off one shared atomic cursor. The
+// cancel-flag poll rides each chunk claim, preserving the
+// one-chunk-per-worker cancellation-latency bound of the one-shot path.
+//
+// A Workspace is NOT safe for concurrent use: one Run at a time. Close
+// releases the parked team.
+type Workspace struct {
+	g      *graph.Graph
+	cg     *graph.CSR32
+	n, p   int
+	chunk  int
+	uf     []int32
+	hooks  []int64
+	parent []graph.VID
+	root   *rootScratch
+	cells  []counts
+	ow     []*obs.Worker
+	rec    *obs.Recorder
+	cancel *fault.Flag
+
+	cursor atomic.Int64
+	bar    *barrier.Sense
+	wake   []chan struct{}
+	wg     sync.WaitGroup
+	stats  Stats
+	closed bool
+
+	// testHook, when non-nil, runs after every chunk claim in sweep —
+	// tests use it to inject panics and trip the flag at deterministic
+	// points, like core's workspace hook. Nil in production.
+	testHook func(tid int)
+}
+
+// NewWorkspace builds a workspace for g. Options that allocate per run
+// or inject faults (Model, Obs, Chaos, Cancel) are rejected — a
+// workspace is the serving fast path, not the experiment harness; it
+// owns its cancel flag (see Flag) and its recorder. ChunkPolicy is
+// ignored: the parked sweep always claims fixed chunks of ChunkSize
+// (0 means 256) off a shared cursor.
+func NewWorkspace(g *graph.Graph, opt Options) (*Workspace, error) {
+	if opt.NumProcs < 1 {
+		return nil, fmt.Errorf("spanuf: NumProcs = %d, need >= 1", opt.NumProcs)
+	}
+	switch {
+	case opt.Model != nil:
+		return nil, errors.New("spanuf: Workspace does not support a cost Model")
+	case opt.Obs != nil:
+		return nil, errors.New("spanuf: Workspace does not support an external Obs recorder")
+	case opt.Chaos != nil:
+		return nil, errors.New("spanuf: Workspace does not support chaos injection")
+	case opt.Cancel != nil:
+		return nil, errors.New("spanuf: Workspace owns its cancel flag; use Flag instead of Options.Cancel")
+	}
+	n := g.NumVertices()
+	p := opt.NumProcs
+	chunk := opt.ChunkSize
+	if chunk <= 0 {
+		chunk = defaultClaimChunk
+	}
+	w := &Workspace{
+		g:      g,
+		n:      n,
+		p:      p,
+		chunk:  chunk,
+		uf:     make([]int32, n),
+		hooks:  make([]int64, n),
+		parent: make([]graph.VID, n),
+		root:   newRootScratch(n),
+		cells:  make([]counts, p),
+		ow:     make([]*obs.Worker, p),
+		rec:    obs.New(p),
+		cancel: &fault.Flag{},
+	}
+	if opt.Compact {
+		// Built once here, so pooled runs stay allocation-free on the
+		// compact layout too.
+		cg, err := graph.CompactOf(g)
+		if err != nil {
+			return nil, fmt.Errorf("spanuf: %w", err)
+		}
+		w.cg = cg
+	}
+	for tid := 0; tid < p; tid++ {
+		w.ow[tid] = w.rec.Worker(tid)
+	}
+
+	// The parked team: p goroutines created once, woken per run, joined
+	// per run through the reused sense-reversing barrier (the coordinator
+	// is the extra participant).
+	w.bar = barrier.NewSense(p + 1)
+	w.bar.Observe(w.rec)
+	w.wake = make([]chan struct{}, p)
+	for tid := range w.wake {
+		w.wake[tid] = make(chan struct{})
+		w.wg.Add(1)
+		go func(tid int) {
+			defer w.wg.Done()
+			for range w.wake[tid] {
+				w.runOne(tid)
+			}
+		}(tid)
+	}
+	return w, nil
+}
+
+// Flag returns the workspace's cancel flag, with the same reuse
+// contract as core.Workspace.Flag: callers that arm it must Reset it
+// before the next Run — Run itself never resets the flag.
+func (w *Workspace) Flag() *fault.Flag { return w.cancel }
+
+// NumProcs returns the workspace's worker count.
+func (w *Workspace) NumProcs() int { return w.p }
+
+// Graph returns the graph the workspace was built for.
+func (w *Workspace) Graph() *graph.Graph { return w.g }
+
+// Run executes one sweep on the pooled buffers. The seed is accepted
+// for Session API parity and ignored — the sweep is seed-free (its only
+// nondeterminism at p > 1 is the schedule). The returned parent slice
+// and Stats are owned by the workspace and valid only until the next
+// Run.
+//
+// Cancellation follows the one-shot contract: a tripped flag drains the
+// team within one chunk per worker and Run returns the flag's typed
+// error with partial stats. An isolated worker panic degrades to a
+// sequential repair — a panic can land between a won hook CAS and its
+// link store, leaving the union-find inconsistent, so the repair resets
+// the pooled arrays and re-runs the whole sweep sequentially; the
+// caller still receives a valid forest with the PanicError in
+// Stats.Panic. The workspace remains reusable after any outcome.
+func (w *Workspace) Run(seed uint64) ([]graph.VID, *Stats, error) {
+	if w.closed {
+		return nil, nil, ErrWorkspaceClosed
+	}
+	_ = seed
+
+	// Rearm the shared state. Everything below is written by this
+	// goroutine before the wake sends, which happen-before the workers'
+	// reads.
+	for i := range w.uf {
+		w.uf[i] = int32(i)
+	}
+	for i := range w.hooks {
+		w.hooks[i] = nobody
+	}
+	clear(w.cells)
+	w.rec.Reset()
+	w.cursor.Store(0)
+	w.stats = Stats{}
+
+	if w.cancel.Tripped() {
+		// Canceled before the sweep started (e.g. an already-expired
+		// deadline): don't wake the team.
+		return w.stop()
+	}
+	for _, c := range w.wake {
+		c <- struct{}{}
+	}
+	w.bar.Wait(w.p) // the coordinator is the extra participant
+	if w.cancel.Tripped() {
+		return w.stop()
+	}
+	w.finish()
+	return w.parent, &w.stats, nil
+}
+
+// finish runs the rooting epilogue on the coordinator and folds the
+// per-worker tallies into the run stats.
+func (w *Workspace) finish() {
+	w.stats = statsFromCells(w.cells)
+	w.stats.TreeEdges = rootForest(w.hooks, w.parent, w.root, nil)
+}
+
+// stop resolves a run whose flag tripped: context stops return the
+// typed error with partial stats; a worker panic triggers the
+// sequential repair described on Run.
+func (w *Workspace) stop() ([]graph.VID, *Stats, error) {
+	w.stats = statsFromCells(w.cells)
+	if w.cancel.Cause() == fault.CausePanicked {
+		w.stats.Panic = w.cancel.Panic()
+		w.stats.DegradedToSeq = true
+		w.runSeq()
+		w.stats.TreeEdges = rootForest(w.hooks, w.parent, w.root, nil)
+		return w.parent, &w.stats, nil
+	}
+	return nil, &w.stats, w.cancel.Err()
+}
+
+// runSeq rebuilds the forest sequentially on the pooled buffers after a
+// panic: the interrupted sweep's union-find may hold a won hook without
+// its link store, so repair starts from scratch rather than resuming.
+func (w *Workspace) runSeq() {
+	for i := range w.uf {
+		w.uf[i] = int32(i)
+	}
+	for i := range w.hooks {
+		w.hooks[i] = nobody
+	}
+	var ct counts
+	h := hooker{uf: w.uf, hooks: w.hooks, ct: &ct}
+	for vi := 0; vi < w.n; vi++ {
+		v := graph.VID(vi)
+		for _, u := range w.g.Neighbors(v) {
+			if u <= v {
+				continue
+			}
+			h.hook(v, u)
+		}
+	}
+}
+
+// runOne executes one parked worker's share of one run, with the same
+// isolation contract as the one-shot team: the worker reaches the join
+// barrier whatever happens in its body, and a panic trips the run flag
+// so the teammates drain at their next chunk claim.
+func (w *Workspace) runOne(tid int) {
+	defer w.bar.Wait(tid)
+	defer func() {
+		if r := recover(); r != nil {
+			w.recoverWorker(tid, r)
+		}
+	}()
+	w.sweep(tid)
+}
+
+func (w *Workspace) recoverWorker(tid int, r any) {
+	w.ow[tid].Incr(obs.PanicsRecovered)
+	w.cancel.TripPanic(&fault.PanicError{
+		Worker: tid, Value: r, Stack: debug.Stack(),
+	})
+}
+
+// sweep is the parked worker body: claim fixed vertex-range chunks off
+// the shared cursor and run every in-range arc through the hook
+// election. The flag poll rides the chunk claim the loop already pays
+// for, so after a trip each worker finishes at most the chunk in hand —
+// the same cancellation-latency bound par.ForDynamic documents.
+func (w *Workspace) sweep(tid int) {
+	h := hooker{uf: w.uf, hooks: w.hooks, ct: &w.cells[tid]}
+	ow := w.ow[tid]
+	var lc obs.Local
+	for {
+		if w.cancel.Tripped() {
+			lc.Incr(obs.Cancels)
+			break
+		}
+		start := int(w.cursor.Add(int64(w.chunk))) - w.chunk
+		if start >= w.n {
+			break
+		}
+		if h := w.testHook; h != nil {
+			h(tid)
+		}
+		end := start + w.chunk
+		if end > w.n {
+			end = w.n
+		}
+		lc.Incr(obs.ChunkDrains)
+		lc.Add(obs.DrainedVertices, int64(end-start))
+		lc.Incr(obs.DrainHistBucket(end - start))
+		if w.cg != nil {
+			for vi := start; vi < end; vi++ {
+				v := graph.VID(vi)
+				nb := w.cg.Neighbors32(v)
+				lc.Add(obs.EdgesScanned, int64(len(nb)))
+				for _, u32 := range nb {
+					u := graph.VID(u32)
+					if u <= v {
+						continue
+					}
+					h.hook(v, u)
+				}
+			}
+		} else {
+			for vi := start; vi < end; vi++ {
+				v := graph.VID(vi)
+				nb := w.g.Neighbors(v)
+				lc.Add(obs.EdgesScanned, int64(len(nb)))
+				for _, u := range nb {
+					if u <= v {
+						continue
+					}
+					h.hook(v, u)
+				}
+			}
+		}
+	}
+	lc.Add(obs.HooksWon, h.ct.won)
+	lc.Add(obs.HooksLost, h.ct.lost)
+	lc.Add(obs.UFFinds, h.ct.finds)
+	lc.Add(obs.CompressionWrites, h.ct.compress)
+	lc.FlushTo(ow)
+}
+
+// Close retires the parked team and marks the workspace unusable. It
+// must not race a Run. Idempotent.
+func (w *Workspace) Close() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	for _, c := range w.wake {
+		close(c)
+	}
+	w.wg.Wait()
+}

@@ -338,19 +338,22 @@ func CompareHotpath(baselineJSON []byte, current *obs.Artifact, opt BenchCompare
 	return res, nil
 }
 
-// TraversalVariants is the set of traversal policies an obs artifact's
-// work-stealing runs were measured under, collected from the
-// "direction" and "layout" run meta the harness stamps. Empty slices
-// mean the artifact predates variant stamping (or has no work-stealing
-// runs) — unknown, so nothing to warn about.
+// TraversalVariants is the set of measurement policies an obs
+// artifact's parallel runs were measured under, collected from the
+// "alg", "direction" and "layout" run meta the harness stamps. Empty
+// slices mean the artifact predates variant stamping (or has no
+// stamped runs) — unknown, so nothing to warn about.
 type TraversalVariants struct {
+	Algs       []string
 	Directions []string
 	Layouts    []string
 }
 
-// Variants collects an artifact's distinct direction and layout stamps.
+// Variants collects an artifact's distinct alg, direction and layout
+// stamps.
 func Variants(a *obs.Artifact) TraversalVariants {
 	return TraversalVariants{
+		Algs:       metaSet(a, "alg"),
 		Directions: metaSet(a, "direction"),
 		Layouts:    metaSet(a, "layout"),
 	}
@@ -377,6 +380,9 @@ func metaSet(a *obs.Artifact, key string) []string {
 // instead of failing.
 func VariantWarning(base, cur TraversalVariants) string {
 	var parts []string
+	if d := variantDiff("alg", base.Algs, cur.Algs); d != "" {
+		parts = append(parts, d)
+	}
 	if d := variantDiff("direction", base.Directions, cur.Directions); d != "" {
 		parts = append(parts, d)
 	}

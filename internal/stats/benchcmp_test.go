@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"strings"
 	"testing"
 
 	"spantree/internal/obs"
@@ -262,5 +263,23 @@ func TestVariantWarning(t *testing.T) {
 	}
 	if w := VariantWarning(Variants(base), Variants(unstamped)); w != "" {
 		t.Fatalf("unknown current warned: %q", w)
+	}
+
+	// Algorithm-family drift warns alongside direction and layout: a
+	// spanuf baseline compared against traversal numbers (or vice versa)
+	// is not a regression signal.
+	withAlg := func(label, alg string) obs.Report {
+		r := run(label, 10_000_000, 0, 0)
+		r.Meta = map[string]string{"alg": alg, "layout": "wide"}
+		return r
+	}
+	wsBase := artifactWith(withAlg("NewAlg/g/p=4", "workstealing"))
+	ufCur := artifactWith(withAlg("SpanUF/g/p=4", "spanuf"))
+	w = VariantWarning(Variants(wsBase), Variants(ufCur))
+	if w == "" || !strings.Contains(w, "alg") {
+		t.Fatalf("alg mismatch not warned: %q", w)
+	}
+	if w := VariantWarning(Variants(wsBase), Variants(artifactWith(withAlg("NewAlg/g/p=4", "workstealing")))); w != "" {
+		t.Fatalf("matching alg warned: %q", w)
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"spantree/internal/core"
 	"spantree/internal/fault"
+	"spantree/internal/spanuf"
 )
 
 // ErrSessionClosed is returned by Session.FindContext after Close and by
@@ -17,6 +18,10 @@ var ErrSessionClosed = errors.New("spantree: session closed")
 
 // SessionOptions configures NewSession and NewSessionPool.
 type SessionOptions struct {
+	// Algorithm selects the pooled algorithm: AlgWorkStealing (the zero
+	// value) or AlgSpanUF. The other algorithms have no workspace
+	// provisioning and are rejected.
+	Algorithm Algorithm
 	// NumProcs is the number of virtual processors; 0 means 1.
 	NumProcs int
 	// ChunkPolicy and ChunkSize configure the drain-chunk controller
@@ -26,12 +31,14 @@ type SessionOptions struct {
 	// Direction and Layout configure the traversal's direction policy
 	// and CSR layout exactly as in Options. Under LayoutCompact the
 	// uint32 mirror is built once at session construction, so pooled
-	// runs stay allocation-free whatever the layout.
+	// runs stay allocation-free whatever the layout. AlgSpanUF honors
+	// Layout and ignores Direction.
 	Direction Direction
 	Layout    Layout
 	// FallbackThreshold enables the pathological-case detection (see
 	// Options.FallbackThreshold). A triggered fallback allocates — only
-	// the work-stealing completion path is pooled.
+	// the work-stealing completion path is pooled. AlgSpanUF ignores it
+	// (the sweep has no pathological case to detect).
 	FallbackThreshold int
 	// QueueCapacity is the per-queue frontier provision, in vertices;
 	// 0 means the graph's vertex count, which guarantees no run ever
@@ -56,12 +63,24 @@ func (o SessionOptions) withDefaults() SessionOptions {
 	return o
 }
 
-// Session is a reusable, pre-provisioned runtime for the work-stealing
-// algorithm on one fixed graph: every buffer is allocated at
-// construction and the worker team is spawned once and parked between
-// requests, so a warmed session executes FindContext with zero
-// steady-state heap allocations (a cancellable context adds only its
-// own watcher; context.Background stays allocation-free).
+// sessionRuntime is what a Session needs from a pooled workspace; both
+// core.Workspace (the work-stealing traversal) and spanuf.Workspace
+// (the CAS-hook sweep) provide the surface, minus the stats type their
+// Run returns — the two concrete fields below keep those typed.
+type sessionRuntime interface {
+	Flag() *fault.Flag
+	NumProcs() int
+	Graph() *Graph
+	Close()
+}
+
+// Session is a reusable, pre-provisioned runtime for one pooled
+// algorithm (the work-stealing traversal or the CAS-hook union-find
+// sweep, per SessionOptions.Algorithm) on one fixed graph: every buffer
+// is allocated at construction and the worker team is spawned once and
+// parked between requests, so a warmed session executes FindContext
+// with zero steady-state heap allocations (a cancellable context adds
+// only its own watcher; context.Background stays allocation-free).
 //
 // A Session is NOT safe for concurrent use — serialize requests or use
 // a SessionPool, which hands each workspace to one request at a time.
@@ -70,7 +89,10 @@ func (o SessionOptions) withDefaults() SessionOptions {
 // FindContext call: consume or copy it before reusing or releasing the
 // session.
 type Session struct {
-	w      *core.Workspace
+	rt     sessionRuntime
+	w      *core.Workspace   // non-nil iff Algorithm == AlgWorkStealing
+	uw     *spanuf.Workspace // non-nil iff Algorithm == AlgSpanUF
+	alg    Algorithm
 	res    Result
 	closed bool
 }
@@ -84,71 +106,64 @@ func NewSession(g *Graph, opt SessionOptions) (*Session, error) {
 	if o.NumProcs < 1 {
 		return nil, fmt.Errorf("spantree: NumProcs = %d, need >= 0", opt.NumProcs)
 	}
-	w, err := core.NewWorkspace(g, core.Options{
-		NumProcs:          o.NumProcs,
-		ChunkPolicy:       o.ChunkPolicy,
-		ChunkSize:         o.ChunkSize,
-		Direction:         o.Direction,
-		Layout:            o.Layout,
-		FallbackThreshold: o.FallbackThreshold,
-	}, core.WorkspaceOptions{QueueCapacity: o.QueueCapacity})
-	if err != nil {
-		return nil, err
+	s := &Session{alg: o.Algorithm}
+	switch o.Algorithm {
+	case AlgWorkStealing:
+		w, err := core.NewWorkspace(g, core.Options{
+			NumProcs:          o.NumProcs,
+			ChunkPolicy:       o.ChunkPolicy,
+			ChunkSize:         o.ChunkSize,
+			Direction:         o.Direction,
+			Layout:            o.Layout,
+			FallbackThreshold: o.FallbackThreshold,
+		}, core.WorkspaceOptions{QueueCapacity: o.QueueCapacity})
+		if err != nil {
+			return nil, err
+		}
+		s.w, s.rt = w, w
+	case AlgSpanUF:
+		uw, err := spanuf.NewWorkspace(g, spanuf.Options{
+			NumProcs:  o.NumProcs,
+			Compact:   o.Layout == LayoutCompact,
+			ChunkSize: o.ChunkSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.uw, s.rt = uw, uw
+	default:
+		return nil, fmt.Errorf("spantree: sessions support workstealing and spanuf, not %v", o.Algorithm)
 	}
-	s := &Session{w: w}
 	for i := 0; i < o.Warmups; i++ {
-		if _, _, err := w.Run(uint64(i) + 1); err != nil {
-			w.Close()
+		if _, err := s.run(uint64(i) + 1); err != nil {
+			s.rt.Close()
 			return nil, fmt.Errorf("spantree: session warmup: %w", err)
 		}
 	}
 	return s, nil
 }
 
-// NumProcs returns the session's worker count.
-func (s *Session) NumProcs() int { return s.w.NumProcs() }
-
-// Graph returns the graph the session was built for.
-func (s *Session) Graph() *Graph { return s.w.Graph() }
-
-// Find is FindContext with a background context (the allocation-free
-// fast path: no watcher goroutine is spawned).
-func (s *Session) Find(seed uint64) (*Result, error) {
-	return s.FindContext(context.Background(), seed)
-}
-
-// FindContext runs the work-stealing algorithm on the session's pooled
-// buffers with the same cancellation contract as the package-level
-// FindContext: a canceled context returns ErrCanceled, an expired
-// deadline ErrDeadline (an already-expired context is rejected before
-// any worker wakes), and an isolated worker panic degrades to the
-// sequential path, still yielding a valid forest. After any outcome —
-// success, cancel, panic — the session remains reusable.
-func (s *Session) FindContext(ctx context.Context, seed uint64) (*Result, error) {
-	if s.closed {
-		return nil, ErrSessionClosed
-	}
-	// The workspace flag is rearmed here, before the watch is armed, so a
-	// trip that lands between Watch and Run is never lost.
-	flag := s.w.Flag()
-	flag.Reset()
-	stop := fault.Watch(ctx, flag)
-	defer stop()
-	if err := ctx.Err(); err != nil {
-		flag.TripContext(err)
-		return nil, flag.Err()
-	}
+// run dispatches one pooled execution and fills the session-owned
+// Result.
+func (s *Session) run(seed uint64) (*Result, error) {
 	start := time.Now()
-	parent, stats, err := s.w.Run(seed)
-	if err != nil {
-		return nil, err
+	s.res = Result{Algorithm: s.alg}
+	var parent []VID
+	if s.w != nil {
+		p, stats, err := s.w.Run(seed)
+		if err != nil {
+			return nil, err
+		}
+		parent, s.res.WorkStealing = p, stats
+	} else {
+		p, stats, err := s.uw.Run(seed)
+		if err != nil {
+			return nil, err
+		}
+		parent, s.res.SpanUF = p, stats
 	}
-	s.res = Result{
-		Parent:       parent,
-		Algorithm:    AlgWorkStealing,
-		WorkStealing: stats,
-		Elapsed:      time.Since(start),
-	}
+	s.res.Parent = parent
+	s.res.Elapsed = time.Since(start)
 	for _, p := range parent {
 		if p == None {
 			s.res.Roots++
@@ -158,6 +173,45 @@ func (s *Session) FindContext(ctx context.Context, seed uint64) (*Result, error)
 	return &s.res, nil
 }
 
+// NumProcs returns the session's worker count.
+func (s *Session) NumProcs() int { return s.rt.NumProcs() }
+
+// Graph returns the graph the session was built for.
+func (s *Session) Graph() *Graph { return s.rt.Graph() }
+
+// Algorithm returns the pooled algorithm the session runs.
+func (s *Session) Algorithm() Algorithm { return s.alg }
+
+// Find is FindContext with a background context (the allocation-free
+// fast path: no watcher goroutine is spawned).
+func (s *Session) Find(seed uint64) (*Result, error) {
+	return s.FindContext(context.Background(), seed)
+}
+
+// FindContext runs the session's algorithm on its pooled buffers with
+// the same cancellation contract as the package-level FindContext: a
+// canceled context returns ErrCanceled, an expired deadline ErrDeadline
+// (an already-expired context is rejected before any worker wakes), and
+// an isolated worker panic degrades to the sequential path, still
+// yielding a valid forest. After any outcome — success, cancel, panic —
+// the session remains reusable.
+func (s *Session) FindContext(ctx context.Context, seed uint64) (*Result, error) {
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	// The workspace flag is rearmed here, before the watch is armed, so a
+	// trip that lands between Watch and Run is never lost.
+	flag := s.rt.Flag()
+	flag.Reset()
+	stop := fault.Watch(ctx, flag)
+	defer stop()
+	if err := ctx.Err(); err != nil {
+		flag.TripContext(err)
+		return nil, flag.Err()
+	}
+	return s.run(seed)
+}
+
 // Close releases the session's parked worker team. Idempotent; must not
 // race FindContext.
 func (s *Session) Close() {
@@ -165,7 +219,7 @@ func (s *Session) Close() {
 		return
 	}
 	s.closed = true
-	s.w.Close()
+	s.rt.Close()
 }
 
 // SessionPool is a fixed-size freelist of warmed sessions for one graph.

@@ -1,0 +1,135 @@
+package spantree
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"spantree/internal/gen"
+	"spantree/internal/graph"
+)
+
+// TestSessionSpanUFMatchesFind pins the pooled spanuf path to the
+// one-shot public API across the session graph families: identical
+// forests at p=1 (both deterministic), valid forests with equal root
+// counts at p=4.
+func TestSessionSpanUFMatchesFind(t *testing.T) {
+	for name, g := range sessionFamilies() {
+		fresh, err := Find(g, Options{Algorithm: AlgSpanUF, NumProcs: 1})
+		if err != nil {
+			t.Fatalf("%s: Find: %v", name, err)
+		}
+		s, err := NewSession(g, SessionOptions{Algorithm: AlgSpanUF, NumProcs: 1})
+		if err != nil {
+			t.Fatalf("%s: NewSession: %v", name, err)
+		}
+		if s.Algorithm() != AlgSpanUF {
+			t.Fatalf("%s: Algorithm() = %v", name, s.Algorithm())
+		}
+		for run := 0; run < 3; run++ {
+			res, err := s.Find(11)
+			if err != nil {
+				t.Fatalf("%s run %d: %v", name, run, err)
+			}
+			if res.SpanUF == nil || res.WorkStealing != nil {
+				t.Fatalf("%s run %d: stats populated for the wrong algorithm", name, run)
+			}
+			for v := range fresh.Parent {
+				if res.Parent[v] != fresh.Parent[v] {
+					t.Fatalf("%s run %d: parent[%d] = %d, Find got %d",
+						name, run, v, res.Parent[v], fresh.Parent[v])
+				}
+			}
+			if res.Roots != fresh.Roots || res.TreeEdges != fresh.TreeEdges {
+				t.Fatalf("%s run %d: roots/edges %d/%d, Find got %d/%d",
+					name, run, res.Roots, res.TreeEdges, fresh.Roots, fresh.TreeEdges)
+			}
+		}
+		s.Close()
+
+		s4, err := NewSession(g, SessionOptions{Algorithm: AlgSpanUF, NumProcs: 4})
+		if err != nil {
+			t.Fatalf("%s: NewSession p=4: %v", name, err)
+		}
+		wantRoots := graph.NumComponents(g)
+		for run := 0; run < 3; run++ {
+			res, err := s4.Find(uint64(run) + 100)
+			if err != nil {
+				t.Fatalf("%s p=4 run %d: %v", name, run, err)
+			}
+			if err := Verify(g, res.Parent); err != nil {
+				t.Fatalf("%s p=4 run %d: %v", name, run, err)
+			}
+			if res.Roots != wantRoots {
+				t.Fatalf("%s p=4 run %d: %d roots, want %d", name, run, res.Roots, wantRoots)
+			}
+		}
+		s4.Close()
+	}
+}
+
+// TestSessionSpanUFZeroAlloc: the zero-steady-state-allocation serving
+// guarantee holds for the spanuf workspace too, on both layouts.
+func TestSessionSpanUFZeroAlloc(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		for _, layout := range []Layout{LayoutWide, LayoutCompact} {
+			s, err := NewSession(gen.Torus2D(32, 32), SessionOptions{
+				Algorithm: AlgSpanUF, NumProcs: p, Layout: layout,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			avg := testing.AllocsPerRun(10, func() {
+				if _, err := s.FindContext(context.Background(), 42); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("p=%d layout=%v: AllocsPerRun = %v, want 0", p, layout, avg)
+			}
+			s.Close()
+		}
+	}
+}
+
+// TestSessionSpanUFCancelThenReuse: the typed-error and reuse contract
+// carries over to spanuf sessions.
+func TestSessionSpanUFCancelThenReuse(t *testing.T) {
+	g := gen.RandomConnected(400, 900, 3)
+	s, err := NewSession(g, SessionOptions{Algorithm: AlgSpanUF, NumProcs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := s.FindContext(expired, 1); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("expired ctx: err = %v, want ErrDeadline", err)
+	}
+
+	canceled, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := s.FindContext(canceled, 2); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled ctx: err = %v, want ErrCanceled", err)
+	}
+
+	res, err := s.FindContext(context.Background(), 3)
+	if err != nil {
+		t.Fatalf("after cancels: %v", err)
+	}
+	if err := Verify(g, res.Parent); err != nil {
+		t.Fatalf("after cancels: %v", err)
+	}
+}
+
+// TestSessionRejectsUnpooledAlgorithms: only the two provisioned
+// algorithms have workspaces behind them.
+func TestSessionRejectsUnpooledAlgorithms(t *testing.T) {
+	for _, alg := range []Algorithm{AlgSV, AlgSVLocks, AlgSequentialBFS} {
+		if _, err := NewSession(gen.Chain(10), SessionOptions{Algorithm: alg}); err == nil {
+			t.Errorf("NewSession accepted %v", alg)
+		}
+	}
+}

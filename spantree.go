@@ -43,6 +43,7 @@ import (
 	"spantree/internal/spanrm"
 	"spantree/internal/spanseq"
 	"spantree/internal/spansv"
+	"spantree/internal/spanuf"
 	"spantree/internal/verify"
 )
 
@@ -124,6 +125,13 @@ const (
 	// work as the work-stealing algorithm but one barrier per BFS level
 	// instead of O(1) barriers in total.
 	AlgLevelBFS
+	// AlgSpanUF is the edge-centric CAS-hook spanning forest: one flat
+	// parallel sweep over the edges through a lock-free union-find
+	// (link-by-index with smaller-to-larger hooking, path-compressed
+	// finds, a CAS per tree-edge election). No frontier queues and no
+	// per-level barriers, so it is indifferent to graph diameter; the
+	// traversal's queue-free complement (see internal/spanuf).
+	AlgSpanUF
 )
 
 // String returns the canonical short name used by the CLI tools.
@@ -147,6 +155,8 @@ func (a Algorithm) String() string {
 		return "as"
 	case AlgLevelBFS:
 		return "levelbfs"
+	case AlgSpanUF:
+		return "spanuf"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
@@ -165,7 +175,7 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 func Algorithms() []Algorithm {
 	return []Algorithm{
 		AlgWorkStealing, AlgSequentialBFS, AlgSequentialDFS, AlgSequentialUF,
-		AlgSV, AlgSVLocks, AlgHCS, AlgAwerbuchShiloach, AlgLevelBFS,
+		AlgSV, AlgSVLocks, AlgHCS, AlgAwerbuchShiloach, AlgLevelBFS, AlgSpanUF,
 	}
 }
 
@@ -259,10 +269,10 @@ type Options struct {
 	// on large graphs; DirectionTopDown pins the pure push traversal).
 	// Other algorithms ignore it.
 	Direction Direction
-	// Layout selects the CSR layout the work-stealing hot loops read
-	// (the zero value, LayoutWide, reads the Graph directly;
-	// LayoutCompact builds a uint32 mirror per run). Other algorithms
-	// ignore it.
+	// Layout selects the CSR layout the hot loops read (the zero value,
+	// LayoutWide, reads the Graph directly; LayoutCompact builds a
+	// uint32 mirror per run). Honored by the work-stealing traversal and
+	// AlgSpanUF; the other algorithms ignore it.
 	Layout Layout
 	// Model, when non-nil, accumulates Helman-JáJá cost-model counters
 	// for the run (see the smpmodel package via Result.ModeledTime).
@@ -320,6 +330,9 @@ type Result struct {
 	LevelBFS *spanlevel.Stats
 	// RandomMating holds statistics when FindRandomMating ran.
 	RandomMating *spanrm.Stats
+	// SpanUF holds CAS-hook union-find statistics when AlgSpanUF ran
+	// (nil otherwise).
+	SpanUF *spanuf.Stats
 }
 
 // Find computes a spanning forest of g. It is FindContext with a
@@ -466,6 +479,22 @@ func FindContext(ctx context.Context, g *Graph, opt Options) (*Result, error) {
 		}
 		res.Parent = parent
 		res.LevelBFS = &stats
+	case AlgSpanUF:
+		parent, stats, err := spanuf.SpanningForest(g, spanuf.Options{
+			NumProcs:    p,
+			Compact:     opt.Layout == LayoutCompact,
+			Model:       opt.Model,
+			Obs:         opt.Obs,
+			ChunkPolicy: opt.ChunkPolicy,
+			ChunkSize:   opt.ChunkSize,
+			Cancel:      cancel,
+			Chaos:       inj,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Parent = parent
+		res.SpanUF = &stats
 	default:
 		return nil, fmt.Errorf("spantree: unknown algorithm %v", opt.Algorithm)
 	}
