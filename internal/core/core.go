@@ -58,14 +58,12 @@ import (
 	"sync/atomic"
 	"time"
 
-	"spantree/internal/barrier"
 	"spantree/internal/chaos"
 	"spantree/internal/fault"
 	"spantree/internal/graph"
 	"spantree/internal/obs"
 	"spantree/internal/sched"
 	"spantree/internal/smpmodel"
-	"spantree/internal/spanseq"
 	"spantree/internal/spansv"
 	"spantree/internal/wsq"
 	"spantree/internal/xrand"
@@ -126,6 +124,21 @@ type Options struct {
 	// builds (or, through a Workspace, reuses) a uint32 graph.CSR32
 	// mirror, halving the hot path's memory footprint per offset.
 	Layout Layout
+
+	// Shards partitions the execution: the vertex range is split into
+	// this many contiguous shards (graph.PartitionCSR, with the
+	// generator-aware cut policy picked from the graph's name), each
+	// traversed by its own team of workers over a compact per-shard CSR32
+	// view, and the per-shard forests are joined through the partition's
+	// boundary edges by a union-find stitch pass (spanuf.Stitch). 0 or 1
+	// runs the single-team path — the shards=1 special case of the same
+	// engine. NumProcs is the TOTAL worker budget: with Shards <= NumProcs
+	// the teams split it, with Shards > NumProcs single-worker teams run
+	// in sequential waves of NumProcs. Shards > 1 requires
+	// FallbackThreshold == 0 (the stitch pass needs completed shard
+	// forests; the SV fallback escape hatch is a single-team remedy) and
+	// ignores Layout (shard views are always compact).
+	Shards int
 
 	// Deg2Eliminate enables the degree-2 vertex elimination preprocessing
 	// step described at the end of the paper's Section 2.
@@ -272,6 +285,9 @@ func SpanningForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 		return nil, Stats{}, fmt.Errorf("core: Obs has %d worker slots, need >= %d",
 			opt.Obs.NumWorkers(), opt.NumProcs)
 	}
+	if opt.Shards > 1 && opt.FallbackThreshold > 0 {
+		return nil, Stats{}, errShardsFallback
+	}
 	o := opt.withDefaults()
 
 	if o.Deg2Eliminate {
@@ -375,16 +391,29 @@ func (c chaseLevQueue) StealInto(buf []int32) []int32 {
 func (c chaseLevQueue) Len() int       { return c.q.Len() }
 func (c chaseLevQueue) HighWater() int { return c.q.HighWater() }
 
-// traversal holds the shared state of the work-stealing phase.
+// traversal holds the shared state of the work-stealing phase of one
+// team. A single-team run has one traversal covering the whole graph; a
+// sharded run (engine.go) has one per shard, all writing into the same
+// shared parent array over disjoint vertex ranges.
 type traversal struct {
 	g *graph.Graph
 	// cg is the compact uint32 mirror of g, non-nil exactly when
 	// Options.Layout is LayoutCompact: the hot loops read it, while the
 	// cold paths (stub walk, fallback, quiescence, span reporting,
-	// verification) always keep the wide g.
+	// verification) always keep the wide g. Shard traversals have g ==
+	// nil and cg set to the shard's intra-shard view: offsets indexed by
+	// the local id v-lo, adjacency ids global.
 	cg *graph.CSR32
 	o  Options
 	n  int
+	// lo is the first vertex of this traversal's range [lo, lo+n): 0 for
+	// a whole-graph traversal, the shard's lower bound for a shard team.
+	// parent and span are indexed by GLOBAL vertex id throughout.
+	lo graph.VID
+	// tidBase maps this team's local worker ids onto the run's global
+	// processor slots: local tid uses recorder slot and model processor
+	// tidBase+tid. 0 for a whole-graph traversal.
+	tidBase int
 	// parent is the fused claim array: graph.None means unclaimed, any
 	// other value is the claimed parent. Roots hold a self-parent
 	// sentinel (parent[v] == v) while the traversal runs so they stay
@@ -454,6 +483,13 @@ type traversal struct {
 }
 
 func newTraversal(g *graph.Graph, o Options) (*traversal, error) {
+	return newTraversalQ(g, o, nil)
+}
+
+// newTraversalQ is newTraversal with an optional queue supplier (the
+// Workspace path injects its pooled queues; nil allocates one-shot
+// queues).
+func newTraversalQ(g *graph.Graph, o Options, mk func(n int) workQueue) (*traversal, error) {
 	n := g.NumVertices()
 	rec := o.Obs
 	if rec == nil {
@@ -489,21 +525,36 @@ func newTraversal(g *graph.Graph, o Options) (*traversal, error) {
 	if o.Model != nil {
 		t.span = make([]int64, n)
 	}
-	initCap := n/o.NumProcs + 16
+	t.initQueues(mk)
+	return t, nil
+}
+
+// initQueues builds the team's work queues. mk, when non-nil, supplies
+// externally pooled queues (the Workspace path, one call per worker in
+// shard-major tid order, handed the team range's vertex count);
+// otherwise one-shot queues sized for the team's share of its range are
+// allocated.
+func (t *traversal) initQueues(mk func(n int) workQueue) {
+	if mk != nil {
+		for i := range t.queues {
+			t.queues[i] = mk(t.n)
+		}
+		return
+	}
+	initCap := t.n/t.o.NumProcs + 16
 	for i := range t.queues {
-		if o.StealOne {
+		if t.o.StealOne {
 			q := wsq.NewChaseLev(64)
 			// Queue high-water accounting costs a check on every push, so
 			// it runs only when the caller asked to observe the run.
-			q.TrackHighWater(o.Obs != nil)
+			q.TrackHighWater(t.o.Obs != nil)
 			t.queues[i] = chaseLevQueue{q}
 		} else {
 			q := wsq.NewStealHalf(min(initCap, 1<<16))
-			q.TrackHighWater(o.Obs != nil)
+			q.TrackHighWater(t.o.Obs != nil)
 			t.queues[i] = stealHalfQueue{q}
 		}
 	}
-	return t, nil
 }
 
 // claim attempts to acquire w with parent p by a CAS directly on the
@@ -530,103 +581,27 @@ func (t *traversal) claimSeq(w, p graph.VID) bool {
 }
 
 // normalizeRoots rewrites the self-parent root sentinel of the fused
-// claim array back to graph.None, restoring the public forest
-// representation. One streaming pass, charged to processor 0.
+// claim array back to graph.None over this traversal's range,
+// restoring the public forest representation. One streaming pass,
+// charged to the team's first processor.
 func (t *traversal) normalizeRoots() {
-	for v := range t.parent {
-		if t.parent[v] == graph.VID(v) {
+	for v := t.lo; v < t.lo+graph.VID(t.n); v++ {
+		if t.parent[v] == v {
 			t.parent[v] = graph.None
 		}
 	}
-	t.o.Model.Probe(0).Contig(int64(t.n))
+	t.o.Model.Probe(t.tidBase).Contig(int64(t.n))
 }
 
-// run executes both steps of the algorithm on g.
+// run executes both steps of the algorithm on g through the engine
+// layer: a single-team run is the shards=1 special case of the same
+// code path (see engine.go).
 func run(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
-	t, err := newTraversal(g, o)
+	e, err := newEngine(g, o, nil)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	var stats Stats
-	stats.VerticesPerProc = make([]int64, o.NumProcs)
-	stats.EdgesPerProc = make([]int64, o.NumProcs)
-	if t.n == 0 {
-		return t.parent, stats, nil
-	}
-
-	// Step 1: stub spanning tree, generated by a single processor
-	// (charged to processor 0) and distributed round-robin.
-	rootRand := xrand.New(o.Seed)
-	probe0 := o.Model.Probe(0)
-	var seeds []graph.VID
-	if o.NoStub {
-		s := graph.VID(rootRand.Intn(t.n))
-		t.claimSeq(s, graph.None)
-		seeds = []graph.VID{s}
-	} else {
-		seeds = stubSpanningTree(t, rootRand, probe0, nil)
-	}
-	stats.StubSize = len(seeds)
-	for i, s := range seeds {
-		t.queues[i%o.NumProcs].Push(int32(s))
-		probe0.NonContig(1)
-		t.rec.Trace(0, obs.EvSeed, int64(s), int64(i%o.NumProcs))
-	}
-	// One barrier separates the stub step from the traversal step; the
-	// traversal itself needs only the final join (the paper's B = 2).
-	o.Model.AddBarriers(1)
-	t.rec.AddBarrierEpisodes(1)
-	t.rec.Trace(-1, obs.EvBarrier, 1, 0)
-	if t.cancel.Tripped() {
-		// Canceled before the traversal even started (e.g. an already-
-		// expired deadline): don't spin up the team.
-		parent, err := t.stopOutcome(&stats)
-		return parent, stats, err
-	}
-
-	// Step 2: work-stealing graph traversal on p processors. The final
-	// join is the paper's second barrier and runs through a real
-	// internal/barrier episode (workers plus this coordinator), which
-	// gives the work-stealing path per-worker barrier_waits just like
-	// the SV family.
-	bar := barrier.NewSense(o.NumProcs + 1)
-	bar.Observe(t.rec)
-	for tid := 0; tid < o.NumProcs; tid++ {
-		go func(tid int) {
-			// Every worker reaches the join barrier whatever happens in
-			// its body: a panic is isolated here (recorded, the run's flag
-			// tripped so the teammates drain at their next poll) and the
-			// coordinator below never waits on a dead goroutine.
-			defer bar.Wait(tid)
-			defer func() {
-				if r := recover(); r != nil {
-					t.recoverWorker(tid, r)
-				}
-			}()
-			t.worker(tid)
-		}(tid)
-	}
-	bar.Wait(o.NumProcs) // the coordinator is the extra participant
-	o.Model.AddBarriers(1)
-	if t.cancel.Tripped() {
-		parent, err := t.stopOutcome(&stats)
-		return parent, stats, err
-	}
-	t.recordSpan()
-	t.normalizeRoots()
-	t.finishStats(&stats)
-
-	if t.abort.Load() {
-		// Pathological case detected: finish with Shiloach-Vishkin over
-		// the contracted graph.
-		stats.FallbackTriggered = true
-		svStats, err := t.fallback()
-		stats.SVStats = svStats
-		if err != nil {
-			return nil, stats, err
-		}
-	}
-	return t.parent, stats, nil
+	return e.run()
 }
 
 // recoverWorker records an isolated worker panic: per-worker counter and
@@ -634,28 +609,12 @@ func run(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 // the recorder's single-writer contract), then the run flag trips with
 // the structured PanicError so the teammates drain at their next poll.
 func (t *traversal) recoverWorker(tid int, r any) {
-	ow := t.rec.Worker(tid)
+	ow := t.rec.Worker(t.tidBase + tid)
 	ow.Incr(obs.PanicsRecovered)
 	ow.Trace(obs.EvPanic, 0, 0)
 	t.cancel.TripPanic(&fault.PanicError{
-		Worker: tid, Value: r, Stack: debug.Stack(),
+		Worker: t.tidBase + tid, Value: r, Stack: debug.Stack(),
 	})
-}
-
-// stopOutcome resolves a run whose stop flag tripped. Context stops
-// return the typed error (fault.ErrCanceled / fault.ErrDeadline) with
-// the partial Stats; an isolated worker panic degrades to the
-// sequential BFS so the caller still receives a valid forest, with the
-// PanicError surfaced through Stats.Panic. The partially-written
-// parallel parent array is abandoned, never repaired in place.
-func (t *traversal) stopOutcome(stats *Stats) ([]graph.VID, error) {
-	t.finishStats(stats)
-	if t.cancel.Cause() == fault.CausePanicked {
-		stats.Panic = t.cancel.Panic()
-		stats.DegradedToSeq = true
-		return spanseq.BFS(t.g, t.o.Model.Probe(0)), nil
-	}
-	return nil, t.cancel.Err()
 }
 
 // workerState is one worker's reusable hot-loop state: the per-stream
@@ -714,10 +673,10 @@ func (t *traversal) resetWorkerState(tid int, ws *workerState) {
 	ws.stealBuf = ws.stealBuf[:0]
 	var base xrand.Rand
 	base.Reseed(t.o.Seed)
-	ws.r.ReseedSplit(&base, uint64(tid)+1)
-	ws.probe = t.o.Model.Probe(tid)
+	ws.r.ReseedSplit(&base, uint64(t.tidBase+tid)+1)
+	ws.probe = t.o.Model.Probe(t.tidBase + tid)
 	if ws.ow == nil {
-		ws.ow = t.rec.Worker(tid)
+		ws.ow = t.rec.Worker(t.tidBase + tid)
 	}
 	ws.lc = obs.Local{}
 	ws.pend = 0
@@ -768,7 +727,7 @@ func (t *traversal) workerLoop(tid int, ws *workerState) {
 		if h := t.o.testHook; h != nil {
 			h(tid)
 		}
-		t.inj.Visit(tid, chaos.PointDrain)
+		t.inj.Visit(t.tidBase+tid, chaos.PointDrain)
 		if t.dirOpt && t.phase.Load() == phaseBottomUp {
 			// Bottom-up phase: scan one sweep quantum instead of draining
 			// the queue (the queued frontier keeps for the return to
@@ -861,7 +820,7 @@ func (t *traversal) workerLoop(tid int, ws *workerState) {
 // deterministic stand-in for a CAS retry storm.
 func (t *traversal) process(tid int, v graph.VID, probe *smpmodel.Probe,
 	out *[]int32, lc *obs.Local, pend *int64) {
-	t.inj.Visit(tid, chaos.PointClaim)
+	t.inj.Visit(t.tidBase+tid, chaos.PointClaim)
 	lc.Incr(obs.VerticesClaimed)
 	if t.cg != nil {
 		t.processCompact(v, probe, out, lc, pend)
@@ -897,47 +856,6 @@ func (t *traversal) process(tid int, v graph.VID, probe *smpmodel.Probe,
 	}
 }
 
-// finishStats records the queues' high-water marks into the recorder
-// and derives the public Stats values from the recorder's snapshot —
-// the Stats struct is a view over the unified observability layer.
-func (t *traversal) finishStats(stats *Stats) {
-	for i, q := range t.queues {
-		t.rec.Worker(i).Max(obs.QueueHighWater, int64(q.HighWater()))
-	}
-	snap := t.rec.Snapshot()
-	stats.Steals = snap.Totals.StealSuccesses
-	stats.StealAttempts = snap.Totals.StealAttempts
-	stats.ChunkGrow = snap.Totals.ChunkGrow
-	stats.ChunkShrink = snap.Totals.ChunkShrink
-	stats.StolenVertices = snap.Totals.StolenVertices
-	stats.FailedClaims = snap.Totals.FailedClaims
-	stats.CursorRoots = snap.Totals.SeededComponents
-	for i := 0; i < t.o.NumProcs && i < len(snap.Workers); i++ {
-		stats.VerticesPerProc[i] = snap.Workers[i].VerticesClaimed
-		stats.EdgesPerProc[i] = snap.Workers[i].EdgesScanned
-	}
-}
-
-// finishStatsPooled is finishStats for pooled runs: the same derivation,
-// but through Recorder.Total and the cached per-worker handles instead
-// of a Snapshot, whose slice-of-workers view allocates on every call.
-func (t *traversal) finishStatsPooled(stats *Stats, wss []workerState) {
-	for i, q := range t.queues {
-		wss[i].ow.Max(obs.QueueHighWater, int64(q.HighWater()))
-	}
-	stats.Steals = t.rec.Total(obs.StealSuccesses)
-	stats.StealAttempts = t.rec.Total(obs.StealAttempts)
-	stats.ChunkGrow = t.rec.Total(obs.ChunkGrow)
-	stats.ChunkShrink = t.rec.Total(obs.ChunkShrink)
-	stats.StolenVertices = t.rec.Total(obs.StolenVertices)
-	stats.FailedClaims = t.rec.Total(obs.FailedClaims)
-	stats.CursorRoots = t.rec.Total(obs.SeededComponents)
-	for i := range wss {
-		stats.VerticesPerProc[i] = wss[i].ow.Get(obs.VerticesClaimed)
-		stats.EdgesPerProc[i] = wss[i].ow.Get(obs.EdgesScanned)
-	}
-}
-
 // procCostNC is the modeled non-contiguous cost of processing one vertex
 // of the given degree on the batched hot path: the amortized share of the
 // chunked dequeue and batched enqueue locks, the adjacency offset load,
@@ -945,24 +863,33 @@ func (t *traversal) finishStatsPooled(stats *Stats, wss []workerState) {
 // CAS for one child.
 func procCostNC(deg int) int64 { return 4 + int64(deg) }
 
-// recordSpan reports the traversal's dependency span to the cost model.
+// spanMax returns the traversal's dependency span over its range: the
+// maximum claim-completion time in non-contiguous units, which the
+// engine folds across concurrent teams and reports to the cost model.
 // It runs after the final join and before normalizeRoots, so claimed
 // vertices (roots included, via the self-parent sentinel) are exactly
 // those with parent != graph.None.
-func (t *traversal) recordSpan() {
+func (t *traversal) spanMax() int64 {
 	if t.span == nil {
-		return
+		return 0
 	}
 	var max int64
 	for v := 0; v < t.n; v++ {
-		if t.parent[v] == graph.None {
+		gv := t.lo + graph.VID(v)
+		if t.parent[gv] == graph.None {
 			continue
 		}
-		if s := t.span[v] + procCostNC(t.g.Degree(graph.VID(v))); s > max {
+		var deg int
+		if t.g != nil {
+			deg = t.g.Degree(gv)
+		} else {
+			deg = t.cg.Degree(graph.VID(v))
+		}
+		if s := t.span[gv] + procCostNC(deg); s > max {
 			max = s
 		}
 	}
-	t.o.Model.AddSpanNC(max)
+	return max
 }
 
 // trySteal picks a victim by size-biased two-choice sampling: probe two
@@ -984,12 +911,12 @@ func (t *traversal) trySteal(tid int, r *xrand.Rand, myQ workQueue,
 	if p == 1 {
 		return 0, false
 	}
-	t.inj.Visit(tid, chaos.PointSteal)
+	t.inj.Visit(t.tidBase+tid, chaos.PointSteal)
 	ow.Incr(obs.StealAttempts)
 	// A vetoed attempt fails before scanning any victim — the injected
 	// delayed/failed-steal fault; the thief falls through to the idle
 	// protocol and retries, so no work is lost, only deferred.
-	if t.inj.VetoSteal(tid) {
+	if t.inj.VetoSteal(t.tidBase+tid) {
 		ow.Incr(obs.StealFailures)
 		return 0, false
 	}
@@ -1066,7 +993,7 @@ func (t *traversal) stealFrom(victim int, myQ workQueue, stealBuf *[]int32,
 // vertex as a fresh root — that is how disconnected inputs become
 // spanning forests with exactly one root per component.
 func (t *traversal) idleOnce(tid int, myQ workQueue, fruitless int, probe *smpmodel.Probe, ow *obs.Worker) bool {
-	t.inj.Visit(tid, chaos.PointIdle)
+	t.inj.Visit(t.tidBase+tid, chaos.PointIdle)
 	t.sleepers.Add(1)
 	defer t.sleepers.Add(-1)
 	if t.visited.Load() >= int64(t.n) || t.abort.Load() || t.cancel.Tripped() {
@@ -1125,14 +1052,15 @@ func (t *traversal) trySeedNextComponent(tid int, myQ workQueue, probe *smpmodel
 	if !t.claimSeq(v, graph.None) {
 		return false // unreachable at true quiescence, kept for safety
 	}
-	ow := t.rec.Worker(tid)
+	ow := t.rec.Worker(t.tidBase + tid)
 	ow.Incr(obs.SeededComponents)
 	ow.Trace(obs.EvComponentSeed, int64(v), 0)
 	myQ.Push(int32(v))
 	return true
 }
 
-// nextUncolored advances the shared cursor to the next uncolored vertex.
+// nextUncolored advances the shared cursor to the next uncolored vertex
+// of this traversal's range.
 func (t *traversal) nextUncolored(probe *smpmodel.Probe) (graph.VID, bool) {
 	for {
 		i := t.cursor.Add(1) - 1
@@ -1140,8 +1068,8 @@ func (t *traversal) nextUncolored(probe *smpmodel.Probe) (graph.VID, bool) {
 			return 0, false
 		}
 		probe.NonContig(1)
-		if atomic.LoadInt32(&t.parent[i]) == graph.None {
-			return graph.VID(i), true
+		if atomic.LoadInt32(&t.parent[t.lo+graph.VID(i)]) == graph.None {
+			return t.lo + graph.VID(i), true
 		}
 	}
 }

@@ -201,10 +201,11 @@ func (t *traversal) scanBottomUp(lo, hi int, probe *smpmodel.Probe,
 		return t.scanBottomUpCompact(lo, hi, probe, lc, pend, claims)
 	}
 	for v := lo; v < hi; v++ {
-		if atomic.LoadInt32(&t.parent[v]) != graph.None {
+		gv := t.lo + graph.VID(v) // sweep positions are range-local
+		if atomic.LoadInt32(&t.parent[gv]) != graph.None {
 			continue
 		}
-		nb := t.g.Neighbors(graph.VID(v))
+		nb := t.g.Neighbors(gv)
 		probe.NonContig(1) // load adjacency offset
 		scanned := len(nb)
 		for i, w := range nb {
@@ -213,17 +214,17 @@ func (t *traversal) scanBottomUp(lo, hi int, probe *smpmodel.Probe,
 				continue
 			}
 			scanned = i + 1
-			if t.claim(graph.VID(v), w) {
+			if t.claim(gv, w) {
 				probe.NonContig(1) // winning claim CAS
 				if t.span != nil {
 					// w's claimer publishes span[w] after its claim CAS, so
 					// this read can race ahead and see the zero value; that
 					// only under-counts the modeled span, and the lockstep
 					// driver (which produces the figures) is exact.
-					atomic.StoreInt64(&t.span[v],
+					atomic.StoreInt64(&t.span[gv],
 						atomic.LoadInt64(&t.span[w])+procCostNC(len(nb)))
 				}
-				claims = append(claims, int32(v))
+				claims = append(claims, int32(gv))
 				*pend++
 				lc.Incr(obs.BottomUpClaims)
 			} else {
@@ -243,7 +244,8 @@ func (t *traversal) scanBottomUp(lo, hi int, probe *smpmodel.Probe,
 func (t *traversal) scanBottomUpCompact(lo, hi int, probe *smpmodel.Probe,
 	lc *obs.Local, pend *int64, claims []int32) []int32 {
 	for v := lo; v < hi; v++ {
-		if atomic.LoadInt32(&t.parent[v]) != graph.None {
+		gv := t.lo + graph.VID(v) // sweep positions are range-local
+		if atomic.LoadInt32(&t.parent[gv]) != graph.None {
 			continue
 		}
 		nb := t.cg.Neighbors32(graph.VID(v))
@@ -255,13 +257,13 @@ func (t *traversal) scanBottomUpCompact(lo, hi int, probe *smpmodel.Probe,
 				continue
 			}
 			scanned = i + 1
-			if t.claim(graph.VID(v), graph.VID(w)) {
+			if t.claim(gv, graph.VID(w)) {
 				probe.NonContig(1) // winning claim CAS
 				if t.span != nil {
-					atomic.StoreInt64(&t.span[v],
+					atomic.StoreInt64(&t.span[gv],
 						atomic.LoadInt64(&t.span[w])+procCostNC(len(nb)))
 				}
-				claims = append(claims, int32(v))
+				claims = append(claims, int32(gv))
 				*pend++
 				lc.Incr(obs.BottomUpClaims)
 			} else {

@@ -25,6 +25,10 @@ import (
 // The concurrent SpanningForest remains the production entry point and
 // the one exercised for correctness under real races.
 //
+// Sharded runs (Options.Shards > 1) drive their teams shard by shard,
+// wave by wave — deterministic by construction, since the teams'
+// vertex ranges are disjoint and the stitch pass is sequential.
+//
 // The fallback detection maps to lockstep as follows: if
 // FallbackThreshold > 0 and at least that many processors idle for
 // idlePatienceRounds consecutive rounds while the traversal is
@@ -38,6 +42,9 @@ func LockstepForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 	if opt.Obs != nil && opt.Obs.NumWorkers() < opt.NumProcs {
 		return nil, Stats{}, fmt.Errorf("core: Obs has %d worker slots, need >= %d",
 			opt.Obs.NumWorkers(), opt.NumProcs)
+	}
+	if opt.Shards > 1 && opt.FallbackThreshold > 0 {
+		return nil, Stats{}, errShardsFallback
 	}
 	o := opt.withDefaults()
 	if o.Deg2Eliminate {
@@ -70,39 +77,96 @@ func LockstepForest(g *graph.Graph, opt Options) ([]graph.VID, Stats, error) {
 const idlePatienceRounds = 4
 
 func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
-	t, err := newTraversal(g, o)
+	e, err := newEngine(g, o, nil)
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	return e.runLockstep()
+}
+
+// runLockstep is the engine's deterministic driver: the same stub and
+// stitch steps as run(), with every wave's teams driven sequentially in
+// round-robin lockstep on the calling goroutine.
+func (e *engine) runLockstep() ([]graph.VID, Stats, error) {
+	o := e.o
 	var stats Stats
 	stats.VerticesPerProc = make([]int64, o.NumProcs)
 	stats.EdgesPerProc = make([]int64, o.NumProcs)
-	if t.n == 0 {
-		return t.parent, stats, nil
+	if len(e.parent) == 0 {
+		return e.parent, stats, nil
 	}
 
-	// Step 1: stub spanning tree (identical to the concurrent version).
-	rootRand := xrand.New(o.Seed)
+	// Step 1: stub spanning trees (identical to the concurrent engine).
+	var rootRand xrand.Rand
 	probe0 := o.Model.Probe(0)
-	var seeds []graph.VID
-	if o.NoStub {
-		s := graph.VID(rootRand.Intn(t.n))
-		t.claimSeq(s, graph.None)
-		seeds = []graph.VID{s}
-	} else {
-		seeds = stubSpanningTree(t, rootRand, probe0, nil)
-	}
-	stats.StubSize = len(seeds)
-	for i, s := range seeds {
-		t.queues[i%o.NumProcs].Push(int32(s))
-		probe0.NonContig(1)
-		t.rec.Trace(0, obs.EvSeed, int64(s), int64(i%o.NumProcs))
+	for si, t := range e.ts {
+		e.stubRandInto(&rootRand, o.Seed, si)
+		var seeds []graph.VID
+		if o.NoStub {
+			s := t.lo + graph.VID(rootRand.Intn(t.n))
+			t.claimSeq(s, graph.None)
+			seeds = []graph.VID{s}
+		} else {
+			seeds = stubSpanningTree(t, &rootRand, probe0, nil)
+		}
+		stats.StubSize += len(seeds)
+		for i, s := range seeds {
+			t.queues[i%t.o.NumProcs].Push(int32(s))
+			probe0.NonContig(1)
+			e.rec.Trace(0, obs.EvSeed, int64(s), int64(t.tidBase+i%t.o.NumProcs))
+		}
 	}
 	o.Model.AddBarriers(1)
-	t.rec.AddBarrierEpisodes(1)
-	t.rec.Trace(-1, obs.EvBarrier, 1, 0)
+	e.rec.AddBarrierEpisodes(1)
+	e.rec.Trace(-1, obs.EvBarrier, 1, 0)
 
-	// Step 2: round-robin lockstep traversal.
+	// Step 2: round-robin lockstep traversal, shard by shard inside each
+	// wave (sequential either way on the driving goroutine; the barrier
+	// accounting still groups shards into waves, mirroring the
+	// concurrent engine's schedule).
+	for _, wave := range e.waves {
+		for _, si := range wave {
+			lockstepDrive(e.ts[si], &stats)
+			if e.cancel.Tripped() {
+				break
+			}
+		}
+		o.Model.AddBarriers(1)
+		e.rec.AddBarrierEpisodes(1)
+		e.rec.Trace(-1, obs.EvBarrier, 2, 0)
+		if e.cancel.Tripped() {
+			break
+		}
+	}
+	if e.cancel.Tripped() {
+		return e.stopOutcome(&stats)
+	}
+	e.recordSpan()
+	for _, t := range e.ts {
+		t.normalizeRoots()
+	}
+	if e.part != nil {
+		e.stitchShards(probe0, e.rec.Worker(0))
+	}
+	e.finishStats(&stats)
+	if e.ts[0].abort.Load() {
+		stats.FallbackTriggered = true
+		svStats, err := e.ts[0].fallback()
+		stats.SVStats = svStats
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	return e.parent, stats, nil
+}
+
+// lockstepDrive runs one team's traversal to completion in round-robin
+// lockstep. Local worker tids map onto the global processor slots
+// tidBase+tid for the recorder, the cost model, and the RNG streams —
+// exactly the mapping the concurrent workers use, so a shards=1 drive
+// is byte-identical to the pre-engine driver.
+func lockstepDrive(t *traversal, stats *Stats) {
+	o := t.o
 	p := o.NumProcs
 	rngs := make([]*xrand.Rand, p)
 	workers := make([]*obs.Worker, p)
@@ -110,8 +174,8 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 	// in locals for the whole run and flush once before finishStats.
 	locals := make([]obs.Local, p)
 	for tid := range rngs {
-		rngs[tid] = xrand.New(o.Seed).Split(uint64(tid) + 1)
-		workers[tid] = t.rec.Worker(tid)
+		rngs[tid] = xrand.New(o.Seed).Split(uint64(t.tidBase+tid) + 1)
+		workers[tid] = t.rec.Worker(t.tidBase + tid)
 	}
 	stealBuf := make([]int32, 0, 256)
 	// out and the per-tid chunk controllers mirror the concurrent hot
@@ -181,7 +245,7 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 					if h := o.testHook; h != nil {
 						h(tid)
 					}
-					probe := o.Model.Probe(tid)
+					probe := o.Model.Probe(t.tidBase + tid)
 					start := t.buCursor.Add(buChunk) - buChunk
 					probe.NonContig(1) // shared sweep-cursor fetch-add
 					if start >= int64(t.n) {
@@ -209,7 +273,7 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 				if h := o.testHook; h != nil {
 					h(tid)
 				}
-				probe := o.Model.Probe(tid)
+				probe := o.Model.Probe(t.tidBase + tid)
 				ow := workers[tid]
 				myQ := t.queues[tid]
 				if v, ok := myQ.Pop(); ok {
@@ -312,7 +376,7 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 				// Quiescence: every queue is empty and nobody processed a
 				// vertex this round, so the uncolored set is a union of whole
 				// components; seed the next one on a rotating processor.
-				if v, ok := t.nextUncolored(o.Model.Probe(0)); ok {
+				if v, ok := t.nextUncolored(o.Model.Probe(t.tidBase)); ok {
 					tid := seededRoots % p
 					t.claimSeq(v, graph.None)
 					seededRoots++
@@ -338,34 +402,15 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 					// round-based index would repeat the same residue.
 					chk := dirPolls % p
 					dirPolls++
-					if frontier, ok := t.buShouldSwitch(o.Model.Probe(chk)); ok {
+					if frontier, ok := t.buShouldSwitch(o.Model.Probe(t.tidBase + chk)); ok {
 						t.buEnter(frontier, workers[chk])
 					}
 				}
 			}
 		}
 	}()
-	o.Model.AddBarriers(1)
-	t.rec.AddBarrierEpisodes(1)
-	t.rec.Trace(-1, obs.EvBarrier, 2, 0)
 	for tid := range locals {
 		workers[tid].Max(obs.ChunkHighWater, int64(ctrls[tid].HighWater()))
 		locals[tid].FlushTo(workers[tid])
 	}
-	if t.cancel.Tripped() {
-		parent, err := t.stopOutcome(&stats)
-		return parent, stats, err
-	}
-	t.recordSpan()
-	t.normalizeRoots()
-	t.finishStats(&stats)
-	if t.abort.Load() {
-		stats.FallbackTriggered = true
-		svStats, err := t.fallback()
-		stats.SVStats = svStats
-		if err != nil {
-			return nil, stats, err
-		}
-	}
-	return t.parent, stats, nil
 }

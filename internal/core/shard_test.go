@@ -1,0 +1,240 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"spantree/internal/fault"
+	"spantree/internal/gen"
+	"spantree/internal/graph"
+	"spantree/internal/smpmodel"
+	"spantree/internal/verify"
+)
+
+// fig4Families builds small instances of the ten Fig. 4 graph families —
+// the same shapes the harness measures, scaled down for test time.
+func fig4Families() map[string]*graph.Graph {
+	n := 1 << 10
+	s := 32
+	return map[string]*graph.Graph{
+		"torus":        gen.Torus2D(s, s),
+		"torus-random": graph.RandomRelabel(gen.Torus2D(s, s), 0xA5A5),
+		"random-nlogn": gen.Random(n, n*10, 7),
+		"mesh2d":       gen.Mesh2D(s, s, 0.60, 7),
+		"mesh3d":       gen.Mesh3D(10, 10, 10, 0.40, 7),
+		"ad3":          gen.AD3(n, 7),
+		"geo-flat":     gen.GeoFlat(n, gen.DefaultGeoFlatParams(), 7),
+		"geo-hier":     gen.GeoHier(n, gen.DefaultGeoHierParams(), 7),
+		"chain":        gen.Chain(n),
+		"chain-random": graph.RandomRelabel(gen.Chain(n), 0x5A5A),
+	}
+}
+
+// TestShardedForestAllFamilies is the sharded-execution property test:
+// on every Fig. 4 family, for shard counts spanning the S <= p and
+// S > p wave regimes (including a count that does not divide n), the
+// stitched forest must verify and carry exactly one root per component.
+// The deterministic lockstep driver keeps failures reproducible.
+func TestShardedForestAllFamilies(t *testing.T) {
+	for name, g := range fig4Families() {
+		wantComps := graph.NumComponents(g)
+		for _, sh := range []int{1, 2, 4, 7} {
+			for _, p := range []int{1, 4} {
+				parent, _, err := LockstepForest(g, Options{
+					NumProcs: p, Seed: 11, Shards: sh, Model: smpmodel.New(p),
+				})
+				if err != nil {
+					t.Fatalf("%s shards=%d p=%d: %v", name, sh, p, err)
+				}
+				if err := verify.Forest(g, parent); err != nil {
+					t.Fatalf("%s shards=%d p=%d: %v", name, sh, p, err)
+				}
+				roots := 0
+				for _, pv := range parent {
+					if pv == graph.None {
+						roots++
+					}
+				}
+				if roots != wantComps {
+					t.Fatalf("%s shards=%d p=%d: %d roots, want %d",
+						name, sh, p, roots, wantComps)
+				}
+			}
+		}
+	}
+}
+
+// TestShardsOneIsSingleTeam pins the engine's shards=1 special case to
+// the unsharded path: at p=1 both are deterministic, so Shards 0 and 1
+// must produce byte-identical forests (they are literally the same code
+// path — one shard covering the whole graph).
+func TestShardsOneIsSingleTeam(t *testing.T) {
+	for name, g := range fig4Families() {
+		base, _, err := LockstepForest(g, Options{NumProcs: 1, Seed: 5, Model: smpmodel.New(1)})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		one, _, err := LockstepForest(g, Options{NumProcs: 1, Seed: 5, Shards: 1, Model: smpmodel.New(1)})
+		if err != nil {
+			t.Fatalf("%s shards=1: %v", name, err)
+		}
+		for v := range base {
+			if one[v] != base[v] {
+				t.Fatalf("%s: parent[%d] = %d with shards=1, %d unsharded", name, v, one[v], base[v])
+			}
+		}
+	}
+}
+
+// TestShardedConcurrent exercises the concurrent engine (real
+// goroutines, real races under -race) across both wave regimes and a
+// graph whose shard views fragment into many components, which drives
+// the quiescence reseed path and the stitch's label-walk slow path.
+func TestShardedConcurrent(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"torus":    gen.Torus2D(32, 32),
+		"geo-hier": gen.GeoHier(1<<10, gen.DefaultGeoHierParams(), 7),
+	}
+	for name, g := range graphs {
+		wantComps := graph.NumComponents(g)
+		for _, sh := range []int{2, 4, 7} {
+			for _, p := range []int{2, 4} {
+				for seed := uint64(0); seed < 3; seed++ {
+					parent, _, err := SpanningForest(g, Options{NumProcs: p, Seed: seed, Shards: sh})
+					if err != nil {
+						t.Fatalf("%s shards=%d p=%d seed=%d: %v", name, sh, p, seed, err)
+					}
+					if err := verify.Forest(g, parent); err != nil {
+						t.Fatalf("%s shards=%d p=%d seed=%d: %v", name, sh, p, seed, err)
+					}
+					roots := 0
+					for _, pv := range parent {
+						if pv == graph.None {
+							roots++
+						}
+					}
+					if roots != wantComps {
+						t.Fatalf("%s shards=%d p=%d seed=%d: %d roots, want %d",
+							name, sh, p, seed, roots, wantComps)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardsRejectFallback pins the one rejected option combination:
+// the SV fallback abandons the traversal mid-forest, which the stitch
+// cannot serve.
+func TestShardsRejectFallback(t *testing.T) {
+	g := gen.Torus2D(16, 16)
+	if _, _, err := SpanningForest(g, Options{NumProcs: 2, Shards: 2, FallbackThreshold: 1}); err == nil {
+		t.Fatal("SpanningForest accepted Shards > 1 with FallbackThreshold > 0")
+	}
+	if _, _, err := LockstepForest(g, Options{NumProcs: 2, Shards: 2, FallbackThreshold: 1, Model: smpmodel.New(2)}); err == nil {
+		t.Fatal("LockstepForest accepted Shards > 1 with FallbackThreshold > 0")
+	}
+}
+
+// TestShardedWorkspaceReuseAfterCancel: tripping the flag with shard
+// teams mid-flight abandons the run with the typed error, and after the
+// caller's Reset the same workspace — partition, shard views, stitch
+// scratch and all — completes cleanly.
+func TestShardedWorkspaceReuseAfterCancel(t *testing.T) {
+	g := gen.Torus2D(32, 32)
+	w, err := NewWorkspace(g, Options{NumProcs: 2, Shards: 4}, WorkspaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.Flag().Trip(fault.CauseCanceled)
+	if _, _, err := w.Run(1); !errors.Is(err, fault.ErrCanceled) {
+		t.Fatalf("tripped run: err = %v, want ErrCanceled", err)
+	}
+	w.Flag().Reset()
+	parent, _, err := w.Run(2)
+	if err != nil {
+		t.Fatalf("after reset: %v", err)
+	}
+	if err := verify.Forest(g, parent); err != nil {
+		t.Fatalf("after reset: %v", err)
+	}
+}
+
+// TestShardedWorkspaceReuseAfterPanic: a worker panic inside a shard
+// team degrades the run to the sequential BFS (the half-stitched
+// parallel forest is abandoned, never repaired), and the parked teams
+// survive for a clean sharded run right after.
+func TestShardedWorkspaceReuseAfterPanic(t *testing.T) {
+	g := gen.Torus2D(32, 32)
+	w, err := NewWorkspace(g, Options{NumProcs: 2, Shards: 2}, WorkspaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if len(w.e.ts) != 2 {
+		t.Fatalf("%d teams, want one per shard", len(w.e.ts))
+	}
+	fired := false
+	// Inject into the second shard's team so the panic lands with the
+	// other shard's traversal genuinely mid-flight.
+	w.e.ts[1].o.testHook = func(tid int) {
+		if !fired {
+			fired = true
+			panic("injected")
+		}
+	}
+	parent, st, err := w.Run(1)
+	if err != nil {
+		t.Fatalf("panic run: err = %v", err)
+	}
+	if !st.DegradedToSeq || st.Panic == nil {
+		t.Fatalf("panic run: DegradedToSeq=%v Panic=%v", st.DegradedToSeq, st.Panic)
+	}
+	if err := verify.Forest(g, parent); err != nil {
+		t.Fatalf("degraded forest: %v", err)
+	}
+	w.e.ts[1].o.testHook = nil
+	w.Flag().Reset()
+	parent, st, err = w.Run(2)
+	if err != nil || st.DegradedToSeq {
+		t.Fatalf("after panic: err=%v degraded=%v", err, st.DegradedToSeq)
+	}
+	if err := verify.Forest(g, parent); err != nil {
+		t.Fatalf("after panic: %v", err)
+	}
+}
+
+// TestShardedWorkspace extends the pooled-path guarantees to sharded
+// runs: valid forests across reuse, and zero steady-state allocations
+// once warmed — the partition, the shard views and the stitch scratch
+// are all construction-time state.
+func TestShardedWorkspace(t *testing.T) {
+	g := gen.Torus2D(32, 32)
+	for _, sh := range []int{2, 4} {
+		for _, p := range []int{1, 4} {
+			w, err := NewWorkspace(g, Options{NumProcs: p, Shards: sh}, WorkspaceOptions{})
+			if err != nil {
+				t.Fatalf("shards=%d p=%d: %v", sh, p, err)
+			}
+			for i := 0; i < 3; i++ {
+				parent, _, err := w.Run(uint64(i))
+				if err != nil {
+					t.Fatalf("shards=%d p=%d run %d: %v", sh, p, i, err)
+				}
+				if err := verify.Forest(g, parent); err != nil {
+					t.Fatalf("shards=%d p=%d run %d: %v", sh, p, i, err)
+				}
+			}
+			avg := testing.AllocsPerRun(10, func() {
+				if _, _, err := w.Run(42); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("shards=%d p=%d: AllocsPerRun = %v, want 0", sh, p, avg)
+			}
+			w.Close()
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package graph
+
+// Sharded execution support: partition the vertex range of a CSR graph
+// into contiguous shards, each backed by a compact per-shard CSR32 view
+// of its intra-shard edges, plus one global list of the boundary edges
+// that cross shards. The wide CSR is never copied — each shard view is
+// materialized directly into its own uint32 arena (offsets local to the
+// shard, adjacency ids global), so a shard team's working set is the
+// shard arena plus its slice of the shared parent array, and the
+// boundary edges are exactly the edges a stitch pass must consider to
+// join the per-shard forests.
+//
+// Contiguous vertex ranges are the default cut: every generator in this
+// repository lays out locality-correlated vertices with nearby ids
+// (tori and meshes by row, geometric families by construction), so a
+// contiguous range keeps most edges internal. The geographic families
+// (flat and hierarchical wide-area network graphs) concentrate degree
+// on backbone vertices, so an equal-vertex cut hands one shard far more
+// arcs than another; CutEdgeBalanced places the cut points on the
+// cumulative offset array instead, equalizing per-shard arc counts.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CutPolicy selects how Partition places its shard cut points.
+type CutPolicy int
+
+const (
+	// CutVertexBalanced (the default) gives every shard an equal share
+	// of the vertex range: shard s covers [s*n/S, (s+1)*n/S).
+	CutVertexBalanced CutPolicy = iota
+	// CutEdgeBalanced places cut points on the cumulative offset array
+	// so every shard holds an approximately equal share of the arcs —
+	// the generator-aware cut for degree-skewed families (geo/hier).
+	CutEdgeBalanced
+)
+
+// String returns the CLI name of the cut policy.
+func (c CutPolicy) String() string {
+	if c == CutEdgeBalanced {
+		return "edge"
+	}
+	return "vertex"
+}
+
+// CutPolicyFor picks the cut policy for a generated graph by its
+// provenance name: the geographic families (geoflat/geohier) carry the
+// degree skew that defeats equal-vertex cuts, everything else keeps the
+// default contiguous equal-vertex ranges.
+func CutPolicyFor(name string) CutPolicy {
+	if strings.HasPrefix(name, "geo") {
+		return CutEdgeBalanced
+	}
+	return CutVertexBalanced
+}
+
+// Shard is one contiguous vertex range [Lo, Hi) of a partition together
+// with the compact view of its intra-shard edges.
+type Shard struct {
+	// Lo and Hi bound the shard's global vertex range [Lo, Hi).
+	Lo, Hi VID
+	// CSR is the shard's intra-shard adjacency: offsets are indexed by
+	// the LOCAL id v-Lo, adjacency entries are GLOBAL vertex ids (they
+	// all fall inside [Lo, Hi)). Neighbors of global v are
+	// CSR.Neighbors32(v - Lo). Edges with an endpoint outside the range
+	// are excluded here and appear exactly once in Partition.Boundary.
+	CSR *CSR32
+}
+
+// NumVertices returns the shard's vertex count.
+func (s *Shard) NumVertices() int { return int(s.Hi - s.Lo) }
+
+// Partition is a sharding of one graph: contiguous vertex ranges with
+// per-shard compact views plus the cross-shard boundary edges.
+type Partition struct {
+	// Shards covers [0, n) with contiguous, disjoint ranges in order.
+	Shards []Shard
+	// Boundary holds every edge whose endpoints land in different
+	// shards, exactly once, in canonical U < V order. These are the
+	// edges the stitch pass joins the per-shard forests through.
+	Boundary []Edge
+	// Policy records the cut policy the partition was built with.
+	Policy CutPolicy
+	// N is the partitioned graph's vertex count.
+	N int
+}
+
+// IntraArcs returns the total directed arc count across the shard views
+// (the conservation invariant: IntraArcs + 2*len(Boundary) equals the
+// source graph's adjacency length).
+func (p *Partition) IntraArcs() int {
+	total := 0
+	for i := range p.Shards {
+		total += len(p.Shards[i].CSR.Adj)
+	}
+	return total
+}
+
+// PartitionCSR splits g into at most shards contiguous vertex ranges
+// under the given cut policy. The effective shard count is clamped to
+// [1, max(1, n)], so every shard is non-empty whenever the graph is.
+// Adjacency ids in the shard views are global, so the graph must fit
+// the uint32 compact layout (the same bound as CompactOf).
+func PartitionCSR(g *Graph, shards int, policy CutPolicy) (*Partition, error) {
+	n := g.NumVertices()
+	if shards < 1 {
+		return nil, fmt.Errorf("graph: PartitionCSR needs >= 1 shards, got %d", shards)
+	}
+	if n > 0 && shards > n {
+		shards = n
+	}
+	if n == 0 {
+		shards = 1
+	}
+	const limit = int64(1) << 32
+	if int64(n)+1 >= limit || int64(len(g.Adj)) >= limit {
+		return nil, fmt.Errorf("graph: %d vertices / %d adjacency slots exceed the uint32 shard layout", n, len(g.Adj))
+	}
+
+	cuts := cutPoints(g, shards, policy)
+	p := &Partition{
+		Shards: make([]Shard, shards),
+		Policy: policy,
+		N:      n,
+	}
+	for s := 0; s < shards; s++ {
+		lo, hi := cuts[s], cuts[s+1]
+		p.Shards[s] = buildShard(g, VID(lo), VID(hi))
+		// Boundary edges are collected from their smaller-id endpoint's
+		// shard, so each cross-shard edge is recorded exactly once.
+		for v := lo; v < hi; v++ {
+			for _, w := range g.Neighbors(VID(v)) {
+				if (int(w) < lo || int(w) >= hi) && VID(v) < w {
+					p.Boundary = append(p.Boundary, Edge{U: VID(v), V: w})
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// cutPoints returns the shards+1 cut offsets into the vertex range,
+// monotone with every shard non-empty (shards <= n is guaranteed by the
+// caller's clamp).
+func cutPoints(g *Graph, shards int, policy CutPolicy) []int {
+	n := g.NumVertices()
+	cuts := make([]int, shards+1)
+	cuts[shards] = n
+	switch policy {
+	case CutEdgeBalanced:
+		total := len(g.Adj)
+		for k := 1; k < shards; k++ {
+			target := int64(k) * int64(total) / int64(shards)
+			cuts[k] = sort.Search(n, func(v int) bool {
+				return g.Offs[v] >= target
+			})
+		}
+		// Degenerate arc distributions (isolated-vertex prefixes, empty
+		// graphs) can collapse neighboring cuts; restore one-vertex
+		// minimums without disturbing the balanced interior cuts more
+		// than necessary.
+		for k := 1; k < shards; k++ {
+			if cuts[k] <= cuts[k-1] {
+				cuts[k] = cuts[k-1] + 1
+			}
+			if max := n - (shards - k); cuts[k] > max {
+				cuts[k] = max
+			}
+		}
+	default: // CutVertexBalanced
+		for k := 1; k < shards; k++ {
+			cuts[k] = k * n / shards
+		}
+	}
+	return cuts
+}
+
+// buildShard materializes the compact intra-shard view for [lo, hi):
+// one uint32 arena holding the local offset table and the global-id
+// adjacency entries of the edges internal to the range.
+func buildShard(g *Graph, lo, hi VID) Shard {
+	ns := int(hi - lo)
+	arcs := 0
+	for v := lo; v < hi; v++ {
+		for _, w := range g.Neighbors(v) {
+			if w >= lo && w < hi {
+				arcs++
+			}
+		}
+	}
+	arena := make([]uint32, ns+1+arcs)
+	offs := arena[: ns+1 : ns+1]
+	adj := arena[ns+1:]
+	pos := 0
+	for v := lo; v < hi; v++ {
+		offs[v-lo] = uint32(pos)
+		for _, w := range g.Neighbors(v) {
+			if w >= lo && w < hi {
+				adj[pos] = uint32(w)
+				pos++
+			}
+		}
+	}
+	offs[ns] = uint32(pos)
+	return Shard{Lo: lo, Hi: hi, CSR: &CSR32{Offs: offs, Adj: adj, Name: g.Name}}
+}

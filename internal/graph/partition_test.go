@@ -1,0 +1,191 @@
+package graph_test
+
+import (
+	"testing"
+
+	"spantree/internal/gen"
+	"spantree/internal/graph"
+)
+
+// partitionShapes are the graphs the invariant tests sweep: regular,
+// degree-skewed, dense-cut, tiny, and empty.
+func partitionShapes(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	star, err := graph.FromEdges(64, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 63}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*graph.Graph{
+		"torus":    gen.Torus2D(16, 16),
+		"geo-hier": gen.GeoHier(1<<10, gen.DefaultGeoHierParams(), 7),
+		"random":   gen.Random(1<<10, 1<<13, 7),
+		"chain":    gen.Chain(100),
+		"star":     star,
+		"empty":    empty,
+	}
+}
+
+// TestPartitionInvariants checks the partition contract on every shape:
+// the shards tile [0, n) with contiguous non-empty ranges, every shard
+// view holds exactly the intra-shard edges (local offsets, global
+// adjacency ids inside the range), each cross-shard edge appears in the
+// boundary list exactly once in canonical order, and nothing is lost —
+// IntraArcs + 2*len(Boundary) == len(g.Adj).
+func TestPartitionInvariants(t *testing.T) {
+	for name, g := range partitionShapes(t) {
+		for _, shards := range []int{1, 2, 3, 7, 64} {
+			for _, policy := range []graph.CutPolicy{graph.CutVertexBalanced, graph.CutEdgeBalanced} {
+				p, err := graph.PartitionCSR(g, shards, policy)
+				if err != nil {
+					t.Fatalf("%s shards=%d %v: %v", name, shards, policy, err)
+				}
+				n := g.NumVertices()
+				// Contiguous tiling, non-empty shards (one empty shard
+				// allowed only for the empty graph).
+				next := graph.VID(0)
+				for i, sh := range p.Shards {
+					if sh.Lo != next || (sh.Hi <= sh.Lo && n > 0) {
+						t.Fatalf("%s shards=%d %v: shard %d = [%d,%d), expected lo %d",
+							name, shards, policy, i, sh.Lo, sh.Hi, next)
+					}
+					next = sh.Hi
+				}
+				if int(next) != n {
+					t.Fatalf("%s shards=%d %v: shards cover [0,%d), want [0,%d)", name, shards, policy, next, n)
+				}
+				// Conservation: every arc is intra in exactly one view or
+				// counted once as a boundary edge.
+				if got := p.IntraArcs() + 2*len(p.Boundary); got != len(g.Adj) {
+					t.Fatalf("%s shards=%d %v: intra %d + 2*boundary %d = %d arcs, graph has %d",
+						name, shards, policy, p.IntraArcs(), len(p.Boundary), got, len(g.Adj))
+				}
+				// Shard views: per-vertex neighbor sets equal the wide
+				// graph's neighbors restricted to the shard range.
+				for si, sh := range p.Shards {
+					for v := sh.Lo; v < sh.Hi; v++ {
+						want := map[graph.VID]int{}
+						for _, w := range g.Neighbors(v) {
+							if w >= sh.Lo && w < sh.Hi {
+								want[w]++
+							}
+						}
+						got := map[graph.VID]int{}
+						for _, w := range sh.CSR.Neighbors32(v - sh.Lo) {
+							wid := graph.VID(w)
+							if wid < sh.Lo || wid >= sh.Hi {
+								t.Fatalf("%s shards=%d %v: shard %d vertex %d has out-of-range neighbor %d",
+									name, shards, policy, si, v, wid)
+							}
+							got[wid]++
+						}
+						if len(got) != len(want) {
+							t.Fatalf("%s shards=%d %v: vertex %d intra-neighbors %v, want %v",
+								name, shards, policy, v, got, want)
+						}
+						for w, c := range want {
+							if got[w] != c {
+								t.Fatalf("%s shards=%d %v: vertex %d neighbor %d count %d, want %d",
+									name, shards, policy, v, w, got[w], c)
+							}
+						}
+					}
+				}
+				// Boundary edges: canonical, cross-shard, no duplicates.
+				shardOf := func(v graph.VID) int {
+					for i, sh := range p.Shards {
+						if v < sh.Hi {
+							return i
+						}
+					}
+					t.Fatalf("vertex %d outside every shard", v)
+					return -1
+				}
+				seen := map[graph.Edge]bool{}
+				for _, e := range p.Boundary {
+					if e.U >= e.V {
+						t.Fatalf("%s shards=%d %v: boundary edge %v not canonical", name, shards, policy, e)
+					}
+					if shardOf(e.U) == shardOf(e.V) {
+						t.Fatalf("%s shards=%d %v: boundary edge %v is intra-shard", name, shards, policy, e)
+					}
+					if seen[e] {
+						t.Fatalf("%s shards=%d %v: boundary edge %v duplicated", name, shards, policy, e)
+					}
+					seen[e] = true
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionEdgeBalance checks the generator-aware cut: on the
+// degree-skewed geo-hier family the edge-balanced policy must spread
+// arcs far more evenly than vertex counts would.
+func TestPartitionEdgeBalance(t *testing.T) {
+	g := gen.GeoHier(1<<12, gen.DefaultGeoHierParams(), 7)
+	const shards = 4
+	p, err := graph.PartitionCSR(g, shards, graph.CutEdgeBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxArcs, minArcs := 0, int(^uint(0)>>1)
+	for i := range p.Shards {
+		a := len(p.Shards[i].CSR.Adj)
+		// Include the shard's side of each boundary edge so the balance
+		// measure reflects total incident arcs, not just intra ones.
+		for _, e := range p.Boundary {
+			if (e.U >= p.Shards[i].Lo && e.U < p.Shards[i].Hi) ||
+				(e.V >= p.Shards[i].Lo && e.V < p.Shards[i].Hi) {
+				a++
+			}
+		}
+		if a > maxArcs {
+			maxArcs = a
+		}
+		if a < minArcs {
+			minArcs = a
+		}
+	}
+	if maxArcs > 2*minArcs {
+		t.Fatalf("edge-balanced cut is skewed: max %d vs min %d incident arcs", maxArcs, minArcs)
+	}
+}
+
+// TestPartitionErrors pins the rejection surface: non-positive shard
+// counts fail, oversized shard counts clamp.
+func TestPartitionErrors(t *testing.T) {
+	g := gen.Chain(10)
+	if _, err := graph.PartitionCSR(g, 0, graph.CutVertexBalanced); err == nil {
+		t.Fatal("graph.PartitionCSR accepted 0 shards")
+	}
+	if _, err := graph.PartitionCSR(g, -3, graph.CutVertexBalanced); err == nil {
+		t.Fatal("graph.PartitionCSR accepted negative shards")
+	}
+	p, err := graph.PartitionCSR(g, 100, graph.CutVertexBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Shards) != 10 {
+		t.Fatalf("shard count %d, want clamp to n = 10", len(p.Shards))
+	}
+}
+
+// TestCutPolicyFor pins the generator-aware policy table.
+func TestCutPolicyFor(t *testing.T) {
+	cases := map[string]graph.CutPolicy{
+		"geoflat(1024,a=0.9)": graph.CutEdgeBalanced,
+		"geohier(1024)":       graph.CutEdgeBalanced,
+		"torus2d(32x32)":      graph.CutVertexBalanced,
+		"random(1024,8192)":   graph.CutVertexBalanced,
+		"":                    graph.CutVertexBalanced,
+	}
+	for name, want := range cases {
+		if got := graph.CutPolicyFor(name); got != want {
+			t.Errorf("graph.CutPolicyFor(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

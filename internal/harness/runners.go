@@ -87,6 +87,10 @@ type wsConfig struct {
 	forceDirLayout bool
 	direction      core.Direction
 	layout         core.Layout
+	// forceShards overrides cfg.Shards with shards — the shard ablation
+	// pins its variants.
+	forceShards bool
+	shards      int
 	// statsOut, when non-nil, receives the run's core.Stats for
 	// ablations that check steal hit rates and controller activity. In
 	// wall-clock mode the scheduler counters (steals, attempts, chunk
@@ -158,6 +162,7 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 				ChunkSize:     cfg.ChunkSize,
 				Direction:     cfg.Direction,
 				Layout:        cfg.Layout,
+				Shards:        cfg.Shards,
 			}
 			if ws.forceChunk {
 				opt.ChunkPolicy = ws.chunkPolicy
@@ -167,8 +172,12 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 				opt.Direction = ws.direction
 				opt.Layout = ws.layout
 			}
+			if ws.forceShards {
+				opt.Shards = ws.shards
+			}
 			if ws.fallbackAtP {
 				opt.FallbackThreshold = maxInt(1, p-1)
+				opt.Shards = 0 // idle detection requires the unsharded path
 			}
 			var (
 				parent []graph.VID
@@ -225,6 +234,14 @@ func measure(cfg Config, g *graph.Graph, kind algoKind, p int, ws wsConfig) (mea
 			if kind == kindWS {
 				meta["alg"] = "workstealing"
 				meta["direction"] = dir.String()
+				sh := cfg.Shards
+				if ws.forceShards {
+					sh = ws.shards
+				}
+				if ws.fallbackAtP {
+					sh = 0
+				}
+				meta["shards"] = fmt.Sprint(maxInt(1, sh))
 			} else {
 				meta["alg"] = "spanuf" // direction-free: no queues to steer
 			}

@@ -92,8 +92,9 @@ func ReadArtifact(path string) (*Artifact, error) {
 	if err := json.Unmarshal(data, &a); err != nil {
 		return nil, fmt.Errorf("obs: decoding %s: %w", path, err)
 	}
-	if a.Schema != Schema {
-		return nil, fmt.Errorf("obs: %s has schema %q, want %q", path, a.Schema, Schema)
+	if a.Schema != Schema && a.Schema != SchemaV1 {
+		return nil, fmt.Errorf("obs: %s has schema %q, want %q (or the legacy %q)",
+			path, a.Schema, Schema, SchemaV1)
 	}
 	return &a, nil
 }

@@ -28,7 +28,9 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -134,6 +136,20 @@ const (
 	// compression during those finds.
 	CompressionWrites
 
+	// The sharded-execution counters were added with the engine layer.
+	// All three are recorded by the coordinator slot after the teams
+	// join, and stay 0 for unsharded runs (which never stitch).
+	//
+	// ShardRuns counts shard-team traversals this run executed (one per
+	// shard of the partition).
+	ShardRuns
+	// BoundaryEdges is the number of cross-shard edges the partitioner
+	// handed the stitch pass.
+	BoundaryEdges
+	// StitchHooks counts boundary edges the stitch elected as tree edges
+	// (one per pair of shard components joined).
+	StitchHooks
+
 	numCounters
 )
 
@@ -180,6 +196,9 @@ const (
 	// EvDirection: the traversal switched direction (A = new phase,
 	// 0 = top-down, 1 = bottom-up; B = frontier size at the switch).
 	EvDirection
+	// EvStitch: the stitch pass joined the shard forests (A = boundary
+	// edges inspected, B = hooks won).
+	EvStitch
 )
 
 // String returns the schema name of the event kind.
@@ -205,11 +224,18 @@ func (k EventKind) String() string {
 		return "chaos"
 	case EvDirection:
 		return "direction"
+	case EvStitch:
+		return "stitch"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
 // Event is one timestamped trace event.
+//
+// The v2 schema encodes the two kind-specific arguments under per-kind
+// field names (a seed event carries "vertex" and "dest", a steal event
+// "victim" and "stolen", ...) instead of the v1 schema's anonymous "a"
+// and "b"; decoding accepts both spellings, so v1 artifacts still load.
 type Event struct {
 	// TNS is nanoseconds since the recorder was created.
 	TNS int64 `json:"t_ns"`
@@ -217,9 +243,107 @@ type Event struct {
 	Worker int `json:"worker"`
 	// Kind is the event type (see EventKind.String for the names).
 	Kind string `json:"kind"`
-	// A and B are kind-specific arguments (documented per EventKind).
-	A int64 `json:"a,omitempty"`
-	B int64 `json:"b,omitempty"`
+	// A and B are kind-specific arguments (documented per EventKind; see
+	// eventPayloadNames for their JSON spellings).
+	A int64 `json:"-"`
+	B int64 `json:"-"`
+}
+
+// eventPayloadNames returns the v2 JSON field names of an event kind's
+// A and B payloads. Unknown kinds (and future ones decoded from newer
+// artifacts) fall back to the v1 anonymous spellings.
+func eventPayloadNames(kind string) (a, b string) {
+	switch kind {
+	case "seed":
+		return "vertex", "dest"
+	case "steal":
+		return "victim", "stolen"
+	case "barrier":
+		return "episode", "b"
+	case "fallback":
+		return "sleepers", "b"
+	case "component-seed":
+		return "vertex", "b"
+	case "cancel":
+		return "cause", "b"
+	case "chaos":
+		return "point", "b"
+	case "direction":
+		return "phase", "frontier"
+	case "stitch":
+		return "boundary", "hooks"
+	}
+	return "a", "b"
+}
+
+// MarshalJSON encodes the event with its kind's payload field names.
+// Hand-built (strconv, fixed key order) so artifacts are byte-stable
+// across encoders; zero payloads are omitted, matching v1's omitempty.
+func (e Event) MarshalJSON() ([]byte, error) {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, `{"t_ns":`...)
+	buf = strconv.AppendInt(buf, e.TNS, 10)
+	buf = append(buf, `,"worker":`...)
+	buf = strconv.AppendInt(buf, int64(e.Worker), 10)
+	buf = append(buf, `,"kind":`...)
+	buf = strconv.AppendQuote(buf, e.Kind)
+	an, bn := eventPayloadNames(e.Kind)
+	if e.A != 0 {
+		buf = append(buf, ',', '"')
+		buf = append(buf, an...)
+		buf = append(buf, '"', ':')
+		buf = strconv.AppendInt(buf, e.A, 10)
+	}
+	if e.B != 0 {
+		buf = append(buf, ',', '"')
+		buf = append(buf, bn...)
+		buf = append(buf, '"', ':')
+		buf = strconv.AppendInt(buf, e.B, 10)
+	}
+	buf = append(buf, '}')
+	return buf, nil
+}
+
+// UnmarshalJSON decodes an event, accepting both the v2 per-kind
+// payload names and the v1 anonymous "a"/"b" spellings.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	getInt := func(key string) (int64, bool) {
+		raw, ok := m[key]
+		if !ok {
+			return 0, false
+		}
+		var v int64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	*e = Event{}
+	e.TNS, _ = getInt("t_ns")
+	if w, ok := getInt("worker"); ok {
+		e.Worker = int(w)
+	}
+	if raw, ok := m["kind"]; ok {
+		if err := json.Unmarshal(raw, &e.Kind); err != nil {
+			return err
+		}
+	}
+	an, bn := eventPayloadNames(e.Kind)
+	if v, ok := getInt(an); ok {
+		e.A = v
+	} else if v, ok := getInt("a"); ok {
+		e.A = v
+	}
+	if v, ok := getInt(bn); ok {
+		e.B = v
+	} else if v, ok := getInt("b"); ok {
+		e.B = v
+	}
+	return nil
 }
 
 // slotPad rounds the counter array up to a multiple of two cache lines

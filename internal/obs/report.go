@@ -7,11 +7,18 @@ package obs
 // schema by adding fields; never rename or repurpose existing ones, and
 // bump SchemaVersion on any incompatible change.
 
-// Schema is the identifier embedded in every Report.
-const Schema = "spantree/obs/v1"
+// Schema is the identifier embedded in every Report. v2 names each
+// trace event's payload fields per kind (see Event) where v1 used
+// anonymous "a"/"b"; counters are a superset of v1's, so v1 artifacts
+// decode losslessly (see SchemaV1 readers in internal/stats).
+const Schema = "spantree/obs/v2"
+
+// SchemaV1 is the previous schema identifier, still accepted by
+// readers so existing baselines keep comparing.
+const SchemaV1 = "spantree/obs/v1"
 
 // SchemaVersion is the current version of the JSON schema.
-const SchemaVersion = 1
+const SchemaVersion = 2
 
 // Counters is the JSON form of one counter set (per-worker, or the
 // run-wide aggregate).
@@ -60,6 +67,12 @@ type Counters struct {
 	HooksLost         int64 `json:"hooks_lost,omitempty"`
 	UFFinds           int64 `json:"uf_finds,omitempty"`
 	CompressionWrites int64 `json:"compression_writes,omitempty"`
+	// The sharded-execution counters were added with the engine layer
+	// (schema grows additively); all three stay omitted for unsharded
+	// runs, so earlier artifacts compare unchanged.
+	ShardRuns     int64 `json:"shard_runs,omitempty"`
+	BoundaryEdges int64 `json:"boundary_edges,omitempty"`
+	StitchHooks   int64 `json:"stitch_hooks,omitempty"`
 }
 
 // countersFrom maps the counter array into the named JSON fields.
@@ -92,6 +105,9 @@ func countersFrom(c *[numCounters]int64) Counters {
 		HooksLost:         c[HooksLost],
 		UFFinds:           c[UFFinds],
 		CompressionWrites: c[CompressionWrites],
+		ShardRuns:         c[ShardRuns],
+		BoundaryEdges:     c[BoundaryEdges],
+		StitchHooks:       c[StitchHooks],
 	}
 	for b := 0; b < DrainHistBuckets; b++ {
 		if c[DrainHist0+Counter(b)] != 0 {

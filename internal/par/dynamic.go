@@ -33,10 +33,11 @@ package par
 // each worker's static block in controller-sized chunks with no
 // stealing, charging the same per-drain costs the real path would pay
 // (T_M += 2 noncontiguous accesses per drain boundary, as in the
-// traversal's batched hot path). Modeled figures therefore stay
-// reproducible run-to-run — the lockstep-driver rule, applied to the
-// substrate — while wall-clock runs (nil model) get the full
-// work-stealing path.
+// traversal's batched hot path) plus each worker's terminal steal scan
+// (p-1 victim probes and one fruitless poll — the coordination floor
+// every schedule pays). Modeled figures therefore stay reproducible
+// run-to-run — the lockstep-driver rule, applied to the substrate —
+// while wall-clock runs (nil model) get the full work-stealing path.
 
 import (
 	"runtime"
@@ -158,6 +159,14 @@ func (c *Ctx) ForDynamic(n int, body func(i int)) {
 // dynamic layer's drain cadence — 2 noncontiguous accesses per chunk
 // boundary — and runs the real controller against its own remaining
 // range, so modeled runs exercise and report the same chunk dynamics.
+//
+// Steal traffic is charged at its deterministic floor: the wall-clock
+// path's workers each run one terminal steal scan before returning —
+// p-1 lock-free size probes that find every slot empty or too shallow,
+// then one fruitless poll before giving up. That coordination traffic
+// exists on every schedule, so the model charges it per worker; what
+// stays out is the timing-dependent part (successful steals and
+// retries), which would make T_M a function of the schedule.
 func (c *Ctx) forDynamicModeled(n int, body func(i int), dc *dynCtrl, lc *obs.Local) {
 	lo, hi := c.Block(n)
 	for lo < hi {
@@ -178,6 +187,11 @@ func (c *Ctx) forDynamicModeled(n int, body func(i int), dc *dynCtrl, lc *obs.Lo
 		}
 		lo += k
 		dc.c.Adapt(hi-lo, 0, lc)
+	}
+	if p := c.team.p; p > 1 {
+		c.probe.NonContig(int64(p-1) + 1) // terminal victim scan + fruitless poll
+		lc.Incr(obs.StealAttempts)
+		lc.Incr(obs.StealFailures)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"spantree/internal/obs"
 	"spantree/internal/smpmodel"
 )
 
@@ -198,6 +199,44 @@ func TestForDynamicModeledDeterministic(t *testing.T) {
 	for rep := 0; rep < 5; rep++ {
 		if got := charge(); got != first {
 			t.Fatalf("modeled charge varied: %v vs %v", got, first)
+		}
+	}
+}
+
+// TestForDynamicModeledStealFloor pins the modeled steal-traffic floor:
+// every worker of a modeled ForDynamic charges one terminal victim scan
+// (p-1 size probes plus a fruitless poll) and reports it as one failed
+// steal attempt, while a p=1 team charges none.
+func TestForDynamicModeledStealFloor(t *testing.T) {
+	const n = 1000
+	run := func(p int) (attempts, failures, successes int64, nc [8]int64) {
+		model := smpmodel.New(p)
+		rec := obs.New(p)
+		team := NewTeam(p, model).Observe(rec)
+		team.Run(func(c *Ctx) {
+			c.ForDynamic(n, func(i int) {})
+		})
+		for tid := 0; tid < p; tid++ {
+			nc[tid] = model.Proc(tid).NonContig
+		}
+		return rec.Total(obs.StealAttempts), rec.Total(obs.StealFailures),
+			rec.Total(obs.StealSuccesses), nc
+	}
+	att, fail, succ, _ := run(4)
+	if att != 4 || fail != 4 || succ != 0 {
+		t.Fatalf("p=4: attempts=%d failures=%d successes=%d, want 4/4/0", att, fail, succ)
+	}
+	att, fail, _, _ = run(1)
+	if att != 0 || fail != 0 {
+		t.Fatalf("p=1: attempts=%d failures=%d, want 0/0", att, fail)
+	}
+	// The scan charge itself: run the same block shape with and without a
+	// body charge; the fixed floor is p-1 probes + 1 poll on every worker.
+	_, _, _, nc := run(4)
+	for tid := 0; tid < 4; tid++ {
+		perDrain := nc[tid] // drains + scan; the scan part must be >= p
+		if perDrain < int64(4-1+1) {
+			t.Fatalf("worker %d: NonContig=%d, below the scan floor", tid, perDrain)
 		}
 	}
 }

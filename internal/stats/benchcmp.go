@@ -340,22 +340,24 @@ func CompareHotpath(baselineJSON []byte, current *obs.Artifact, opt BenchCompare
 
 // TraversalVariants is the set of measurement policies an obs
 // artifact's parallel runs were measured under, collected from the
-// "alg", "direction" and "layout" run meta the harness stamps. Empty
-// slices mean the artifact predates variant stamping (or has no
-// stamped runs) — unknown, so nothing to warn about.
+// "alg", "direction", "layout" and "shards" run meta the harness
+// stamps. Empty slices mean the artifact predates variant stamping (or
+// has no stamped runs) — unknown, so nothing to warn about.
 type TraversalVariants struct {
 	Algs       []string
 	Directions []string
 	Layouts    []string
+	Shards     []string
 }
 
-// Variants collects an artifact's distinct alg, direction and layout
-// stamps.
+// Variants collects an artifact's distinct alg, direction, layout and
+// shards stamps.
 func Variants(a *obs.Artifact) TraversalVariants {
 	return TraversalVariants{
 		Algs:       metaSet(a, "alg"),
 		Directions: metaSet(a, "direction"),
 		Layouts:    metaSet(a, "layout"),
+		Shards:     metaSet(a, "shards"),
 	}
 }
 
@@ -387,6 +389,9 @@ func VariantWarning(base, cur TraversalVariants) string {
 		parts = append(parts, d)
 	}
 	if d := variantDiff("layout", base.Layouts, cur.Layouts); d != "" {
+		parts = append(parts, d)
+	}
+	if d := variantDiff("shards", base.Shards, cur.Shards); d != "" {
 		parts = append(parts, d)
 	}
 	if len(parts) == 0 {
@@ -427,7 +432,11 @@ func LoadBenchBaseline(path string) (func(current *obs.Artifact, opt BenchCompar
 		return func(current *obs.Artifact, opt BenchCompareOptions) (*BenchCompareResult, error) {
 			return CompareHotpath(data, current, opt)
 		}, obs.HostShape{}, TraversalVariants{}, nil
-	case obs.Schema:
+	case obs.Schema, obs.SchemaV1:
+		// v1 baselines decode through the same structs: the counter
+		// fields are a strict subset of v2's and obs.Event's decoder
+		// accepts the legacy anonymous "a"/"b" payload spellings, so
+		// existing recorded baselines keep comparing unchanged.
 		var a obs.Artifact
 		if err := json.Unmarshal(data, &a); err != nil {
 			return nil, obs.HostShape{}, TraversalVariants{}, fmt.Errorf("stats: decoding baseline %s: %w", path, err)

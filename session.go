@@ -35,6 +35,12 @@ type SessionOptions struct {
 	// Layout and ignores Direction.
 	Direction Direction
 	Layout    Layout
+	// Shards configures sharded execution exactly as in Options.Shards:
+	// the partition, the per-shard CSR views and the stitch scratch are
+	// built once at session construction, so sharded pooled runs stay
+	// allocation-free too. Requires FallbackThreshold == 0 when > 1.
+	// AlgSpanUF ignores it.
+	Shards int
 	// FallbackThreshold enables the pathological-case detection (see
 	// Options.FallbackThreshold). A triggered fallback allocates — only
 	// the work-stealing completion path is pooled. AlgSpanUF ignores it
@@ -115,6 +121,7 @@ func NewSession(g *Graph, opt SessionOptions) (*Session, error) {
 			ChunkSize:         o.ChunkSize,
 			Direction:         o.Direction,
 			Layout:            o.Layout,
+			Shards:            o.Shards,
 			FallbackThreshold: o.FallbackThreshold,
 		}, core.WorkspaceOptions{QueueCapacity: o.QueueCapacity})
 		if err != nil {
