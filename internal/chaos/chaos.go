@@ -25,7 +25,10 @@
 // steal"), which is how the graceful-degradation path is tested.
 package chaos
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Point identifies one injection site in the runtime.
 type Point int
@@ -107,6 +110,74 @@ func DefaultConfig(seed uint64, workers int) Config {
 		StallProb:     0.05,
 		StallYields:   8,
 		StealVetoProb: 0.25,
+	}
+}
+
+// ServeFault identifies the fault (if any) injected into one HTTP
+// request of the serving layer. At most one fault fires per request,
+// drawn deterministically from the request's own seeded stream, so a
+// failing request schedule is replayable from (seed, request id).
+type ServeFault int
+
+const (
+	// FaultNone: the request proceeds unperturbed.
+	FaultNone ServeFault = iota
+	// FaultSlow: the session runs after an injected delay — the slow
+	// straggler backend. The request may still succeed or blow its
+	// deadline; either way the outcome must be a 200 or a typed error.
+	FaultSlow
+	// FaultStall: the request wedges until its context expires — the
+	// stuck backend. Must surface as the typed deadline/cancel error.
+	FaultStall
+	// FaultPanic: the handler panics mid-request with an InjectedPanic.
+	// Must surface as a typed 500 body, never a transport-level drop.
+	FaultPanic
+)
+
+// String returns the schema name of the serve fault.
+func (f ServeFault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultSlow:
+		return "slow"
+	case FaultStall:
+		return "stall"
+	case FaultPanic:
+		return "panic"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// ServeConfig parameterizes the serving-layer injector. The zero value
+// injects nothing even in a chaos build.
+type ServeConfig struct {
+	// Seed drives every per-request and per-journal-append decision.
+	Seed uint64
+	// SlowProb is the per-request probability of FaultSlow; SlowDelay
+	// the injected delay (default 5ms).
+	SlowProb  float64
+	SlowDelay time.Duration
+	// StallProb is the per-request probability of FaultStall.
+	StallProb float64
+	// PanicProb is the per-request probability of FaultPanic.
+	PanicProb float64
+	// JournalProb is the per-append probability that a registry journal
+	// write fails — the disk-fault injection. The mutation must abort
+	// with a typed error and the registry stay consistent.
+	JournalProb float64
+}
+
+// DefaultServeConfig is the stock serving chaos profile driven by
+// spantreed's -chaos-seed flag and the serving stress suites.
+func DefaultServeConfig(seed uint64) ServeConfig {
+	return ServeConfig{
+		Seed:        seed,
+		SlowProb:    0.10,
+		SlowDelay:   5 * time.Millisecond,
+		StallProb:   0.05,
+		PanicProb:   0.03,
+		JournalProb: 0.10,
 	}
 }
 

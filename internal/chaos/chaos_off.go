@@ -2,7 +2,12 @@
 
 package chaos
 
-import "spantree/internal/obs"
+import (
+	"time"
+
+	"spantree/internal/obs"
+	"spantree/internal/smpmodel"
+)
 
 // Enabled reports whether this binary was built with the chaos layer
 // compiled in (`go build -tags chaos`).
@@ -29,3 +34,29 @@ func (j *Injector) VetoSteal(tid int) bool { return false }
 // Injections returns the total number of injected faults (stalls,
 // vetoes, panics). Always 0 here.
 func (j *Injector) Injections() int64 { return 0 }
+
+// AttachModel routes the cost of injected perturbations into m. No-op
+// here: nothing is injected, so nothing is charged.
+func (j *Injector) AttachModel(m *smpmodel.Model) {}
+
+// ServeInjector is the no-op shape of the serving-layer fault injector.
+type ServeInjector struct{}
+
+// NewServe returns nil in default builds: the chaos layer is compiled
+// out.
+func NewServe(cfg ServeConfig) *ServeInjector { return nil }
+
+// Request returns the fault injected into request id. Always FaultNone
+// here.
+func (j *ServeInjector) Request(id uint64) ServeFault { return FaultNone }
+
+// SlowDelay returns the delay a FaultSlow request sleeps. Always 0 here.
+func (j *ServeInjector) SlowDelay() time.Duration { return 0 }
+
+// JournalFault reports whether journal append seq is forced to fail.
+// Always false here.
+func (j *ServeInjector) JournalFault(seq uint64) bool { return false }
+
+// Injections returns the total number of injected serving faults.
+// Always 0 here.
+func (j *ServeInjector) Injections() int64 { return 0 }

@@ -19,4 +19,13 @@ func TestDisabledBuildIsInert(t *testing.T) {
 	if j.VetoSteal(0) || j.Injections() != 0 {
 		t.Fatal("disabled injector must inject nothing")
 	}
+	j.AttachModel(nil)
+
+	s := NewServe(DefaultServeConfig(1))
+	if s != nil {
+		t.Fatal("NewServe must return nil without the chaos build tag")
+	}
+	if s.Request(1) != FaultNone || s.JournalFault(1) || s.SlowDelay() != 0 || s.Injections() != 0 {
+		t.Fatal("disabled serve injector must inject nothing")
+	}
 }

@@ -5,8 +5,10 @@ package chaos
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"spantree/internal/obs"
+	"spantree/internal/smpmodel"
 	"spantree/internal/xrand"
 )
 
@@ -23,6 +25,12 @@ type Injector struct {
 	rec   *obs.Recorder
 	slots []chaosSlot
 	total atomic.Int64
+	// model, when attached, receives the cost of every injected
+	// perturbation, so modeled chaos runs predict degraded schedules
+	// instead of silently diverging from their charges (the ROADMAP
+	// "modeled chaos" gap): a stall burst is idle time on the stalled
+	// processor's T_C, a steal veto is a failed steal's fruitless poll.
+	model *smpmodel.Model
 }
 
 // chaosSlot is one worker's injection state, padded so neighboring
@@ -70,10 +78,32 @@ func (j *Injector) Visit(tid int, p Point) {
 	}
 	if j.cfg.StallProb > 0 && s.rng.Prob(j.cfg.StallProb) {
 		j.inject(tid)
-		for n := 1 + s.rng.Intn(j.cfg.StallYields); n > 0; n-- {
+		n := 1 + s.rng.Intn(j.cfg.StallYields)
+		// Charge the stall to the stalled processor's local computation:
+		// each yield is one unit of injected idle time on its T_C.
+		j.probeFor(tid).Ops(int64(n))
+		for ; n > 0; n-- {
 			runtime.Gosched()
 		}
 	}
+}
+
+// AttachModel routes the cost of injected perturbations into m (nil
+// detaches). Call before the run, on the same model the run charges.
+func (j *Injector) AttachModel(m *smpmodel.Model) {
+	if j == nil {
+		return
+	}
+	j.model = m
+}
+
+// probeFor resolves the attached model's probe for tid (nil, hence a
+// no-op probe, when no model is attached or tid has no slot there).
+func (j *Injector) probeFor(tid int) *smpmodel.Probe {
+	if j.model == nil || tid >= j.model.NumProcs() {
+		return nil
+	}
+	return j.model.Probe(tid)
 }
 
 // VetoSteal reports whether this steal attempt is forced to fail before
@@ -84,6 +114,9 @@ func (j *Injector) VetoSteal(tid int) bool {
 	}
 	if j.slots[tid].rng.Prob(j.cfg.StealVetoProb) {
 		j.inject(tid)
+		// A vetoed steal is a failed steal the thief still pays for: the
+		// fruitless poll before it gives up, same as a real empty scan.
+		j.probeFor(tid).NonContig(1)
 		return true
 	}
 	return false
@@ -100,4 +133,80 @@ func (j *Injector) Injections() int64 {
 func (j *Injector) inject(tid int) {
 	j.total.Add(1)
 	j.rec.Worker(tid).Incr(obs.ChaosInjections)
+}
+
+// ServeInjector perturbs the serving layer: each request draws its
+// fault (if any) from a stream seeded by (Seed, request id), and each
+// registry journal append draws its write fault from (Seed, append
+// sequence). Both are pure functions of their identifiers, so a failing
+// request or a corrupting append replays from the seed alone — there is
+// no shared mutable stream to race on.
+type ServeInjector struct {
+	cfg   ServeConfig
+	total atomic.Int64
+}
+
+// NewServe returns a serving-layer injector for cfg, or nil when cfg is
+// the zero value (nothing to inject). All methods are nil-safe.
+func NewServe(cfg ServeConfig) *ServeInjector {
+	if cfg == (ServeConfig{}) {
+		return nil
+	}
+	if cfg.SlowDelay <= 0 {
+		cfg.SlowDelay = 5 * time.Millisecond
+	}
+	return &ServeInjector{cfg: cfg}
+}
+
+// Request returns the fault injected into request id. At most one fault
+// fires per request; the draw order (panic, stall, slow) is fixed so a
+// given (seed, id) pair always maps to the same fault.
+func (j *ServeInjector) Request(id uint64) ServeFault {
+	if j == nil {
+		return FaultNone
+	}
+	r := xrand.New(j.cfg.Seed).Split(id + 0x51f0b2e1)
+	switch {
+	case j.cfg.PanicProb > 0 && r.Prob(j.cfg.PanicProb):
+		j.total.Add(1)
+		return FaultPanic
+	case j.cfg.StallProb > 0 && r.Prob(j.cfg.StallProb):
+		j.total.Add(1)
+		return FaultStall
+	case j.cfg.SlowProb > 0 && r.Prob(j.cfg.SlowProb):
+		j.total.Add(1)
+		return FaultSlow
+	}
+	return FaultNone
+}
+
+// SlowDelay returns the delay a FaultSlow request sleeps before running.
+func (j *ServeInjector) SlowDelay() time.Duration {
+	if j == nil {
+		return 0
+	}
+	return j.cfg.SlowDelay
+}
+
+// JournalFault reports whether journal append seq is forced to fail —
+// the injected disk fault. The registry must abort the mutation with a
+// typed error and stay consistent.
+func (j *ServeInjector) JournalFault(seq uint64) bool {
+	if j == nil || j.cfg.JournalProb <= 0 {
+		return false
+	}
+	r := xrand.New(j.cfg.Seed).Split(seq + 0x77aa1833)
+	if r.Prob(j.cfg.JournalProb) {
+		j.total.Add(1)
+		return true
+	}
+	return false
+}
+
+// Injections returns the total number of injected serving faults so far.
+func (j *ServeInjector) Injections() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.total.Load()
 }

@@ -4,8 +4,10 @@ package chaos
 
 import (
 	"testing"
+	"time"
 
 	"spantree/internal/obs"
+	"spantree/internal/smpmodel"
 )
 
 // vetoTrace records the first n VetoSteal outcomes of one worker — a
@@ -121,5 +123,139 @@ func TestOutOfRangeWorkerIsIgnored(t *testing.T) {
 	j.Visit(-1, PointDrain)
 	if j.VetoSteal(5) || j.VetoSteal(-1) {
 		t.Fatal("out-of-range worker got an injection")
+	}
+}
+
+// TestModelChargesVetoes: with a model attached, every vetoed steal is
+// charged as the failed steal's fruitless poll — one non-contiguous
+// access on the vetoing thief's processor.
+func TestModelChargesVetoes(t *testing.T) {
+	j := New(Config{Seed: 5, Workers: 2, StealVetoProb: 1}, nil)
+	m := smpmodel.New(2)
+	j.AttachModel(m)
+	for i := 0; i < 7; i++ {
+		if !j.VetoSteal(1) {
+			t.Fatal("probability-1 veto did not fire")
+		}
+	}
+	if got := m.Proc(1).NonContig; got != 7 {
+		t.Fatalf("vetoing worker's NonContig = %d, want 7", got)
+	}
+	if got := m.Proc(0).NonContig; got != 0 {
+		t.Fatalf("idle worker's NonContig = %d, want 0", got)
+	}
+}
+
+// TestModelChargesStalls: an injected stall burst lands as idle time on
+// the stalled processor's local computation — Ops equal to the yields
+// of the burst, so at least one per injected stall.
+func TestModelChargesStalls(t *testing.T) {
+	j := New(Config{Seed: 5, Workers: 1, StallProb: 1, StallYields: 4}, nil)
+	m := smpmodel.New(1)
+	j.AttachModel(m)
+	const visits = 10
+	for i := 0; i < visits; i++ {
+		j.Visit(0, PointDrain)
+	}
+	ops := m.Proc(0).Ops
+	if ops < visits || ops > visits*4 {
+		t.Fatalf("stalled worker's Ops = %d, want in [%d, %d]", ops, visits, visits*4)
+	}
+}
+
+// TestModelDetachedAndOutOfRange: charging is inert without a model and
+// safe when the injector has more workers than the model has slots.
+func TestModelDetachedAndOutOfRange(t *testing.T) {
+	j := New(Config{Seed: 5, Workers: 2, StealVetoProb: 1}, nil)
+	j.VetoSteal(0) // no model attached: must not panic
+	m := smpmodel.New(1)
+	j.AttachModel(m)
+	j.VetoSteal(1) // tid 1 has no model slot: must not panic
+	if got := m.Proc(0).NonContig; got != 0 {
+		t.Fatalf("out-of-range veto leaked a charge: NonContig = %d", got)
+	}
+}
+
+// serveTrace records the faults of the first n request ids — a pure
+// function of (config, id), independent of call order.
+func serveTrace(cfg ServeConfig, n int) []ServeFault {
+	j := NewServe(cfg)
+	out := make([]ServeFault, n)
+	for i := range out {
+		out[i] = j.Request(uint64(i))
+	}
+	return out
+}
+
+func TestServeDeterministicPerSeed(t *testing.T) {
+	cfg := DefaultServeConfig(11)
+	a := serveTrace(cfg, 500)
+	b := serveTrace(cfg, 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: fault diverged for the same seed (%v vs %v)", i, a[i], b[i])
+		}
+	}
+	c := serveTrace(DefaultServeConfig(12), 500)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical request fault schedules")
+	}
+}
+
+func TestServeFaultMix(t *testing.T) {
+	var hits [4]int
+	for _, f := range serveTrace(DefaultServeConfig(3), 4000) {
+		hits[f]++
+	}
+	for f := FaultSlow; f <= FaultPanic; f++ {
+		if hits[f] == 0 {
+			t.Errorf("fault %v never drawn over 4000 requests of the default profile", f)
+		}
+	}
+	if hits[FaultNone] < 2000 {
+		t.Errorf("FaultNone drawn %d/4000 times; default profile should leave most requests clean", hits[FaultNone])
+	}
+}
+
+func TestServeZeroConfigAndDefaults(t *testing.T) {
+	if NewServe(ServeConfig{}) != nil {
+		t.Fatal("NewServe of the zero config must return nil")
+	}
+	j := NewServe(ServeConfig{Seed: 1, SlowProb: 1})
+	if j.SlowDelay() != 5*time.Millisecond {
+		t.Fatalf("default SlowDelay = %v, want 5ms", j.SlowDelay())
+	}
+	for id := uint64(0); id < 50; id++ {
+		if f := j.Request(id); f != FaultSlow {
+			t.Fatalf("probability-1 slow: request %d drew %v", id, f)
+		}
+	}
+	if j.Injections() != 50 {
+		t.Fatalf("Injections() = %d, want 50", j.Injections())
+	}
+}
+
+func TestServeJournalFaultDeterministic(t *testing.T) {
+	cfg := ServeConfig{Seed: 9, JournalProb: 0.3}
+	a, b := NewServe(cfg), NewServe(cfg)
+	hits := 0
+	for seq := uint64(0); seq < 400; seq++ {
+		fa, fb := a.JournalFault(seq), b.JournalFault(seq)
+		if fa != fb {
+			t.Fatalf("append %d: journal fault diverged for the same seed", seq)
+		}
+		if fa {
+			hits++
+		}
+	}
+	if hits == 0 || hits == 400 {
+		t.Fatalf("journal faults hit %d/400 appends at p=0.3", hits)
 	}
 }

@@ -67,6 +67,7 @@ func RunBenchCmp(args []string, stdout, stderr io.Writer) error {
 		}
 		res = stats.CompareServing(base, cur, opt)
 		hostWarn = stats.HostShapeWarning(base.Host, cur.Host)
+		variantWarn = stats.DegradeRungWarning(base.Meta, cur.Meta)
 	} else {
 		compare, baseHost, baseVariants, err := stats.LoadBenchBaseline(*baseline)
 		if err != nil {

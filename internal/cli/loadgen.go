@@ -15,6 +15,7 @@ import (
 
 	"spantree/internal/serve"
 	"spantree/internal/stats"
+	"spantree/internal/xrand"
 )
 
 // RunLoadGen is the entry point of cmd/loadgen: drive a running
@@ -25,8 +26,18 @@ import (
 //
 // -probes additionally exercises the server's typed rejection paths —
 // one cancellation (a request whose deadline expires mid-run, expecting
-// the typed 504) and one oversized registration (expecting the typed
-// 413) — and fails if either returns anything else.
+// the typed 504), one oversized registration (expecting the typed 413),
+// a readiness check (GET /v1/readyz must be 200), and a drain cycle
+// (POST /v1/drain flips readiness to the typed 503, DELETE restores
+// it) — and fails if any returns anything else.
+//
+// -retry enables client-side resilience: requests answered 429 or 503
+// (or lost to transport errors) are retried up to that many times with
+// jittered exponential backoff, cooperating with the server's adaptive
+// admission control instead of hammering it. -hedge optionally sends a
+// second copy of a request whose first attempt is still unanswered
+// after the given delay, taking whichever response lands first —
+// tail-latency insurance against a single slow session.
 func RunLoadGen(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -47,6 +58,8 @@ func RunLoadGen(args []string, stdout, stderr io.Writer) error {
 		probes    = fs.Bool("probes", false, "run the typed-rejection probes (cancellation 504, oversized 413)")
 		slowN     = fs.Int("probe-slow-n", 1<<20, "vertex count of the chain graph the cancellation probe registers")
 		overN     = fs.Int("probe-oversize-n", 1<<23, "vertex count of the oversized registration (must exceed the server's cap)")
+		retries   = fs.Int("retry", 0, "retry a 429/503/transport-failed request up to this many times with jittered exponential backoff (0 disables)")
+		hedge     = fs.Duration("hedge", 0, "send a hedged duplicate of a request still unanswered after this delay, first response wins (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,8 +80,12 @@ func RunLoadGen(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "registered %s (%s)\n", *graphName, *register)
 	}
+	rq := &requester{
+		client: client, base: base, graph: *graphName,
+		timeoutMS: *timeoutMS, retries: *retries, hedge: *hedge,
+	}
 	for i := 0; i < *warmup; i++ {
-		if _, _, err := issueSpanTree(client, base, *graphName, *seed+uint64(i), *timeoutMS); err != nil {
+		if _, _, err := rq.do(*seed + uint64(i)); err != nil {
 			return fmt.Errorf("loadgen: warmup request %d: %w", i, err)
 		}
 	}
@@ -85,7 +102,7 @@ func RunLoadGen(args []string, stdout, stderr io.Writer) error {
 			if err != nil || c < 1 {
 				return fmt.Errorf("loadgen: bad concurrency %q", cs)
 			}
-			sc, err := closedLoop(client, base, *graphName, c, *requests, *timeoutMS, *seed)
+			sc, err := closedLoop(rq, c, *requests, *seed)
 			if err != nil {
 				return err
 			}
@@ -97,7 +114,7 @@ func RunLoadGen(args []string, stdout, stderr io.Writer) error {
 			art.Scenarios = append(art.Scenarios, sc)
 		}
 	case "open":
-		sc, err := openLoop(client, base, *graphName, *rate, *duration, *timeoutMS, *seed)
+		sc, err := openLoop(rq, *rate, *duration, *seed)
 		if err != nil {
 			return err
 		}
@@ -110,6 +127,7 @@ func RunLoadGen(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("loadgen: unknown -mode %q (want closed or open)", *mode)
 	}
+	stampServerState(client, base, art)
 
 	if *probes {
 		if err := runProbes(client, regClient, base, *slowN, *overN, stdout); err != nil {
@@ -165,6 +183,93 @@ func drain(resp *http.Response) {
 	resp.Body.Close()
 }
 
+// requester issues span-tree requests with optional client-side
+// resilience: bounded retries with jittered exponential backoff on
+// overload answers (429/503) and transport failures, and optional
+// hedging of slow requests. It is safe for concurrent use.
+type requester struct {
+	client    *http.Client
+	base      string
+	graph     string
+	timeoutMS int
+	retries   int           // extra attempts per request (0 = none)
+	hedge     time.Duration // hedged-duplicate delay (0 = off)
+	retried   atomic.Int64  // retries + hedges issued
+}
+
+// backoff bounds: full jitter in [0, cur), doubling 5ms → 250ms. The
+// cap keeps a retried request inside a human-scale deadline; the jitter
+// decorrelates clients that were rejected by the same overload spike.
+const (
+	retryBackoffBase = 5 * time.Millisecond
+	retryBackoffCap  = 250 * time.Millisecond
+)
+
+// do issues one logical request, retrying per the requester's policy.
+// The returned latency spans all attempts and backoff sleeps — the
+// client-observed time-to-answer, which is what the percentiles should
+// price when retries are on.
+func (rq *requester) do(seed uint64) (status int, elapsed time.Duration, err error) {
+	start := time.Now()
+	var rng *xrand.Rand // lazily seeded: the no-retry path never draws
+	backoff := retryBackoffBase
+	for attempt := 0; ; attempt++ {
+		status, _, err = rq.attempt(seed)
+		retryable := err != nil ||
+			status == http.StatusTooManyRequests ||
+			status == http.StatusServiceUnavailable
+		if !retryable || attempt >= rq.retries {
+			return status, time.Since(start), err
+		}
+		rq.retried.Add(1)
+		if rng == nil {
+			rng = xrand.New(seed).Split(0xb0ff0e11)
+		}
+		time.Sleep(time.Duration(rng.Float64() * float64(backoff)))
+		if backoff < retryBackoffCap {
+			backoff *= 2
+		}
+	}
+}
+
+// attempt is one wire attempt, hedged when configured: if the first
+// copy has not answered within the hedge delay, a duplicate is sent and
+// the first response to land wins. Runs are idempotent (same graph,
+// same seed), so the losing copy is harmless; its response is drained
+// by issueSpanTree as usual.
+func (rq *requester) attempt(seed uint64) (int, time.Duration, error) {
+	if rq.hedge <= 0 {
+		return issueSpanTree(rq.client, rq.base, rq.graph, seed, rq.timeoutMS)
+	}
+	type result struct {
+		status  int
+		elapsed time.Duration
+		err     error
+	}
+	ch := make(chan result, 2)
+	issue := func() {
+		s, e, err := issueSpanTree(rq.client, rq.base, rq.graph, seed, rq.timeoutMS)
+		ch <- result{s, e, err}
+	}
+	go issue()
+	timer := time.NewTimer(rq.hedge)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.status, r.elapsed, r.err
+	case <-timer.C:
+		rq.retried.Add(1)
+		go issue()
+		r := <-ch
+		return r.status, r.elapsed, r.err
+	}
+}
+
+// takeRetries returns the retry/hedge count issued since the last call.
+func (rq *requester) takeRetries() int {
+	return int(rq.retried.Swap(0))
+}
+
 // scenarioRecorder accumulates classified outcomes from concurrent
 // request goroutines.
 type scenarioRecorder struct {
@@ -185,6 +290,11 @@ func (r *scenarioRecorder) record(status int, elapsed time.Duration, err error) 
 		r.latencies = append(r.latencies, elapsed.Nanoseconds())
 	case status == http.StatusTooManyRequests:
 		r.sc.Rejected++
+	case status == http.StatusServiceUnavailable:
+		// The watchdog's typed stall answer (and its drain/degrade
+		// cousins): the server shed the run, the client's retries (if
+		// any) did not recover it.
+		r.sc.Stalled++
 	case status == http.StatusGatewayTimeout:
 		r.sc.Deadlines++
 	default:
@@ -203,10 +313,11 @@ func (r *scenarioRecorder) finish(total time.Duration) stats.ServingScenario {
 
 // closedLoop runs total requests at a fixed concurrency: each of c
 // workers issues the next request as soon as its previous one finishes.
-func closedLoop(client *http.Client, base, graph string, c, total, timeoutMS int, seed uint64) (stats.ServingScenario, error) {
+func closedLoop(rq *requester, c, total int, seed uint64) (stats.ServingScenario, error) {
 	rec := &scenarioRecorder{sc: stats.ServingScenario{
-		Name: fmt.Sprintf("closed-c%d", c), Mode: "closed", Concurrency: c, Graph: graph,
+		Name: fmt.Sprintf("closed-c%d", c), Mode: "closed", Concurrency: c, Graph: rq.graph,
 	}}
+	rq.takeRetries() // scenario-scoped count
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -219,23 +330,25 @@ func closedLoop(client *http.Client, base, graph string, c, total, timeoutMS int
 				if i >= int64(total) {
 					return
 				}
-				rec.record(issueSpanTree(client, base, graph, seed+uint64(i)*2654435761, timeoutMS))
+				rec.record(rq.do(seed + uint64(i)*2654435761))
 			}
 		}()
 	}
 	wg.Wait()
+	rec.sc.Retries = rq.takeRetries()
 	return rec.finish(time.Since(start)), nil
 }
 
 // openLoop fires requests on a fixed arrival schedule for the given
 // duration, regardless of completions (the latency-under-load shape).
-func openLoop(client *http.Client, base, graph string, rate float64, d time.Duration, timeoutMS int, seed uint64) (stats.ServingScenario, error) {
+func openLoop(rq *requester, rate float64, d time.Duration, seed uint64) (stats.ServingScenario, error) {
 	if rate <= 0 {
 		return stats.ServingScenario{}, fmt.Errorf("loadgen: -rate must be positive")
 	}
 	rec := &scenarioRecorder{sc: stats.ServingScenario{
-		Name: fmt.Sprintf("open-r%g", rate), Mode: "open", RateRPS: rate, Graph: graph,
+		Name: fmt.Sprintf("open-r%g", rate), Mode: "open", RateRPS: rate, Graph: rq.graph,
 	}}
+	rq.takeRetries() // scenario-scoped count
 	interval := time.Duration(float64(time.Second) / rate)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -246,17 +359,49 @@ func openLoop(client *http.Client, base, graph string, rate float64, d time.Dura
 		wg.Add(1)
 		go func(i uint64) {
 			defer wg.Done()
-			rec.record(issueSpanTree(client, base, graph, seed+i*2654435761, timeoutMS))
+			rec.record(rq.do(seed + i*2654435761))
 		}(i)
 	}
 	wg.Wait()
+	rec.sc.Retries = rq.takeRetries()
 	return rec.finish(time.Since(start)), nil
 }
 
 func reportScenario(w io.Writer, sc stats.ServingScenario) {
-	fmt.Fprintf(w, "%s: %d requests, %d ok, %d rejected, %d deadline, %d error  %.1f req/s  p50=%.3fms p99=%.3fms p999=%.3fms max=%.3fms\n",
+	fmt.Fprintf(w, "%s: %d requests, %d ok, %d rejected, %d deadline, %d error  %.1f req/s  p50=%.3fms p99=%.3fms p999=%.3fms max=%.3fms",
 		sc.Name, sc.Requests, sc.OK, sc.Rejected, sc.Deadlines, sc.Errors, sc.ThroughputRPS,
 		float64(sc.P50NS)/1e6, float64(sc.P99NS)/1e6, float64(sc.P999NS)/1e6, float64(sc.MaxNS)/1e6)
+	if sc.Stalled > 0 {
+		fmt.Fprintf(w, "  stalled=%d", sc.Stalled)
+	}
+	if sc.Retries > 0 {
+		fmt.Fprintf(w, "  retries=%d", sc.Retries)
+	}
+	fmt.Fprintln(w)
+}
+
+// stampServerState records the server's post-run degradation state into
+// the artifact meta, so benchcmp can warn when a baseline taken at full
+// configuration is compared against a run the server finished degraded.
+// Best-effort: a server that vanished mid-teardown just leaves the meta
+// unstamped.
+func stampServerState(client *http.Client, base string, art *stats.ServingArtifact) {
+	resp, err := client.Get(base + "/v1/graphs")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var list serve.GraphListResponse
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&list) != nil {
+		return
+	}
+	rung := 0
+	for _, g := range list.Graphs {
+		if g.Rung > rung {
+			rung = g.Rung
+		}
+	}
+	art.Meta["degrade_rung"] = strconv.Itoa(rung)
 }
 
 // runProbes exercises the typed rejection paths end to end.
@@ -298,7 +443,81 @@ func runProbes(client, regClient *http.Client, base string, slowN, overN int, st
 	if resp, err := client.Do(req); err == nil {
 		drain(resp)
 	}
+
+	// Readiness: a healthy, undegraded server must answer ready.
+	if err := expectReady(client, base, true, ""); err != nil {
+		return fmt.Errorf("loadgen: readiness probe: %w", err)
+	}
+	fmt.Fprintln(stdout, "probe readiness: 200 ready")
+
+	// Drain cycle: POST /v1/drain must flip readiness to the typed 503
+	// (liveness stays 200 — the process is healthy, just not taking new
+	// work), and DELETE must restore it. This is the preStop contract a
+	// load balancer relies on.
+	if err := drainCycle(client, base); err != nil {
+		return fmt.Errorf("loadgen: drain probe: %w", err)
+	}
+	fmt.Fprintf(stdout, "probe drain: 503 %s then restored\n", serve.CodeDraining)
 	return nil
+}
+
+// expectReady asserts the state of GET /v1/readyz: ready (200) or not
+// ready with the given typed code (503).
+func expectReady(client *http.Client, base string, ready bool, code string) error {
+	resp, err := client.Get(base + "/v1/readyz")
+	if err != nil {
+		return err
+	}
+	if ready {
+		defer drain(resp)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("readyz status %d, want 200", resp.StatusCode)
+		}
+		return nil
+	}
+	got, err := decodeErrorCode(resp)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || got != code {
+		return fmt.Errorf("readyz status %d code %q, want 503 %q", resp.StatusCode, got, code)
+	}
+	return nil
+}
+
+// drainCycle drains the server, verifies readiness flips, and restores
+// it, re-checking readiness so the probe leaves the server routable.
+func drainCycle(client *http.Client, base string) error {
+	resp, err := client.Post(base+"/v1/drain", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /v1/drain status %d, want 200", resp.StatusCode)
+	}
+	// Liveness must be unaffected: a draining instance is healthy.
+	hz, err := client.Get(base + "/v1/healthz")
+	if err != nil {
+		return err
+	}
+	drain(hz)
+	if hz.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz status %d while draining, want 200", hz.StatusCode)
+	}
+	if err := expectReady(client, base, false, serve.CodeDraining); err != nil {
+		return err
+	}
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/drain", nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		return err
+	}
+	drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("DELETE /v1/drain status %d, want 200", resp.StatusCode)
+	}
+	return expectReady(client, base, true, "")
 }
 
 func decodeErrorCode(resp *http.Response) (string, error) {

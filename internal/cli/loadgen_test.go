@@ -43,13 +43,16 @@ func TestRunLoadGen(t *testing.T) {
 		"-url", base,
 		"-graph", "bench", "-register", "torus2d:256",
 		"-mode", "closed", "-c", "1,2", "-n", "24", "-warmup", "4",
+		"-retry", "2", "-hedge", "250ms",
 		"-strict", "-probes", "-probe-slow-n", "1048576",
 		"-out", out,
 	}, &stdout, &stdout)
 	if err != nil {
 		t.Fatalf("loadgen: %v\noutput:\n%s", err, stdout.String())
 	}
-	for _, want := range []string{"closed-c1", "closed-c2", "probe oversize: 413", "probe cancellation: 504"} {
+	for _, want := range []string{"closed-c1", "closed-c2",
+		"probe oversize: 413", "probe cancellation: 504",
+		"probe readiness: 200 ready", "probe drain: 503 draining then restored"} {
 		if !strings.Contains(stdout.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, stdout.String())
 		}
@@ -61,6 +64,10 @@ func TestRunLoadGen(t *testing.T) {
 	}
 	if len(art.Scenarios) != 2 || art.Host.NumCPU < 1 {
 		t.Fatalf("artifact: %+v", art)
+	}
+	// A healthy run against an undegraded server stamps rung 0.
+	if art.Meta["degrade_rung"] != "0" {
+		t.Errorf("meta degrade_rung = %q, want \"0\"", art.Meta["degrade_rung"])
 	}
 	for _, sc := range art.Scenarios {
 		if sc.OK != 24 || sc.P99NS < sc.P50NS || sc.P50NS <= 0 || sc.MaxNS < sc.P999NS {

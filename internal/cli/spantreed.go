@@ -86,6 +86,10 @@ func runSpanTreeD(ctx context.Context, args []string, stdout, stderr io.Writer) 
 		layName  = fs.String("layout", "auto", "CSR layout policy for pooled sessions: auto (compact when the graph fits uint32), wide, or compact")
 		shards   = fs.Int("shards", 0, "shard policy for pooled work-stealing sessions: 0 picks per graph (one shard per 256Ki vertices, capped at 8), a positive count forces it (1 = single team)")
 		algName  = fs.String("alg", "workstealing", "pooled algorithm: workstealing or spanuf")
+		stall    = fs.Duration("stall-budget", 0, "stuck-run watchdog: abort a run in which no worker advances for this long with a typed 503 (0 disables)")
+		journal  = fs.String("journal", "", "crash-safe registry journal file: replayed on boot, fsynced on every graph mutation (empty disables)")
+		coolDown = fs.Duration("cool-down", 0, "degradation ladder cool-down before a degraded graph climbs back a rung (0 = 30s)")
+		chaosS   = fs.Uint64("chaos-seed", 0, "serving-layer fault injection seed (chaos builds only; 0 disables)")
 	)
 	fs.Var(&graphs, "graph", "preload a graph: name=kind:n[:m[:k[:seed]]] (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -108,6 +112,9 @@ func runSpanTreeD(ctx context.Context, args []string, stdout, stderr io.Writer) 
 	if alg != spantree.AlgWorkStealing && alg != spantree.AlgSpanUF {
 		return fmt.Errorf("spantreed: -alg %q has no pooled session support (want workstealing or spanuf)", *algName)
 	}
+	if *chaosS != 0 && !spantree.ChaosEnabled {
+		return fmt.Errorf("spantreed: -chaos-seed requires a binary built with -tags chaos")
+	}
 	srv := serve.New(serve.Config{
 		NumProcs:    *procs,
 		PoolSize:    *pool,
@@ -119,14 +126,29 @@ func runSpanTreeD(ctx context.Context, args []string, stdout, stderr io.Writer) 
 		Layout:      *layName,
 		Shards:      *shards,
 		Algorithm:   alg,
+		StallBudget: *stall,
+		CoolDown:    *coolDown,
+		ChaosSeed:   *chaosS,
 	})
 	defer srv.Close()
+	if *journal != "" {
+		// Replay before preloads: preloaded names already in the journal
+		// come back from the replay, and the preload loop's conflict error
+		// below is suppressed for exact duplicates.
+		if err := srv.OpenJournal(*journal); err != nil {
+			return fmt.Errorf("spantreed: journal: %w", err)
+		}
+	}
 	for _, v := range graphs {
 		name, spec, err := parseGraphSpec(v)
 		if err != nil {
 			return err
 		}
 		if err := srv.Register(name, spec); err != nil {
+			if *journal != "" && serve.IsConflict(err) {
+				fmt.Fprintf(stdout, "preload %s restored from journal\n", name)
+				continue
+			}
 			return fmt.Errorf("spantreed: preload %q: %w", name, err)
 		}
 		fmt.Fprintf(stdout, "preloaded %s (%s, n=%d)\n", name, spec.Kind, spec.N)
@@ -144,6 +166,9 @@ func runSpanTreeD(ctx context.Context, args []string, stdout, stderr io.Writer) 
 
 	select {
 	case <-ctx.Done():
+		// Flip readiness first so load balancers stop routing here while
+		// in-flight requests drain through Shutdown.
+		srv.BeginDrain()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutCtx); err != nil {

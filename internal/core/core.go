@@ -164,6 +164,19 @@ type Options struct {
 	// (the paper's "go to sleep for a duration"); 0 means 20µs.
 	IdleSleep time.Duration
 
+	// StallBudget, if > 0, arms the stuck-run watchdog: every worker
+	// bumps a padded heartbeat slot whenever it advances (drains a
+	// chunk, lands a steal, scans a bottom-up quantum), and if no
+	// worker anywhere advances for a full budget the run's flag trips
+	// with fault.CauseStalled and the workers drain cooperatively,
+	// returning fault.ErrStalled with partial stats. The watchdog
+	// converts a silently wedged run (priority inversion, a straggler
+	// holding the whole team, injected stalls) into a typed error while
+	// the session stays reusable; workers must still reach a chunk
+	// boundary to observe the trip, so a hard OS-level deadlock is out
+	// of its scope. 0 disables the watchdog.
+	StallBudget time.Duration
+
 	// Cancel is the run's cooperative stop flag (nil never trips).
 	// Workers poll it at chunk boundaries and idle transitions; when it
 	// trips with a context cause the run drains and returns
@@ -468,9 +481,12 @@ type traversal struct {
 	// cancel is the run's stop flag (never nil: newTraversal substitutes
 	// a private flag when the caller passed none, so panic isolation
 	// always has somewhere to record its cause). inj is the chaos fault
-	// injector (nil injects nothing).
+	// injector (nil injects nothing). wd is the engine's stuck-run
+	// watchdog (nil unless Options.StallBudget > 0); workers beat their
+	// global slot tidBase+tid whenever they advance.
 	cancel *fault.Flag
 	inj    *chaos.Injector
+	wd     *fault.Watchdog
 	// seedMu serializes the quiescence-time seeding of new components so
 	// that exactly one root is created per uncovered component.
 	seedMu sync.Mutex
@@ -601,6 +617,7 @@ func run(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	defer e.wd.Close() // one-shot engine: the run owns the watchdog
 	return e.run()
 }
 
@@ -731,13 +748,20 @@ func (t *traversal) workerLoop(tid int, ws *workerState) {
 		if t.dirOpt && t.phase.Load() == phaseBottomUp {
 			// Bottom-up phase: scan one sweep quantum instead of draining
 			// the queue (the queued frontier keeps for the return to
-			// top-down; sweeping claims around it).
+			// top-down; sweeping claims around it). The quantum always
+			// advances the shared cursor or ends the sweep, so it counts
+			// as watchdog progress.
 			t.bottomUpQuantum(ws, myQ)
+			t.wd.Beat(t.tidBase + tid)
 			fruitless = 0
 			continue
 		}
 		nPop, qrem := myQ.PopBatchLen(ws.chunk[:ws.ctrl.Chunk()])
 		if nPop > 0 {
+			// The progress heartbeat rides the chunk boundary the loop
+			// already pays for, and only fires when the drain obtained
+			// work — a team spinning idle reads as stalled.
+			t.wd.Beat(t.tidBase + tid)
 			ws.probe.NonContig(2) // one locked chunk dequeue
 			ws.lc.Incr(obs.ChunkDrains)
 			ws.lc.Add(obs.DrainedVertices, int64(nPop))
@@ -791,6 +815,7 @@ func (t *traversal) workerLoop(tid int, ws *workerState) {
 		}
 		if !t.o.NoSteal {
 			if w, ok := t.trySteal(tid, &ws.r, myQ, &ws.stealBuf, ws.probe, ws.ow); ok {
+				t.wd.Beat(t.tidBase + tid)
 				// Process one stolen vertex immediately: a thief that only
 				// re-queued its loot could lose it to another thief before
 				// ever popping, livelocking a one-element frontier.
@@ -916,7 +941,7 @@ func (t *traversal) trySteal(tid int, r *xrand.Rand, myQ workQueue,
 	// A vetoed attempt fails before scanning any victim — the injected
 	// delayed/failed-steal fault; the thief falls through to the idle
 	// protocol and retries, so no work is lost, only deferred.
-	if t.inj.VetoSteal(t.tidBase+tid) {
+	if t.inj.VetoSteal(t.tidBase + tid) {
 		ow.Incr(obs.StealFailures)
 		return 0, false
 	}

@@ -64,6 +64,11 @@ type engine struct {
 	waves  [][]int          // shard indices per concurrent wave
 	rec    *obs.Recorder
 	cancel *fault.Flag
+	// wd is the stuck-run watchdog (nil unless Options.StallBudget > 0).
+	// One-shot drivers arm it around their traversal step and close it
+	// when the run ends; a Workspace keeps it parked for its lifetime
+	// and rearms it per Run.
+	wd     *fault.Watchdog
 	stitch *spanuf.StitchScratch
 }
 
@@ -74,6 +79,11 @@ func newEngine(g *graph.Graph, o Options, mk func(n int) workQueue) (*engine, er
 	if o.Shards > 1 && o.FallbackThreshold > 0 {
 		return nil, errShardsFallback
 	}
+	// Modeled chaos runs charge injected perturbations into the same
+	// model as the run itself (nil-safe on both sides, no-op in default
+	// builds): stalls land as idle time on the stalled processor's T_C,
+	// steal vetoes as a failed steal's fruitless poll.
+	o.Chaos.AttachModel(o.Model)
 	n := g.NumVertices()
 	S := o.Shards
 	if S > n && n > 0 {
@@ -88,11 +98,13 @@ func newEngine(g *graph.Graph, o Options, mk func(n int) workQueue) (*engine, er
 			return nil, err
 		}
 		t.o.Cancel = t.cancel
-		return &engine{
+		e := &engine{
 			g: g, o: t.o, parent: t.parent, span: t.span,
 			ts: []*traversal{t}, waves: [][]int{{0}},
 			rec: t.rec, cancel: t.cancel,
-		}, nil
+		}
+		e.attachWatchdog()
+		return e, nil
 	}
 
 	part, err := graph.PartitionCSR(g, S, graph.CutPolicyFor(g.Name))
@@ -129,7 +141,22 @@ func newEngine(g *graph.Graph, o Options, mk func(n int) workQueue) (*engine, er
 		t.initQueues(mk)
 		e.ts[s] = t
 	}
+	e.attachWatchdog()
 	return e, nil
+}
+
+// attachWatchdog builds the stuck-run watchdog when a stall budget is
+// configured and hands every team a reference. Slots are the global
+// processor slots, so wave-sequential teams share them exactly like
+// they share recorder slots.
+func (e *engine) attachWatchdog() {
+	if e.o.StallBudget <= 0 {
+		return
+	}
+	e.wd = fault.NewWatchdog(e.o.NumProcs)
+	for _, t := range e.ts {
+		t.wd = e.wd
+	}
 }
 
 // shardTeams splits the global worker budget p over S shards: with
@@ -259,7 +286,13 @@ func (e *engine) run() ([]graph.VID, Stats, error) {
 	// teams of a wave run concurrently on disjoint global processor
 	// slots and join through one barrier episode (the coordinator is the
 	// extra participant), which gives the work-stealing path per-worker
-	// barrier_waits just like the SV family.
+	// barrier_waits just like the SV family. The stuck-run watchdog is
+	// armed only around this step — the stub walk above runs on the
+	// calling goroutine and never beats.
+	if e.wd != nil {
+		e.wd.Arm(e.cancel, e.o.StallBudget)
+		defer e.wd.Disarm()
+	}
 	for _, wave := range e.waves {
 		total := 0
 		for _, si := range wave {
@@ -393,6 +426,9 @@ func (e *engine) recordSpan() {
 // PanicError surfaced through Stats.Panic. The partially-written
 // parallel parent array is abandoned, never repaired in place.
 func (e *engine) stopOutcome(stats *Stats) ([]graph.VID, Stats, error) {
+	if e.cancel.Cause() == fault.CauseStalled {
+		e.rec.Worker(0).Incr(obs.StallTrips)
+	}
 	e.finishStats(stats)
 	if e.cancel.Cause() == fault.CausePanicked {
 		stats.Panic = e.cancel.Panic()

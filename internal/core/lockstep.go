@@ -81,6 +81,7 @@ func runLockstep(g *graph.Graph, o Options) ([]graph.VID, Stats, error) {
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	defer e.wd.Close() // one-shot engine: the run owns the watchdog
 	return e.runLockstep()
 }
 
@@ -123,7 +124,14 @@ func (e *engine) runLockstep() ([]graph.VID, Stats, error) {
 	// Step 2: round-robin lockstep traversal, shard by shard inside each
 	// wave (sequential either way on the driving goroutine; the barrier
 	// accounting still groups shards into waves, mirroring the
-	// concurrent engine's schedule).
+	// concurrent engine's schedule). The watchdog arms around the
+	// traversal exactly like the concurrent engine: the driver beats per
+	// processed turn, so a wedged drive (a blocking test hook, a stuck
+	// syscall) trips the same typed ErrStalled.
+	if e.wd != nil {
+		e.wd.Arm(e.cancel, e.o.StallBudget)
+		defer e.wd.Disarm()
+	}
 	for _, wave := range e.waves {
 		for _, si := range wave {
 			lockstepDrive(e.ts[si], &stats)
@@ -210,6 +218,7 @@ func lockstepDrive(t *traversal, stats *Stats) {
 	// batch publishes immediately (the single-goroutine driver has no
 	// concurrent readers to batch against).
 	processOne := func(tid int, v graph.VID, probe *smpmodel.Probe, myQ workQueue) {
+		t.wd.Beat(t.tidBase + tid)
 		out = out[:0]
 		var pend int64
 		t.process(tid, v, probe, &out, &locals[tid], &pend)
@@ -253,6 +262,7 @@ func lockstepDrive(t *traversal, stats *Stats) {
 						continue
 					}
 					hi := min(int(start)+buChunk, t.n)
+					t.wd.Beat(t.tidBase + tid)
 					var pend int64
 					stealBuf = t.scanBottomUp(int(start), hi, probe, &locals[tid], &pend, stealBuf[:0])
 					if len(stealBuf) > 0 {

@@ -293,7 +293,15 @@ func (w *Workspace) Run(seed uint64) ([]graph.VID, *Stats, error) {
 	// Step 2: wake the parked teams wave by wave and join each wave
 	// through its reused barrier. A trip ends the schedule at the wave
 	// boundary; the unwoken later waves simply stay parked, which leaves
-	// them in exactly the state the next Run's wakes expect.
+	// them in exactly the state the next Run's wakes expect. The parked
+	// watchdog rearms here and disarms synchronously on every exit path,
+	// so the next Run's flag Reset can never race a late stall trip;
+	// Arm/Disarm exchange a value on a preallocated channel, keeping the
+	// steady state allocation-free.
+	if e.wd != nil {
+		e.wd.Arm(e.cancel, e.o.StallBudget)
+		defer e.wd.Disarm()
+	}
 	for si := range e.ts {
 		t := e.ts[si]
 		for tid := range w.wss[si] {
@@ -340,6 +348,9 @@ func (w *Workspace) Run(seed uint64) ([]graph.VID, *Stats, error) {
 // with partial stats; a worker panic degrades to the sequential BFS.
 func (w *Workspace) stop() ([]graph.VID, *Stats, error) {
 	e := w.e
+	if e.cancel.Cause() == fault.CauseStalled {
+		w.slotOW[0].Incr(obs.StallTrips)
+	}
 	e.finishStatsPooled(&w.stats, w.slotOW)
 	if e.cancel.Cause() == fault.CausePanicked {
 		w.stats.Panic = e.cancel.Panic()
@@ -362,4 +373,5 @@ func (w *Workspace) Close() {
 		}
 	}
 	w.wg.Wait()
+	w.e.wd.Close()
 }

@@ -35,6 +35,9 @@ const (
 	// CausePanicked: a worker panicked; the run drained cooperatively
 	// and the panic value is held by the flag.
 	CausePanicked
+	// CauseStalled: the stuck-run watchdog observed no worker progress
+	// within the stall budget and aborted the run.
+	CauseStalled
 )
 
 // String returns a short name for the cause.
@@ -48,6 +51,8 @@ func (c Cause) String() string {
 		return "deadline"
 	case CausePanicked:
 		return "panicked"
+	case CauseStalled:
+		return "stalled"
 	}
 	return fmt.Sprintf("cause(%d)", int32(c))
 }
@@ -60,6 +65,11 @@ var ErrCanceled = fmt.Errorf("spantree: run canceled: %w", context.Canceled)
 // ErrDeadline is returned when a run was stopped by a context deadline.
 // It wraps context.DeadlineExceeded.
 var ErrDeadline = fmt.Errorf("spantree: run deadline exceeded: %w", context.DeadlineExceeded)
+
+// ErrStalled is returned when the stuck-run watchdog aborted a run
+// because no worker made progress within the stall budget. The run
+// drained cooperatively, so a pooled session stays reusable after it.
+var ErrStalled = errors.New("spantree: run stalled: no worker progress within the stall budget")
 
 // PanicError reports a worker panic that the runtime isolated: the
 // remaining workers drained cleanly and, where the algorithm supports
@@ -175,6 +185,8 @@ func (f *Flag) Err() error {
 		return ErrDeadline
 	case CausePanicked:
 		return f.Panic()
+	case CauseStalled:
+		return ErrStalled
 	}
 	return nil
 }

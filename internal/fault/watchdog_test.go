@@ -1,0 +1,193 @@
+package fault
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWatchdogTripsOnStall(t *testing.T) {
+	w := NewWatchdog(4)
+	defer w.Close()
+	var f Flag
+	w.Arm(&f, 20*time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for !f.Tripped() {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never tripped a fully stalled run")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w.Disarm()
+	if got := f.Cause(); got != CauseStalled {
+		t.Fatalf("cause = %v, want CauseStalled", got)
+	}
+	if !errors.Is(f.Err(), ErrStalled) {
+		t.Fatalf("Err() = %v, want ErrStalled", f.Err())
+	}
+	if w.Trips() != 1 {
+		t.Fatalf("Trips() = %d, want 1", w.Trips())
+	}
+}
+
+func TestWatchdogNoTripWhileBeating(t *testing.T) {
+	w := NewWatchdog(2)
+	defer w.Close()
+	var f Flag
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				w.Beat(1)
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}()
+	w.Arm(&f, 30*time.Millisecond)
+	time.Sleep(200 * time.Millisecond)
+	w.Disarm()
+	close(stop)
+	<-done
+	if f.Tripped() {
+		t.Fatalf("flag tripped (%v) despite steady heartbeats", f.Cause())
+	}
+}
+
+func TestWatchdogRearmAcrossRuns(t *testing.T) {
+	w := NewWatchdog(1)
+	defer w.Close()
+
+	// Run 1: healthy. Beat from this goroutine between samples.
+	var f Flag
+	w.Arm(&f, 50*time.Millisecond)
+	for i := 0; i < 10; i++ {
+		w.Beat(0)
+		time.Sleep(5 * time.Millisecond)
+	}
+	w.Disarm()
+	if f.Tripped() {
+		t.Fatalf("run 1 tripped: %v", f.Cause())
+	}
+
+	// Run 2: stalled. Same flag after Reset, pooled-session style.
+	f.Reset()
+	w.Arm(&f, 20*time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for !f.Tripped() {
+		if time.Now().After(deadline) {
+			t.Fatal("rearm: watchdog never tripped the stalled run")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w.Disarm()
+	if got := f.Cause(); got != CauseStalled {
+		t.Fatalf("run 2 cause = %v, want CauseStalled", got)
+	}
+
+	// Run 3: healthy again after a trip — the session stays usable.
+	f.Reset()
+	w.Arm(&f, 50*time.Millisecond)
+	for i := 0; i < 10; i++ {
+		w.Beat(0)
+		time.Sleep(5 * time.Millisecond)
+	}
+	w.Disarm()
+	if f.Tripped() {
+		t.Fatalf("run 3 tripped: %v", f.Cause())
+	}
+	if w.Trips() != 1 {
+		t.Fatalf("Trips() = %d, want 1", w.Trips())
+	}
+}
+
+func TestWatchdogDisarmIsSynchronous(t *testing.T) {
+	w := NewWatchdog(1)
+	defer w.Close()
+	for i := 0; i < 50; i++ {
+		var f Flag
+		w.Arm(&f, time.Millisecond)
+		time.Sleep(time.Duration(i%5) * time.Millisecond)
+		w.Disarm()
+		tripped := f.Tripped()
+		// After Disarm returns the monitor must never touch f again:
+		// whatever state we observe now is final.
+		time.Sleep(5 * time.Millisecond)
+		if f.Tripped() != tripped {
+			t.Fatal("flag tripped after Disarm returned")
+		}
+	}
+}
+
+func TestWatchdogNilAndZeroBudget(t *testing.T) {
+	var w *Watchdog
+	w.Beat(0)
+	w.Arm(&Flag{}, time.Second)
+	w.Disarm()
+	w.Close()
+	if w.Trips() != 0 {
+		t.Fatal("nil watchdog reported trips")
+	}
+
+	real := NewWatchdog(1)
+	defer real.Close()
+	var f Flag
+	real.Arm(&f, 0)  // no-op: zero budget leaves it disarmed
+	real.Arm(nil, 1) // no-op: nil flag
+	real.Disarm()
+	time.Sleep(10 * time.Millisecond)
+	if f.Tripped() {
+		t.Fatal("zero-budget arm tripped the flag")
+	}
+}
+
+func TestWatchdogArmDoesNotAllocate(t *testing.T) {
+	w := NewWatchdog(2)
+	defer w.Close()
+	var f Flag
+	allocs := testing.AllocsPerRun(100, func() {
+		f.Reset()
+		w.Arm(&f, time.Minute)
+		w.Beat(0)
+		w.Beat(1)
+		w.Disarm()
+	})
+	if allocs != 0 {
+		t.Fatalf("Arm/Beat/Disarm cycle allocates %.1f/run, want 0", allocs)
+	}
+}
+
+func TestWatchdogBeatConcurrent(t *testing.T) {
+	const workers = 8
+	w := NewWatchdog(workers)
+	defer w.Close()
+	var f Flag
+	w.Arm(&f, 50*time.Millisecond)
+	var wg atomic.Int32
+	done := make(chan struct{})
+	for tid := 0; tid < workers; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Add(-1)
+			for j := 0; j < 1000; j++ {
+				w.Beat(tid)
+			}
+		}(tid)
+	}
+	go func() {
+		for wg.Load() != 0 {
+			time.Sleep(time.Millisecond)
+		}
+		close(done)
+	}()
+	<-done
+	w.Disarm()
+	if got := w.sum(); got != workers*1000 {
+		t.Fatalf("heartbeat sum = %d, want %d", got, workers*1000)
+	}
+}

@@ -150,6 +150,20 @@ const (
 	// (one per pair of shard components joined).
 	StitchHooks
 
+	// The resilience counters were added with the serving-grade
+	// hardening. All three stay 0 for runs that never stall, degrade, or
+	// pass through adaptive admission.
+	//
+	// StallTrips counts runs the stuck-run watchdog aborted (recorded by
+	// the coordinator slot when a run ends with fault.CauseStalled).
+	StallTrips
+	// DegradeSteps counts downward transitions of the serving layer's
+	// degradation ladder.
+	DegradeSteps
+	// AdmitLimit is the high-water mark of the AIMD admission limit
+	// (a gauge recorded with Max, not a sum).
+	AdmitLimit
+
 	numCounters
 )
 
@@ -475,7 +489,7 @@ func (r *Recorder) Total(c Counter) int64 {
 	var tot int64
 	for i := range r.workers {
 		v := r.workers[i].c[c].Load()
-		if c == QueueHighWater || c == ChunkHighWater {
+		if c == QueueHighWater || c == ChunkHighWater || c == AdmitLimit {
 			if v > tot {
 				tot = v
 			}

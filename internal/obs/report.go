@@ -73,6 +73,13 @@ type Counters struct {
 	ShardRuns     int64 `json:"shard_runs,omitempty"`
 	BoundaryEdges int64 `json:"boundary_edges,omitempty"`
 	StitchHooks   int64 `json:"stitch_hooks,omitempty"`
+	// The resilience counters were added with the serving-grade
+	// hardening (schema grows additively); all three stay omitted for
+	// runs that never stall, degrade, or pass through adaptive
+	// admission, so earlier artifacts compare unchanged.
+	StallTrips   int64 `json:"stall_trips,omitempty"`
+	DegradeSteps int64 `json:"degrade_steps,omitempty"`
+	AdmitLimit   int64 `json:"admit_limit,omitempty"`
 }
 
 // countersFrom maps the counter array into the named JSON fields.
@@ -108,6 +115,9 @@ func countersFrom(c *[numCounters]int64) Counters {
 		ShardRuns:         c[ShardRuns],
 		BoundaryEdges:     c[BoundaryEdges],
 		StitchHooks:       c[StitchHooks],
+		StallTrips:        c[StallTrips],
+		DegradeSteps:      c[DegradeSteps],
+		AdmitLimit:        c[AdmitLimit],
 	}
 	for b := 0; b < DrainHistBuckets; b++ {
 		if c[DrainHist0+Counter(b)] != 0 {
@@ -156,7 +166,7 @@ func (r *Recorder) Snapshot() Snapshot {
 		var vals [numCounters]int64
 		for c := Counter(0); c < numCounters; c++ {
 			vals[c] = r.workers[tid].c[c].Load()
-			if c == QueueHighWater || c == ChunkHighWater {
+			if c == QueueHighWater || c == ChunkHighWater || c == AdmitLimit {
 				// A sum of high-water marks has no meaning; aggregate by max.
 				if vals[c] > totals[c] {
 					totals[c] = vals[c]

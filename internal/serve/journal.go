@@ -1,0 +1,316 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"spantree/internal/chaos"
+	"spantree/internal/gen"
+)
+
+// The crash-safe registry journal. Graph registrations and evictions
+// are appended to a JSON-lines file — specs only, never graph data;
+// graphs regenerate from their specs — and fsynced before the mutation
+// commits to the in-memory registry. A SIGKILL'd server therefore
+// replays the journal on boot and restores exactly the graph set it was
+// serving: append-before-commit means a mutation the client saw
+// acknowledged is on disk, and a crash mid-append leaves at worst a
+// truncated trailing line, which replay drops.
+//
+// The file grows one line per mutation, so once the op count outruns
+// the live set (more than max(8, 4*live) records) it is compacted: a
+// snapshot holding only the live registrations is written to a temp
+// file, fsynced, and renamed over the journal — the standard atomic
+// replace, so a crash during compaction leaves either the old or the
+// new file, never a mix.
+
+// journalSchema is the versioned header of every journal file.
+const journalSchema = "spantree/journal/v1"
+
+// journal ops.
+const (
+	journalOpRegister = "register"
+	journalOpEvict    = "evict"
+)
+
+// errJournal is the typed failure of a journal append: the mutation was
+// aborted and the registry is unchanged.
+var errJournal = errors.New("serve: journal append failed; registry mutation aborted")
+
+// journalRecord is one line of the file: the header (Schema set) or one
+// op.
+type journalRecord struct {
+	Schema string       `json:"schema,omitempty"`
+	Op     string       `json:"op,omitempty"`
+	Name   string       `json:"name,omitempty"`
+	Spec   *journalSpec `json:"spec,omitempty"`
+}
+
+// journalSpec is gen.Spec with stable wire names (the registry journal
+// is a persistence format; gen.Spec's field names are not).
+type journalSpec struct {
+	Kind        string `json:"kind"`
+	N           int    `json:"n"`
+	M           int    `json:"m,omitempty"`
+	K           int    `json:"k,omitempty"`
+	Seed        uint64 `json:"seed,omitempty"`
+	RandomLabel bool   `json:"random_label,omitempty"`
+}
+
+func toJournalSpec(s gen.Spec) *journalSpec {
+	return &journalSpec{Kind: s.Kind, N: s.N, M: s.M, K: s.K, Seed: s.Seed, RandomLabel: s.RandomLabel}
+}
+
+func (js *journalSpec) spec() gen.Spec {
+	return gen.Spec{Kind: js.Kind, N: js.N, M: js.M, K: js.K, Seed: js.Seed, RandomLabel: js.RandomLabel}
+}
+
+// journal is the append handle. All methods take the mutex; appends hit
+// the disk (write + sync) before reporting success.
+type journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	seq  uint64 // append attempts (the chaos fault index)
+	recs int    // op records currently in the file
+	live map[string]gen.Spec
+	inj  *chaos.ServeInjector
+}
+
+// openJournal opens (or creates) the journal at path, replays it, and
+// returns the handle plus the live graph set in name order. A torn tail
+// (crash mid-append: a final line missing its newline, or a malformed
+// final line) is truncated away so subsequent appends continue a clean
+// record stream; malformed content with complete records after it is
+// corruption, not a crash artifact — an error, because better to refuse
+// boot than serve a registry that silently lost graphs.
+func openJournal(path string, inj *chaos.ServeInjector) (*journal, []string, map[string]gen.Spec, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	j := &journal{path: path, f: f, live: make(map[string]gen.Spec), inj: inj}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, nil, err
+	}
+	first := true
+	off, validEnd := 0, 0
+	torn := false
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// A final line without its newline: the classic torn append.
+			torn = true
+			break
+		}
+		line := data[off : off+nl]
+		off += nl + 1
+		if len(line) == 0 {
+			validEnd = off
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if off < len(data) {
+				f.Close()
+				return nil, nil, nil, fmt.Errorf("journal %s: malformed record before end of file", path)
+			}
+			torn = true
+			break
+		}
+		if first {
+			first = false
+			if rec.Schema != journalSchema {
+				f.Close()
+				return nil, nil, nil, fmt.Errorf("journal %s: schema %q, want %q", path, rec.Schema, journalSchema)
+			}
+			validEnd = off
+			continue
+		}
+		switch rec.Op {
+		case journalOpRegister:
+			if rec.Spec == nil {
+				f.Close()
+				return nil, nil, nil, fmt.Errorf("journal %s: register %q without a spec", path, rec.Name)
+			}
+			j.live[rec.Name] = rec.Spec.spec()
+		case journalOpEvict:
+			delete(j.live, rec.Name)
+		default:
+			f.Close()
+			return nil, nil, nil, fmt.Errorf("journal %s: unknown op %q", path, rec.Op)
+		}
+		j.recs++
+		validEnd = off
+	}
+	if torn {
+		// Truncate the torn tail so the next append continues a clean
+		// stream — without this, recovery appends would land after the
+		// fragment and the *next* replay would read it as corruption.
+		if err := f.Truncate(int64(validEnd)); err != nil {
+			f.Close()
+			return nil, nil, nil, err
+		}
+	}
+	if first {
+		// Fresh file: stamp the header now.
+		if err := j.writeLine(journalRecord{Schema: journalSchema}); err != nil {
+			f.Close()
+			return nil, nil, nil, err
+		}
+	}
+	names := make([]string, 0, len(j.live))
+	for name := range j.live {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return j, names, j.live, nil
+}
+
+// AppendRegister journals one registration. On success the op is on
+// disk; on failure (injected or real) nothing was committed and the
+// caller must abort the mutation.
+func (j *journal) AppendRegister(name string, spec gen.Spec) error {
+	if j == nil {
+		return nil
+	}
+	return j.append(journalRecord{Op: journalOpRegister, Name: name, Spec: toJournalSpec(spec)}, func() {
+		j.live[name] = spec
+	})
+}
+
+// AppendEvict journals one eviction.
+func (j *journal) AppendEvict(name string) error {
+	if j == nil {
+		return nil
+	}
+	return j.append(journalRecord{Op: journalOpEvict, Name: name}, func() {
+		delete(j.live, name)
+	})
+}
+
+func (j *journal) append(rec journalRecord, commit func()) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	seq := j.seq
+	j.seq++
+	if j.inj.JournalFault(seq) {
+		return errJournal
+	}
+	if err := j.writeLine(rec); err != nil {
+		return fmt.Errorf("%w: %v", errJournal, err)
+	}
+	commit()
+	j.recs++
+	j.maybeCompact()
+	return nil
+}
+
+// writeLine appends one JSON line and syncs it to disk.
+func (j *journal) writeLine(rec journalRecord) error {
+	if j.f == nil {
+		return errors.New("journal file handle lost")
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if _, err := j.f.Write(buf); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// maybeCompact (mu held) rewrites the journal as a snapshot of the live
+// set when the op log has outrun it. Compaction failures are swallowed:
+// the oversized journal still replays correctly, and the next append
+// retries.
+func (j *journal) maybeCompact() {
+	floor := 8
+	if n := 4 * len(j.live); n > floor {
+		floor = n
+	}
+	if j.recs <= floor {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), ".journal-*")
+	if err != nil {
+		return
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	names := make([]string, 0, len(j.live))
+	for name := range j.live {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	recs := make([]journalRecord, 0, len(names)+1)
+	recs = append(recs, journalRecord{Schema: journalSchema})
+	for _, name := range names {
+		spec := j.live[name]
+		recs = append(recs, journalRecord{Op: journalOpRegister, Name: name, Spec: toJournalSpec(spec)})
+	}
+	for _, rec := range recs {
+		buf, err := json.Marshal(rec)
+		if err != nil {
+			tmp.Close()
+			return
+		}
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			tmp.Close()
+			return
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		return
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return
+	}
+	old := j.f
+	f, err := os.OpenFile(j.path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		// The snapshot replaced the file but we cannot reopen it; keep
+		// appending to the old handle would split history, so fail hard
+		// on the next append instead.
+		j.f = nil
+		old.Close()
+		return
+	}
+	j.f = f
+	old.Close()
+	j.recs = len(j.live)
+}
+
+// Close releases the file handle.
+func (j *journal) Close() {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// aimdLimiter is the adaptive admission limit: a concurrency bound that
+// starts at the configured ceiling and adapts to what the backend is
+// actually delivering. When observed tail latency blows the budget — or
+// a run stalls or hits its deadline — the limit halves (multiplicative
+// decrease); after a window of healthy completions with tail latency
+// inside the budget it creeps back up one slot (additive increase).
+// Compared to the fixed semaphore it replaces, the limiter sheds load
+// *before* requests start queueing into the deadline cliff: the typed
+// 429 is cheap for the client to retry, the 504 it prevents is not.
+//
+// Acquire/Release are lock-free on the hot path (two atomic adds and a
+// load); the adjustment bookkeeping takes a mutex only on completion.
+type aimdLimiter struct {
+	max    int64         // ceiling (the configured MaxInFlight)
+	budget time.Duration // tail-latency budget driving the feedback
+
+	limit    atomic.Int64
+	inflight atomic.Int64
+
+	mu      sync.Mutex
+	lats    []time.Duration // ring of recent completion latencies
+	idx     int
+	samples int       // completions since the last adjustment
+	lastDec time.Time // last multiplicative decrease
+}
+
+// limiterWindow is how many healthy completions buy one additive
+// increase step, and the size of the latency ring the tail estimate
+// reads (the ring max over 64 samples sits near p98).
+const limiterWindow = 64
+
+// decreaseCooldown spaces multiplicative decreases so one burst of
+// failures costs one halving, not a collapse to the floor.
+const decreaseCooldown = 250 * time.Millisecond
+
+func newAIMDLimiter(max int, budget time.Duration) *aimdLimiter {
+	l := &aimdLimiter{
+		max:    int64(max),
+		budget: budget,
+		lats:   make([]time.Duration, limiterWindow),
+	}
+	l.limit.Store(int64(max))
+	return l
+}
+
+// Acquire claims an admission slot; false means the caller must shed
+// the request (typed 429). Never blocks.
+func (l *aimdLimiter) Acquire() bool {
+	if l.inflight.Add(1) > l.limit.Load() {
+		l.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+// Release returns the slot and feeds the request's outcome back into
+// the limit: overloaded=true (a stall or deadline blowout) is the
+// multiplicative-decrease signal; a healthy completion contributes its
+// latency to the additive-increase window.
+func (l *aimdLimiter) Release(lat time.Duration, overloaded bool) {
+	l.inflight.Add(-1)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if overloaded {
+		if time.Since(l.lastDec) < decreaseCooldown {
+			return
+		}
+		if cur := l.limit.Load(); cur > 1 {
+			l.limit.Store(cur / 2)
+		}
+		l.lastDec = time.Now()
+		l.samples = 0
+		return
+	}
+	l.lats[l.idx] = lat
+	l.idx = (l.idx + 1) % len(l.lats)
+	if l.samples++; l.samples < limiterWindow {
+		return
+	}
+	l.samples = 0
+	if l.tail() <= l.budget {
+		if cur := l.limit.Load(); cur < l.max {
+			l.limit.Store(cur + 1)
+		}
+	}
+}
+
+// tail is the ring maximum — a conservative p98-ish estimate over the
+// last window of completions.
+func (l *aimdLimiter) tail() time.Duration {
+	var t time.Duration
+	for _, v := range l.lats {
+		if v > t {
+			t = v
+		}
+	}
+	return t
+}
+
+// Limit returns the current admission limit (for /v1/stats and tests).
+func (l *aimdLimiter) Limit() int64 { return l.limit.Load() }
+
+// InFlight returns the currently admitted request count.
+func (l *aimdLimiter) InFlight() int64 { return l.inflight.Load() }

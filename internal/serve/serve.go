@@ -5,15 +5,30 @@
 // /v1/spantree requests on those pools with zero steady-state heap
 // allocations in the algorithm itself.
 //
-// Admission control reuses the runtime's fault plumbing end to end: a
-// bounded in-flight semaphore rejects excess load with a typed 429
-// before any work starts, each admitted request runs under a context
-// whose deadline is the client's requested timeout clamped by the
-// server cap, and the session layer translates context expiry into the
-// typed fault.ErrDeadline/ErrCanceled, which the handlers map onto 504
-// (deadline) and 499 (client gone). Every error response is a typed
-// JSON object {"error": code, "message": ...} so load generators can
-// assert on exact rejection classes.
+// Admission control reuses the runtime's fault plumbing end to end: an
+// adaptive AIMD concurrency limit (see limiter.go) rejects excess load
+// with a typed 429 and a Retry-After hint before any work starts, each
+// admitted request runs under a context whose deadline is the client's
+// requested timeout clamped by the server cap, and the session layer
+// translates context expiry into the typed fault.ErrDeadline/
+// ErrCanceled, which the handlers map onto 504 (deadline) and 499
+// (client gone). A run aborted by the stuck-run watchdog maps onto a
+// retryable 503 (stalled). Every error response is a typed JSON object
+// {"error": code, "message": ...} so load generators can assert on
+// exact rejection classes.
+//
+// The resilience layer on top of that plumbing:
+//
+//   - A per-graph degradation ladder (ladder.go) steps a graph whose
+//     runs keep stalling or blowing deadlines down to simpler execution
+//     (unsharded → fewer workers → sequential) and climbs back after a
+//     cool-down.
+//   - A crash-safe registry journal (journal.go) replays the graph set
+//     across a SIGKILL.
+//   - /v1/healthz is pure liveness; /v1/readyz is readiness and turns
+//     503 while the server drains or any graph is degraded.
+//   - In chaos builds, a seeded per-request fault injector exercises
+//     all of the above (Config.ChaosSeed).
 package serve
 
 import (
@@ -23,11 +38,13 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"spantree"
+	"spantree/internal/chaos"
 	"spantree/internal/gen"
 )
 
@@ -41,6 +58,15 @@ const (
 	CodeDeadline      = "deadline"
 	CodeCanceled      = "canceled"
 	CodeInternal      = "internal"
+	// CodeStalled: the stuck-run watchdog aborted the run — retryable,
+	// served as 503 with a Retry-After hint.
+	CodeStalled = "stalled"
+	// CodeJournal: the registry journal append failed, so the mutation
+	// was aborted and the registry is unchanged.
+	CodeJournal = "journal_failed"
+	// CodeDraining / CodeDegraded: the readiness probe's typed 503s.
+	CodeDraining = "draining"
+	CodeDegraded = "degraded"
 )
 
 // StatusClientClosedRequest is the non-standard (nginx) status the
@@ -104,6 +130,18 @@ type Config struct {
 	// (the zero value) or spantree.AlgSpanUF; the session layer rejects
 	// algorithms without workspace provisioning at registration.
 	Algorithm spantree.Algorithm
+	// StallBudget arms the per-session stuck-run watchdog: a run in
+	// which no worker advances for this long is aborted with the typed
+	// 503 (stalled) instead of burning its whole deadline. 0 disables.
+	StallBudget time.Duration
+	// CoolDown is how long a degraded graph must run failure-free
+	// before climbing back up one rung of the degradation ladder.
+	// 0 means 30s.
+	CoolDown time.Duration
+	// ChaosSeed, when nonzero in a chaos-tagged build, arms the seeded
+	// per-request fault injector with chaos.DefaultServeConfig. Ignored
+	// (no injector exists) in default builds.
+	ChaosSeed uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -128,17 +166,10 @@ func (c Config) withDefaults() Config {
 	if c.Layout == "" {
 		c.Layout = LayoutAuto
 	}
+	if c.CoolDown == 0 {
+		c.CoolDown = 30 * time.Second
+	}
 	return c
-}
-
-// entry is one registered graph with its session pool.
-type entry struct {
-	name   string
-	spec   gen.Spec
-	g      *spantree.Graph
-	layout spantree.Layout // the resolved per-graph layout
-	shards int             // the resolved per-graph shard count
-	pool   *spantree.SessionPool
 }
 
 // Server is the HTTP front end. Create with New, serve via http.Server
@@ -152,15 +183,28 @@ type Server struct {
 	closed  bool
 	started time.Time
 
-	// sem is the admission semaphore: a slot is taken per /v1/spantree
-	// request before any session work, non-blocking — admission failure
-	// is an immediate typed 429, never a queue.
-	sem chan struct{}
+	// lim is the adaptive admission limit: a slot is claimed per
+	// /v1/spantree request before any session work, non-blocking —
+	// admission failure is an immediate typed 429, never a queue. The
+	// limit itself tracks observed tail latency (limiter.go).
+	lim *aimdLimiter
 
-	served    atomic.Int64 // completed spantree runs
-	rejected  atomic.Int64 // 429s
-	deadlines atomic.Int64 // 504s
-	canceled  atomic.Int64 // client-gone aborts
+	// jn is the crash-safe registry journal (nil until OpenJournal).
+	jn *journal
+	// inj is the serving-layer chaos injector (nil outside chaos builds
+	// or without a seed); reqID numbers requests for its seeded streams.
+	inj   *chaos.ServeInjector
+	reqID atomic.Uint64
+
+	draining atomic.Bool // BeginDrain was called; readiness is 503
+
+	served       atomic.Int64 // completed spantree runs
+	rejected     atomic.Int64 // 429s
+	deadlines    atomic.Int64 // 504s
+	canceled     atomic.Int64 // client-gone aborts
+	stallTrips   atomic.Int64 // watchdog-aborted runs (typed 503 stalled)
+	degradeSteps atomic.Int64 // ladder step-downs across all graphs
+	panics       atomic.Int64 // recovered handler panics (typed 500s)
 }
 
 // New builds a Server with the given config.
@@ -169,11 +213,20 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     c,
 		graphs:  make(map[string]*entry),
-		sem:     make(chan struct{}, c.MaxInFlight),
 		started: time.Now(),
+	}
+	// The tail-latency budget driving the adaptive limit: half the
+	// deadline cap — when the observed tail crosses it, the next step
+	// is the 504 cliff, so the limit backs off first.
+	s.lim = newAIMDLimiter(c.MaxInFlight, c.MaxTimeout/2)
+	if c.ChaosSeed != 0 {
+		s.inj = chaos.NewServe(chaos.DefaultServeConfig(c.ChaosSeed))
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
+	mux.HandleFunc("DELETE /v1/drain", s.handleUndrain)
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
 	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleEvictGraph)
@@ -183,11 +236,45 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// OpenJournal attaches the crash-safe registry journal at path: the
+// file is replayed first — rebuilding the graph set (pools and all)
+// that a previous process was serving when it died — and every
+// subsequent registration or eviction is appended and fsynced before
+// it commits to the in-memory registry. Call once, before serving
+// traffic.
+func (s *Server) OpenJournal(path string) error {
+	j, names, live, err := openJournal(path, s.inj)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if _, err := s.register(name, live[name], false); err != nil {
+			j.Close()
+			return fmt.Errorf("journal replay of graph %q: %w", name, err)
+		}
+	}
+	s.jn = j
+	return nil
+}
+
+// BeginDrain flips the readiness probe to the typed 503 (draining) so
+// load balancers rotate this instance out while in-flight and
+// already-routed requests keep being served. Shutdown sequence:
+// BeginDrain, wait a probe period, then http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// EndDrain cancels a drain (a rollback that keeps the instance in
+// rotation after all).
+func (s *Server) EndDrain() { s.draining.Store(false) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Close evicts every graph, retiring the parked worker teams (in-flight
-// sessions retire on release).
+// sessions retire on release), and closes the journal.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -198,18 +285,25 @@ func (s *Server) Close() {
 	s.graphs = make(map[string]*entry)
 	s.mu.Unlock()
 	for _, e := range entries {
-		e.pool.Close()
+		e.closePools()
 	}
+	s.jn.Close()
 }
 
 // Register builds and registers a named graph outside HTTP (the CLI's
-// preload path).
+// preload path). Journaled like the HTTP path.
 func (s *Server) Register(name string, spec gen.Spec) error {
-	_, err := s.register(name, spec)
+	_, err := s.register(name, spec, true)
 	return err
 }
 
-func (s *Server) register(name string, spec gen.Spec) (*entry, error) {
+// register builds the graph and its rung-0 session pool, then commits.
+// With a journal attached and journaled true, the op is appended and
+// fsynced inside the commit lock, before the map insert — a mutation
+// the caller sees acknowledged is on disk, and one the journal refused
+// never happened. Replay passes journaled=false (those ops are already
+// in the file).
+func (s *Server) register(name string, spec gen.Spec, journaled bool) (*entry, error) {
 	if name == "" {
 		return nil, fmt.Errorf("empty graph name")
 	}
@@ -241,7 +335,7 @@ func (s *Server) register(name string, spec gen.Spec) (*entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	pool, err := spantree.NewSessionPool(g, spantree.SessionOptions{
+	base := spantree.SessionOptions{
 		Algorithm:   s.cfg.Algorithm,
 		NumProcs:    s.cfg.NumProcs,
 		ChunkPolicy: spantree.ChunkAdaptive,
@@ -249,11 +343,17 @@ func (s *Server) register(name string, spec gen.Spec) (*entry, error) {
 		Layout:      lay,
 		Shards:      shards,
 		Warmups:     s.cfg.Warmups,
-	}, s.cfg.PoolSize)
+		StallBudget: s.cfg.StallBudget,
+	}
+	pool, err := spantree.NewSessionPool(g, base, s.cfg.PoolSize)
 	if err != nil {
 		return nil, err
 	}
-	e := &entry{name: name, spec: spec, g: g, layout: lay, shards: shards, pool: pool}
+	e := &entry{
+		name: name, spec: spec, g: g, layout: lay, shards: shards,
+		base: base, poolSize: s.cfg.PoolSize,
+	}
+	e.pools[0] = pool
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -264,6 +364,13 @@ func (s *Server) register(name string, spec gen.Spec) (*entry, error) {
 		s.mu.Unlock()
 		pool.Close()
 		return nil, errConflict{name: name}
+	}
+	if journaled {
+		if err := s.jn.AppendRegister(name, spec); err != nil {
+			s.mu.Unlock()
+			pool.Close()
+			return nil, err
+		}
 	}
 	s.graphs[name] = e
 	s.mu.Unlock()
@@ -325,6 +432,13 @@ type errConflict struct{ name string }
 
 func (e errConflict) Error() string { return fmt.Sprintf("graph %q already registered", e.name) }
 
+// IsConflict reports whether err is a duplicate-registration conflict
+// (the CLI's journal-restore preload path tolerates these).
+func IsConflict(err error) bool {
+	var c errConflict
+	return errors.As(err, &c)
+}
+
 // lookup returns the entry for name, or nil.
 func (s *Server) lookup(name string) *entry {
 	s.mu.RLock()
@@ -368,6 +482,9 @@ type GraphInfo struct {
 	Shards int `json:"shards"`
 	// Algorithm is the pooled algorithm serving this graph.
 	Algorithm string `json:"algorithm"`
+	// Rung is the graph's current position on the degradation ladder
+	// (0 = full configured execution; see ladder.go).
+	Rung int `json:"rung"`
 }
 
 // GraphListResponse is the GET /v1/graphs body.
@@ -405,16 +522,29 @@ type SpanTreeResponse struct {
 
 // StatsResponse is the GET /v1/stats body.
 type StatsResponse struct {
-	UptimeMS   int64       `json:"uptime_ms"`
-	Served     int64       `json:"served"`
-	Rejected   int64       `json:"rejected"`
-	Deadlines  int64       `json:"deadlines"`
-	Canceled   int64       `json:"canceled"`
-	InFlight   int         `json:"in_flight"`
-	Goroutines int         `json:"goroutines"`
-	NumCPU     int         `json:"num_cpu"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	Graphs     []GraphInfo `json:"graphs"`
+	UptimeMS   int64 `json:"uptime_ms"`
+	Served     int64 `json:"served"`
+	Rejected   int64 `json:"rejected"`
+	Deadlines  int64 `json:"deadlines"`
+	Canceled   int64 `json:"canceled"`
+	InFlight   int   `json:"in_flight"`
+	Goroutines int   `json:"goroutines"`
+	NumCPU     int   `json:"num_cpu"`
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	// AdmitLimit is the adaptive admission limit's current value
+	// (ceiling MaxInFlight; lower when the AIMD feedback backed off).
+	AdmitLimit int64 `json:"admit_limit"`
+	// StallTrips counts runs the stuck-run watchdog aborted (503s).
+	StallTrips int64 `json:"stall_trips"`
+	// DegradeSteps counts ladder step-downs across all graphs.
+	DegradeSteps int64 `json:"degrade_steps"`
+	// Panics counts handler panics recovered into typed 500s.
+	Panics int64 `json:"panics"`
+	// ChaosInjections counts injected serving faults (chaos builds).
+	ChaosInjections int64 `json:"chaos_injections,omitempty"`
+	// Draining reports whether BeginDrain flipped readiness.
+	Draining bool        `json:"draining"`
+	Graphs   []GraphInfo `json:"graphs"`
 }
 
 // --- Handlers -------------------------------------------------------
@@ -430,8 +560,40 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, ErrorBody{Error: code, Message: msg})
 }
 
+// handleHealthz is pure liveness: the process is up and the mux is
+// answering. It stays 200 through drains and degradation — restarting a
+// draining instance is exactly the wrong reaction.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: whether a load balancer should route new
+// traffic here. Draining and degraded both answer the typed 503 —
+// in-flight requests still complete, but new load belongs elsewhere.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return
+	}
+	if rung := s.maxRungHeld(); rung > 0 {
+		writeError(w, http.StatusServiceUnavailable, CodeDegraded,
+			fmt.Sprintf("a graph is degraded to rung %d", rung))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleDrain / handleUndrain are the ops surface behind the readiness
+// split: a preStop hook POSTs /v1/drain, probes see the 503, in-flight
+// work finishes; DELETE rolls the drain back.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.BeginDrain()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "draining"})
+}
+
+func (s *Server) handleUndrain(w http.ResponseWriter, r *http.Request) {
+	s.EndDrain()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // maxBodyBytes bounds request bodies; graph registrations and run
@@ -454,15 +616,20 @@ func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 	e, err := s.register(req.Name, gen.Spec{
 		Kind: req.Kind, N: req.N, M: req.M, K: req.K,
 		Seed: req.Seed, RandomLabel: req.RandomLabel,
-	})
+	}, true)
 	if err != nil {
-		switch err.(type) {
-		case errTooLarge:
-			writeError(w, http.StatusRequestEntityTooLarge, CodeGraphTooLarge, err.Error())
-		case errConflict:
-			writeError(w, http.StatusConflict, CodeConflict, err.Error())
+		switch {
+		case errors.Is(err, errJournal):
+			writeError(w, http.StatusInternalServerError, CodeJournal, err.Error())
 		default:
-			writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+			switch err.(type) {
+			case errTooLarge:
+				writeError(w, http.StatusRequestEntityTooLarge, CodeGraphTooLarge, err.Error())
+			case errConflict:
+				writeError(w, http.StatusConflict, CodeConflict, err.Error())
+			default:
+				writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+			}
 		}
 		return
 	}
@@ -475,14 +642,17 @@ func (s *Server) graphInfo(e *entry) GraphInfo {
 		Kind:      e.spec.Kind,
 		N:         e.g.NumVertices(),
 		M:         e.g.NumEdges(),
-		PoolSize:  e.pool.Size(),
+		PoolSize:  e.poolSize,
 		NumProcs:  s.cfg.NumProcs,
 		Layout:    e.layout.String(),
 		Shards:    e.shards,
 		Algorithm: s.cfg.Algorithm.String(),
+		Rung:      int(e.rung.Load()),
 	}
 }
 
+// listGraphs returns the registry in name order — deterministic output
+// is what lets the restart test compare GET /v1/graphs byte for byte.
 func (s *Server) listGraphs() []GraphInfo {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -490,6 +660,7 @@ func (s *Server) listGraphs() []GraphInfo {
 	for _, e := range s.graphs {
 		out = append(out, s.graphInfo(e))
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
@@ -502,6 +673,13 @@ func (s *Server) handleEvictGraph(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	e, ok := s.graphs[name]
 	if ok {
+		// Journal before the map delete: an eviction the journal refused
+		// never happened, and one it accepted survives a crash.
+		if err := s.jn.AppendEvict(name); err != nil {
+			s.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, CodeJournal, err.Error())
+			return
+		}
 		delete(s.graphs, name)
 	}
 	s.mu.Unlock()
@@ -510,28 +688,33 @@ func (s *Server) handleEvictGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Free sessions retire now; in-flight ones when their request ends.
-	e.pool.Close()
+	e.closePools()
 	writeJSON(w, http.StatusOK, map[string]string{"evicted": name})
 }
 
 func (s *Server) handleSpanTree(w http.ResponseWriter, r *http.Request) {
+	// Recover first so a handler panic — in chaos builds, the injected
+	// one — surfaces as a typed 500, never a transport-level drop.
+	defer s.recoverPanic(w)
 	var req SpanTreeRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
-	// Admission first: a non-blocking semaphore acquire. Excess load is
-	// turned away immediately with the typed 429 rather than queued into
-	// a latency cliff.
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	default:
+	// Admission first: a non-blocking slot claim against the adaptive
+	// limit. Excess load is turned away immediately with the typed 429
+	// and a Retry-After hint rather than queued into a latency cliff.
+	if !s.lim.Acquire() {
 		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, CodeOverloaded,
-			fmt.Sprintf("more than %d requests in flight", s.cfg.MaxInFlight))
+			fmt.Sprintf("admission limit of %d requests in flight reached", s.lim.Limit()))
 		return
 	}
+	start := time.Now()
+	overloaded := false // stall/deadline outcome; feeds the AIMD decrease
+	defer func() { s.lim.Release(time.Since(start), overloaded) }()
+
 	e := s.lookup(req.Graph)
 	if e == nil {
 		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("graph %q not registered", req.Graph))
@@ -549,15 +732,42 @@ func (s *Server) handleSpanTree(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	sess, err := e.pool.Acquire(ctx)
+	// Serving-layer chaos: at most one injected fault per request, drawn
+	// from the request's own seeded stream (nil injector draws nothing).
+	switch s.inj.Request(s.reqID.Add(1)) {
+	case chaos.FaultPanic:
+		panic(chaos.InjectedPanic{Worker: -1, Point: chaos.PointNone})
+	case chaos.FaultStall:
+		// The wedged backend: nothing progresses until the context
+		// expires, then the failure is typed like any real stall-out.
+		<-ctx.Done()
+		overloaded = s.failFromContext(w, ctx.Err())
+		s.noteFailure(e, overloaded)
+		return
+	case chaos.FaultSlow:
+		t := time.NewTimer(s.inj.SlowDelay())
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			overloaded = s.failFromContext(w, ctx.Err())
+			s.noteFailure(e, overloaded)
+			return
+		}
+	}
+
+	pool := e.poolFor()
+	sess, err := pool.Acquire(ctx)
 	if err != nil {
-		s.failFromContext(w, err)
+		overloaded = s.failFromContext(w, err)
+		s.noteFailure(e, overloaded)
 		return
 	}
 	res, err := sess.FindContext(ctx, req.Seed)
 	if err != nil {
-		e.pool.Release(sess)
-		s.failFromContext(w, err)
+		pool.Release(sess)
+		overloaded = s.failFromContext(w, err)
+		s.noteFailure(e, overloaded)
 		return
 	}
 	resp := SpanTreeResponse{
@@ -581,38 +791,68 @@ func (s *Server) handleSpanTree(w http.ResponseWriter, r *http.Request) {
 	// The response borrows the session's parent buffer; the encoder
 	// consumes it before the release returns the buffers to the pool.
 	writeJSON(w, http.StatusOK, resp)
-	e.pool.Release(sess)
+	pool.Release(sess)
 	s.served.Add(1)
+	s.noteSuccess(e)
+}
+
+// recoverPanic converts a handler panic into the typed 500. The
+// admission slot was already released by the deferred limiter release
+// (registered after this recover, so it runs first).
+func (s *Server) recoverPanic(w http.ResponseWriter) {
+	if v := recover(); v != nil {
+		s.panics.Add(1)
+		writeError(w, http.StatusInternalServerError, CodeInternal, fmt.Sprintf("panic: %v", v))
+	}
 }
 
 // failFromContext maps the fault-layer's typed errors (and raw context
-// errors from Acquire) onto HTTP statuses.
-func (s *Server) failFromContext(w http.ResponseWriter, err error) {
+// errors from Acquire) onto HTTP statuses. The returned bool reports
+// whether the failure was a stall or deadline blowout — the signals
+// that feed the AIMD decrease and the degradation ladder; client
+// cancellation and eviction races say nothing about the backend.
+func (s *Server) failFromContext(w http.ResponseWriter, err error) bool {
 	switch {
+	case errors.Is(err, spantree.ErrStalled):
+		s.stallTrips.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, CodeStalled,
+			"run stalled; the watchdog aborted it — retry on another instance")
+		return true
 	case errors.Is(err, spantree.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
 		s.deadlines.Add(1)
 		writeError(w, http.StatusGatewayTimeout, CodeDeadline, "run exceeded its deadline")
+		return true
 	case errors.Is(err, spantree.ErrCanceled) || errors.Is(err, context.Canceled):
 		s.canceled.Add(1)
 		writeError(w, StatusClientClosedRequest, CodeCanceled, "client closed the request")
+		return false
 	case errors.Is(err, spantree.ErrSessionClosed):
 		writeError(w, http.StatusNotFound, CodeNotFound, "graph evicted mid-request")
+		return false
 	default:
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return false
 	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
-		UptimeMS:   time.Since(s.started).Milliseconds(),
-		Served:     s.served.Load(),
-		Rejected:   s.rejected.Load(),
-		Deadlines:  s.deadlines.Load(),
-		Canceled:   s.canceled.Load(),
-		InFlight:   len(s.sem),
-		Goroutines: runtime.NumGoroutine(),
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Graphs:     s.listGraphs(),
+		UptimeMS:        time.Since(s.started).Milliseconds(),
+		Served:          s.served.Load(),
+		Rejected:        s.rejected.Load(),
+		Deadlines:       s.deadlines.Load(),
+		Canceled:        s.canceled.Load(),
+		InFlight:        int(s.lim.InFlight()),
+		Goroutines:      runtime.NumGoroutine(),
+		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		AdmitLimit:      s.lim.Limit(),
+		StallTrips:      s.stallTrips.Load(),
+		DegradeSteps:    s.degradeSteps.Load(),
+		Panics:          s.panics.Load(),
+		ChaosInjections: s.inj.Injections(),
+		Draining:        s.draining.Load(),
+		Graphs:          s.listGraphs(),
 	})
 }

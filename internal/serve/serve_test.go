@@ -162,15 +162,20 @@ func TestServeOverloaded(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Occupy the only admission slot as an in-flight request would.
-	s.sem <- struct{}{}
+	if !s.lim.Acquire() {
+		t.Fatal("could not take the only admission slot")
+	}
 	resp, raw := postJSON(t, ts.URL+"/v1/spantree", SpanTreeRequest{Graph: "g"})
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429", resp.StatusCode)
 	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without a Retry-After hint")
+	}
 	if e := decodeError(t, raw); e.Error != CodeOverloaded {
 		t.Fatalf("code %q, want %q", e.Error, CodeOverloaded)
 	}
-	<-s.sem
+	s.lim.Release(0, false)
 	if got := s.rejected.Load(); got != 1 {
 		t.Fatalf("rejected counter = %d, want 1", got)
 	}
@@ -191,7 +196,7 @@ func TestServeDeadline(t *testing.T) {
 	// Hold the pool's only session so the request's Acquire blocks until
 	// its 20ms deadline fires.
 	e := s.lookup("g")
-	sess, ok := e.pool.TryAcquire()
+	sess, ok := e.pools[0].TryAcquire()
 	if !ok {
 		t.Fatal("could not drain the pool")
 	}
@@ -205,7 +210,7 @@ func TestServeDeadline(t *testing.T) {
 	if got := s.deadlines.Load(); got != 1 {
 		t.Fatalf("deadlines counter = %d, want 1", got)
 	}
-	e.pool.Release(sess)
+	e.pools[0].Release(sess)
 	resp, _ = postJSON(t, ts.URL+"/v1/spantree", SpanTreeRequest{Graph: "g", TimeoutMS: 5000})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("after release: status %d", resp.StatusCode)
@@ -383,7 +388,7 @@ func TestServe200PathZeroAlloc(t *testing.T) {
 		if e.layout != spantree.LayoutCompact {
 			t.Fatalf("%v: auto policy picked %v, want compact", alg, e.layout)
 		}
-		sess, ok := e.pool.TryAcquire()
+		sess, ok := e.pools[0].TryAcquire()
 		if !ok {
 			t.Fatal("pool empty")
 		}
@@ -392,7 +397,7 @@ func TestServe200PathZeroAlloc(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
-		e.pool.Release(sess)
+		e.pools[0].Release(sess)
 		s.Close()
 		if avg != 0 {
 			t.Errorf("%v on auto-compact: AllocsPerRun = %v, want 0", alg, avg)

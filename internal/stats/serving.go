@@ -42,6 +42,12 @@ type ServingScenario struct {
 	Rejected  int `json:"rejected"`
 	Deadlines int `json:"deadlines"`
 	Errors    int `json:"errors"`
+	// Stalled counts runs the server's stuck-run watchdog aborted (503
+	// stalled) that client-side retries did not recover; Retries counts
+	// retry attempts the client spent across the scenario. Both are
+	// additive schema fields (absent in older artifacts).
+	Stalled int `json:"stalled,omitempty"`
+	Retries int `json:"retries,omitempty"`
 
 	// DurationNS is the scenario's wall time; ThroughputRPS is
 	// OK/duration.
@@ -155,6 +161,30 @@ func CompareServing(baseline, current *ServingArtifact, opt BenchCompareOptions)
 		res.Comparisons = append(res.Comparisons, cmp)
 	}
 	return res
+}
+
+// DegradeRungWarning renders a warning line when either serving run was
+// measured against a server holding a degradation rung (meta
+// "degrade_rung" stamped by loadgen), or the two runs disagree on the
+// rung. Percentiles at different rungs price different execution
+// configurations (sharded vs unsharded vs sequential), so the gate
+// warns instead of failing — degradation is the resilience ladder doing
+// its job under ambient load, not a latency regression in the code.
+func DegradeRungWarning(base, cur map[string]string) string {
+	norm := func(m map[string]string) string {
+		if v := m["degrade_rung"]; v != "" {
+			return v
+		}
+		return "0"
+	}
+	b, c := norm(base), norm(cur)
+	if b == "0" && c == "0" {
+		return ""
+	}
+	if b == c {
+		return fmt.Sprintf("warning: both runs measured at degradation rung %s — comparable to each other, but neither reflects the full configuration", b)
+	}
+	return fmt.Sprintf("warning: degradation rung differs — baseline %s, current %s; p99 across rungs compares different execution configurations", b, c)
 }
 
 // HostShapeWarning renders a warning line when two host shapes are both

@@ -112,3 +112,34 @@ func TestHostShapeWarning(t *testing.T) {
 		t.Fatalf("unknown shape warned: %q", w)
 	}
 }
+
+func TestDegradeRungWarning(t *testing.T) {
+	rung := func(v string) map[string]string {
+		if v == "" {
+			return nil
+		}
+		return map[string]string{"degrade_rung": v}
+	}
+	// Undegraded runs — stamped or unstamped (older artifacts) — are
+	// silent.
+	if w := DegradeRungWarning(rung("0"), rung("0")); w != "" {
+		t.Fatalf("rung 0 vs 0 warned: %q", w)
+	}
+	if w := DegradeRungWarning(rung(""), rung("")); w != "" {
+		t.Fatalf("unstamped vs unstamped warned: %q", w)
+	}
+	// A rung mismatch warns with both values.
+	w := DegradeRungWarning(rung("0"), rung("2"))
+	if !strings.Contains(w, "baseline 0") || !strings.Contains(w, "current 2") {
+		t.Fatalf("mismatch warning: %q", w)
+	}
+	// An unstamped baseline against a degraded current still warns.
+	if w := DegradeRungWarning(rung(""), rung("1")); w == "" {
+		t.Fatal("unstamped baseline vs degraded current did not warn")
+	}
+	// Matching nonzero rungs warn too — comparable, but not the full
+	// configuration.
+	if w := DegradeRungWarning(rung("3"), rung("3")); !strings.Contains(w, "rung 3") {
+		t.Fatalf("matched degraded warning: %q", w)
+	}
+}

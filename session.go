@@ -57,6 +57,17 @@ type SessionOptions struct {
 	// growth on non-provisioned paths) so the first real request already
 	// runs allocation-free. 0 means 2.
 	Warmups int
+	// StallBudget, if > 0, arms the stuck-run watchdog exactly as in
+	// core.Options.StallBudget: a run in which no worker advances for a
+	// full budget returns ErrStalled with the session left reusable.
+	// AlgSpanUF ignores it (the sweep is a bounded loop with no
+	// work-distribution protocol to wedge). 0 disables the watchdog.
+	StallBudget time.Duration
+
+	// testHook, when non-nil, runs at every worker chunk boundary (see
+	// core.WithTestHook) — in-package test plumbing for driving stalls
+	// and panics at exact points; never settable by external callers.
+	testHook func(tid int)
 }
 
 func (o SessionOptions) withDefaults() SessionOptions {
@@ -115,7 +126,7 @@ func NewSession(g *Graph, opt SessionOptions) (*Session, error) {
 	s := &Session{alg: o.Algorithm}
 	switch o.Algorithm {
 	case AlgWorkStealing:
-		w, err := core.NewWorkspace(g, core.Options{
+		co := core.Options{
 			NumProcs:          o.NumProcs,
 			ChunkPolicy:       o.ChunkPolicy,
 			ChunkSize:         o.ChunkSize,
@@ -123,7 +134,12 @@ func NewSession(g *Graph, opt SessionOptions) (*Session, error) {
 			Layout:            o.Layout,
 			Shards:            o.Shards,
 			FallbackThreshold: o.FallbackThreshold,
-		}, core.WorkspaceOptions{QueueCapacity: o.QueueCapacity})
+			StallBudget:       o.StallBudget,
+		}
+		if o.testHook != nil {
+			co = core.WithTestHook(co, o.testHook)
+		}
+		w, err := core.NewWorkspace(g, co, core.WorkspaceOptions{QueueCapacity: o.QueueCapacity})
 		if err != nil {
 			return nil, err
 		}

@@ -68,6 +68,12 @@ var ErrCanceled = fault.ErrCanceled
 // also holds.
 var ErrDeadline = fault.ErrDeadline
 
+// ErrStalled is returned by a session whose stuck-run watchdog
+// (SessionOptions.StallBudget) observed no worker progress for a full
+// stall budget. The run drained cooperatively and the session remains
+// reusable.
+var ErrStalled = fault.ErrStalled
+
 // PanicError is the structured record of a worker panic recovered by
 // the hardened runtime: the worker id, the panic value, and the stack.
 // Find does not return it as an error for the work-stealing algorithm —
